@@ -1,0 +1,36 @@
+# Bench binaries are built from the top level so that build/bench/
+# contains only the runnable table/figure generators:
+#   for b in build/bench/*; do $b; done
+set(MDP_BENCH_DIR ${CMAKE_CURRENT_LIST_DIR})
+
+function(mdp_add_bench name)
+    add_executable(${name} ${MDP_BENCH_DIR}/${name}.cc)
+    target_link_libraries(${name} PRIVATE mdp_harness)
+    set_target_properties(${name} PROPERTIES
+        RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+mdp_add_bench(bench_table1_instcounts)
+mdp_add_bench(bench_table3_window_deps)
+mdp_add_bench(bench_table4_static_deps)
+mdp_add_bench(bench_table5_ddc_window)
+mdp_add_bench(bench_table6_ms_misspec)
+mdp_add_bench(bench_table7_ms_ddc)
+mdp_add_bench(bench_fig5_policies)
+mdp_add_bench(bench_table8_pred_breakdown)
+mdp_add_bench(bench_table9_misspec_rate)
+mdp_add_bench(bench_fig6_mechanism)
+mdp_add_bench(bench_fig7_spec95)
+mdp_add_bench(bench_ablation_table_size)
+mdp_add_bench(bench_ablation_predictor)
+mdp_add_bench(bench_ablation_tagging)
+mdp_add_bench(bench_ablation_ooo)
+mdp_add_bench(bench_ablation_distributed)
+mdp_add_bench(bench_ablation_vsync)
+mdp_add_bench(bench_ablation_warmstart)
+
+add_executable(bench_micro_structures ${MDP_BENCH_DIR}/bench_micro_structures.cc)
+target_link_libraries(bench_micro_structures
+    PRIVATE mdp_harness benchmark::benchmark)
+set_target_properties(bench_micro_structures PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

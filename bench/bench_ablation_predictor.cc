@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ablation A2: predictor-policy knobs -- counter width, allocation
+ * count, frontier-release penalty and mis-speculation update rule
+ * (section 4.4.1 discusses the design space of the prediction field).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace mdp;
+
+int
+main()
+{
+    banner("Ablation A2: predictor update-policy sweep (8 stages)",
+           "Moshovos et al., ISCA'97, section 4.4.1");
+
+    const std::vector<std::string> names = {"compress", "espresso",
+                                            "sc"};
+    std::vector<std::unique_ptr<WorkloadContext>> ctxs;
+    std::vector<SimResult> base;
+    for (const auto &n : names) {
+        ctxs.push_back(std::make_unique<WorkloadContext>(n, benchScale()));
+        base.push_back(runMultiscalar(
+            *ctxs.back(),
+            makeMultiscalarConfig(*ctxs.back(), 8, SpecPolicy::Always)));
+    }
+
+    struct Variant
+    {
+        const char *label;
+        unsigned bits;
+        unsigned threshold;
+        unsigned init;
+        unsigned penalty;
+        bool saturate;
+    };
+    const std::vector<Variant> variants = {
+        {"paper (3b, thr 3, init 2, pen 2)", 3, 3, 2, 2, false},
+        {"arm-immediately (init 3)", 3, 3, 3, 2, false},
+        {"gentle penalty (pen 1)", 3, 3, 2, 1, false},
+        {"harsh penalty (pen 4)", 3, 3, 2, 4, false},
+        {"saturate on misspec", 3, 3, 2, 2, true},
+        {"1-bit counter", 1, 1, 1, 1, false},
+        {"2-bit counter (thr 2)", 2, 2, 1, 1, false},
+    };
+
+    TextTable t;
+    std::vector<std::string> head = {"variant"};
+    for (const auto &n : names)
+        head.push_back(n + " (ESYNC)");
+    t.header(head);
+
+    ShapeChecks sc;
+    double default_compress = 0;
+    for (const auto &v : variants) {
+        t.beginRow();
+        t.cell(v.label);
+        for (size_t i = 0; i < names.size(); ++i) {
+            MultiscalarConfig cfg =
+                makeMultiscalarConfig(*ctxs[i], 8, SpecPolicy::ESync);
+            cfg.sync.counterBits = v.bits;
+            cfg.sync.threshold = v.threshold;
+            cfg.sync.initialCount = v.init;
+            cfg.sync.frontierReleasePenalty = v.penalty;
+            cfg.sync.saturateOnMisspec = v.saturate;
+            SimResult r = runMultiscalar(*ctxs[i], cfg);
+            double sp = speedupPct(base[i], r);
+            t.cell(formatDouble(sp, 1) + "%");
+            if (&v == &variants[0] && names[i] == "compress")
+                default_compress = sp;
+        }
+    }
+    t.print(std::cout);
+    std::printf("\n");
+
+    sc.check(default_compress > -5.0,
+             "default predictor does not lose on compress");
+    return sc.finish() ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction binaries.
+ *
+ * Every binary prints the rows/series of one table or figure of the
+ * paper, followed by shape checks: the qualitative properties the
+ * paper's version of the result exhibits.  Absolute numbers differ
+ * (synthetic workloads, simplified timing); the shapes should not.
+ *
+ * MDP_SCALE scales trace lengths (default 0.25 here so the full bench
+ * suite completes in minutes; use MDP_SCALE=1 for longer runs).
+ */
+
+#ifndef MDP_BENCH_BENCH_COMMON_HH
+#define MDP_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/env.hh"
+#include "base/table.hh"
+#include "harness/runner.hh"
+#include "workloads/suites.hh"
+
+namespace mdp
+{
+
+/** Benchmark trace scale: MDP_SCALE, defaulting to 0.25. */
+inline double
+benchScale()
+{
+    return envDouble("MDP_SCALE", 0.25);
+}
+
+/** Print the standard experiment banner. */
+inline void
+banner(const std::string &what, const std::string &paper_ref)
+{
+    std::printf("=== %s ===\n", what.c_str());
+    std::printf("reproduces: %s\n", paper_ref.c_str());
+    std::printf("workload scale: %.3g (set MDP_SCALE to change)\n\n",
+                benchScale());
+}
+
+/** One shape-check line; collects an overall verdict. */
+class ShapeChecks
+{
+  public:
+    void
+    check(bool ok, const std::string &what)
+    {
+        std::printf("[%s] %s\n", ok ? "shape OK  " : "shape FAIL",
+                    what.c_str());
+        allOk &= ok;
+    }
+
+    bool
+    finish() const
+    {
+        std::printf("\n%s\n", allOk ? "All shape checks passed."
+                                    : "SOME SHAPE CHECKS FAILED.");
+        return allOk;
+    }
+
+  private:
+    bool allOk = true;
+};
+
+} // namespace mdp
+
+#endif // MDP_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 5: comparison of the NEVER / ALWAYS / WAIT / PSYNC data
+ * dependence speculation policies on 4- and 8-stage Multiscalar
+ * processors (speedups relative to NEVER; IPC of NEVER on the axis).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace mdp;
+
+int
+main(int argc, char **argv)
+{
+    banner("Figure 5: speculation-policy comparison",
+           "Moshovos et al., ISCA'97, Figure 5");
+
+    if (argc > 1 && std::string(argv[1]) == "--config") {
+        std::printf("Table 2 functional-unit latencies:\n"
+                    "  simple int 1, int mul 4, int div 12,\n"
+                    "  fp add 2, fp mul 4, fp div 18, branch 1,\n"
+                    "  dcache hit 2, miss 13 (+bus), ring hop 1\n\n");
+    }
+
+    TextTable t({"stages", "benchmark", "NEVER IPC", "ALWAYS", "WAIT",
+                 "PSYNC"});
+    ShapeChecks sc;
+
+    for (const auto &name : specInt92Names()) {
+        WorkloadContext ctx(name, benchScale());
+        double gap4 = 0, gap8 = 0;
+        for (unsigned stages : {4u, 8u}) {
+            auto run = [&](SpecPolicy p) {
+                return runMultiscalar(
+                    ctx, makeMultiscalarConfig(ctx, stages, p));
+            };
+            SimResult never = run(SpecPolicy::Never);
+            SimResult always = run(SpecPolicy::Always);
+            SimResult wait = run(SpecPolicy::Wait);
+            SimResult psync = run(SpecPolicy::PerfectSync);
+
+            t.beginRow();
+            t.integer(stages);
+            t.cell(name);
+            t.num(never.ipc(), 2);
+            t.cell("+" + formatDouble(speedupPct(never, always), 1) +
+                   "%");
+            t.cell("+" + formatDouble(speedupPct(never, wait), 1) + "%");
+            t.cell("+" + formatDouble(speedupPct(never, psync), 1) +
+                   "%");
+
+            sc.check(always.ipc() > never.ipc(),
+                     name + " " + std::to_string(stages) +
+                         "st: blind speculation beats no speculation");
+            sc.check(psync.ipc() >= always.ipc(),
+                     name + " " + std::to_string(stages) +
+                         "st: ideal sync bounds blind speculation");
+            double gap = psync.ipc() / always.ipc();
+            (stages == 4 ? gap4 : gap8) = gap;
+
+            if ((name == "compress" || name == "sc") && stages == 8) {
+                sc.check(wait.ipc() < always.ipc(),
+                         name + " 8st: selective speculation (WAIT) "
+                                "underperforms blind speculation");
+            }
+        }
+        sc.check(gap8 >= gap4 * 0.95,
+                 name + ": PSYNC-over-ALWAYS gap grows (or holds) with "
+                        "window size");
+    }
+    t.print(std::cout);
+    std::printf("\n");
+    return sc.finish() ? 0 : 1;
+}

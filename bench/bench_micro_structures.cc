@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) of the hardware-structure
+ * models: MDPT lookup/update, combined-unit load/store protocol, DDC
+ * access, oracle construction.  These quantify simulator throughput,
+ * not hardware latency.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mdp/combined_sync.hh"
+#include "mdp/ddc.hh"
+#include "mdp/mdpt.hh"
+#include "trace/dep_oracle.hh"
+#include "workloads/suites.hh"
+
+namespace
+{
+
+using namespace mdp;
+
+void
+BM_MdptLookup(benchmark::State &state)
+{
+    SyncUnitConfig cfg;
+    cfg.numEntries = static_cast<size_t>(state.range(0));
+    Mdpt t(cfg);
+    for (int i = 0; i < state.range(0); ++i)
+        t.recordMisSpeculation(0x1000 + i * 4, 0x2000 + i * 4, 1, 0);
+    std::vector<uint32_t> out;
+    uint64_t i = 0;
+    for (auto _ : state) {
+        out.clear();
+        t.lookupLoad(0x1000 + (i++ % state.range(0)) * 4, out);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_MdptLookup)->Arg(64)->Arg(1024);
+
+void
+BM_MdptMisSpeculation(benchmark::State &state)
+{
+    SyncUnitConfig cfg;
+    cfg.numEntries = 64;
+    Mdpt t(cfg);
+    uint64_t i = 0;
+    for (auto _ : state) {
+        auto r = t.recordMisSpeculation(0x1000 + (i % 128) * 4,
+                                        0x2000 + (i % 128) * 4, 1, 0);
+        benchmark::DoNotOptimize(r);
+        ++i;
+    }
+}
+BENCHMARK(BM_MdptMisSpeculation);
+
+void
+BM_SyncUnitProtocol(benchmark::State &state)
+{
+    SyncUnitConfig cfg;
+    cfg.numEntries = 64;
+    cfg.slotsPerEntry = 8;
+    CombinedSyncUnit u(cfg);
+    u.misSpeculation(0x10, 0x20, 1, 0);
+    u.misSpeculation(0x10, 0x20, 1, 0);
+    std::vector<LoadId> wake;
+    uint64_t inst = 2;
+    for (auto _ : state) {
+        LoadCheck r = u.loadReady(0x10, 0x8000, inst, inst * 10, nullptr);
+        benchmark::DoNotOptimize(r);
+        wake.clear();
+        u.storeReady(0x20, 0x8000, inst - 1, inst * 10 - 5, wake);
+        benchmark::DoNotOptimize(wake);
+        ++inst;
+    }
+}
+BENCHMARK(BM_SyncUnitProtocol);
+
+void
+BM_DdcAccess(benchmark::State &state)
+{
+    DepDependenceCache ddc(static_cast<size_t>(state.range(0)));
+    uint64_t i = 0;
+    for (auto _ : state) {
+        bool hit = ddc.access(0x1000 + (i % 200) * 4, 0x2000);
+        benchmark::DoNotOptimize(hit);
+        ++i;
+    }
+}
+BENCHMARK(BM_DdcAccess)->Arg(64)->Arg(512);
+
+void
+BM_OracleBuild(benchmark::State &state)
+{
+    Trace t = findWorkload("xlisp").generate(0.01);
+    for (auto _ : state) {
+        DepOracle o(t);
+        benchmark::DoNotOptimize(o.loads().size());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(t.size()));
+}
+BENCHMARK(BM_OracleBuild);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const Workload &w = findWorkload("espresso");
+    for (auto _ : state) {
+        Trace t = w.generate(0.01);
+        benchmark::DoNotOptimize(t.size());
+    }
+}
+BENCHMARK(BM_TraceGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

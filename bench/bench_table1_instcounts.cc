@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Table 1: dynamic, committed instruction counts per benchmark.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace mdp;
+
+int
+main()
+{
+    banner("Table 1: dynamic instruction counts",
+           "Moshovos et al., ISCA'97, Table 1");
+
+    TextTable t({"suite", "benchmark", "ops", "loads", "stores",
+                 "tasks", "avg task"});
+    for (const auto &name : allWorkloadNames()) {
+        const Workload &w = findWorkload(name);
+        Trace tr = w.generate(benchScale());
+        TraceStats st = tr.stats();
+        t.beginRow();
+        t.cell(w.profile().suite);
+        t.cell(name);
+        t.cell(formatCount(st.numOps));
+        t.cell(formatCount(st.numLoads));
+        t.cell(formatCount(st.numStores));
+        t.cell(formatCount(st.numTasks));
+        t.num(st.avgTaskSize, 1);
+    }
+    t.print(std::cout);
+
+    ShapeChecks sc;
+    // The paper's fpppp/su2cor run ~1000-instruction tasks; the rest
+    // are tens of instructions.
+    Trace fp = findWorkload("145.fpppp").generate(benchScale());
+    Trace ix = findWorkload("xlisp").generate(benchScale());
+    sc.check(fp.stats().avgTaskSize > 500,
+             "fpppp tasks are huge (greedy task partitioning)");
+    sc.check(ix.stats().avgTaskSize < 100, "xlisp tasks are small");
+    return sc.finish() ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Table 3: unrealistic OoO model -- number of dynamic memory
+ * dependence mis-speculations as a function of window size.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "window/window_model.hh"
+
+using namespace mdp;
+
+int
+main()
+{
+    banner("Table 3: mis-speculations vs window size (unrealistic OoO)",
+           "Moshovos et al., ISCA'97, Table 3");
+
+    const std::vector<uint32_t> sizes = {8, 16, 32, 64, 128, 256, 512};
+    TextTable t;
+    std::vector<std::string> head = {"WS"};
+    for (const auto &n : specInt92Names())
+        head.push_back(n);
+    t.header(head);
+
+    // First/last rows for the shape check.
+    std::vector<uint64_t> at8, at32, at512;
+
+    std::vector<std::pair<Trace, std::string>> traces;
+    for (const auto &name : specInt92Names())
+        traces.emplace_back(findWorkload(name).generate(benchScale()),
+                            name);
+
+    for (uint32_t ws : sizes) {
+        t.beginRow();
+        t.integer(ws);
+        for (auto &[tr, name] : traces) {
+            DepOracle o(tr);
+            WindowModel wm(tr, o);
+            auto r = wm.study(ws, {});
+            t.cell(formatCount(r.misSpeculations));
+            if (ws == 8)
+                at8.push_back(r.misSpeculations);
+            if (ws == 32)
+                at32.push_back(r.misSpeculations);
+            if (ws == 512)
+                at512.push_back(r.misSpeculations);
+        }
+    }
+    t.print(std::cout);
+    std::printf("\n");
+
+    ShapeChecks sc;
+    for (size_t i = 0; i < traces.size(); ++i) {
+        sc.check(at32[i] >= 2 * at8[i],
+                 traces[i].second +
+                     ": dramatic increase from WS 8 to WS 32");
+        sc.check(at512[i] >= at32[i],
+                 traces[i].second + ": monotone growth to WS 512");
+    }
+    return sc.finish() ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Table 4: number of static dependences responsible for 99.9% of all
+ * mis-speculations, as a function of window size.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "window/window_model.hh"
+
+using namespace mdp;
+
+int
+main()
+{
+    banner("Table 4: static deps covering 99.9% of mis-speculations",
+           "Moshovos et al., ISCA'97, Table 4");
+
+    const std::vector<uint32_t> sizes = {8, 16, 32, 64, 128, 256, 512};
+    TextTable t;
+    std::vector<std::string> head = {"WS"};
+    for (const auto &n : specInt92Names())
+        head.push_back(n);
+    t.header(head);
+
+    std::vector<std::pair<Trace, std::string>> traces;
+    for (const auto &name : specInt92Names())
+        traces.emplace_back(findWorkload(name).generate(benchScale()),
+                            name);
+
+    std::vector<uint64_t> at8, at512, total512;
+    for (uint32_t ws : sizes) {
+        t.beginRow();
+        t.integer(ws);
+        for (auto &[tr, name] : traces) {
+            DepOracle o(tr);
+            WindowModel wm(tr, o);
+            auto r = wm.study(ws, {});
+            t.integer(r.staticDepsFor999);
+            if (ws == 8)
+                at8.push_back(r.staticDepsFor999);
+            if (ws == 512) {
+                at512.push_back(r.staticDepsFor999);
+                total512.push_back(r.staticDeps);
+            }
+        }
+    }
+    t.print(std::cout);
+    std::printf("\n");
+
+    ShapeChecks sc;
+    for (size_t i = 0; i < traces.size(); ++i) {
+        sc.check(at512[i] >= at8[i],
+                 traces[i].second +
+                     ": more static deps exposed at larger windows");
+        sc.check(at512[i] <= total512[i],
+                 traces[i].second + ": coverage set within total");
+    }
+    // gcc's irregular dependence set is the largest of the suite.
+    size_t gcc_idx = 2;   // compress espresso gcc sc xlisp
+    bool gcc_largest = true;
+    for (size_t i = 0; i < at512.size(); ++i)
+        if (i != gcc_idx && at512[i] > at512[gcc_idx])
+            gcc_largest = false;
+    sc.check(gcc_largest, "gcc has the largest dependence working set");
+    return sc.finish() ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Table 6: number of mis-speculations observed on 4- and 8-stage
+ * Multiscalar processors under blind speculation.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace mdp;
+
+int
+main()
+{
+    banner("Table 6: Multiscalar mis-speculations (blind speculation)",
+           "Moshovos et al., ISCA'97, Table 6");
+
+    TextTable t;
+    std::vector<std::string> head = {"stages"};
+    for (const auto &n : specInt92Names())
+        head.push_back(n);
+    t.header(head);
+
+    std::vector<uint64_t> at4, at8;
+    std::vector<std::unique_ptr<WorkloadContext>> ctxs;
+    for (const auto &name : specInt92Names())
+        ctxs.push_back(
+            std::make_unique<WorkloadContext>(name, benchScale()));
+
+    for (unsigned stages : {4u, 8u}) {
+        t.beginRow();
+        t.integer(stages);
+        for (auto &ctx : ctxs) {
+            SimResult r = runMultiscalar(
+                *ctx,
+                makeMultiscalarConfig(*ctx, stages, SpecPolicy::Always));
+            t.cell(formatCount(r.misSpeculations));
+            (stages == 4 ? at4 : at8).push_back(r.misSpeculations);
+        }
+    }
+    t.print(std::cout);
+    std::printf("\n");
+
+    ShapeChecks sc;
+    auto names = specInt92Names();
+    for (size_t i = 0; i < names.size(); ++i) {
+        sc.check(at8[i] > at4[i],
+                 names[i] +
+                     ": mis-speculations more frequent at 8 stages");
+        sc.check(at4[i] > 0, names[i] + ": violations occur at all");
+    }
+    return sc.finish() ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Table 7: DDC miss rates on the 8-stage Multiscalar mis-speculation
+ * stream, as a function of DDC size.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "mdp/ddc.hh"
+
+using namespace mdp;
+
+int
+main()
+{
+    banner("Table 7: 8-stage Multiscalar DDC miss rates",
+           "Moshovos et al., ISCA'97, Table 7");
+
+    const std::vector<size_t> sizes = {16, 32, 64, 128, 256, 512, 1024};
+    TextTable t;
+    std::vector<std::string> head = {"CS"};
+    for (const auto &n : specInt92Names())
+        head.push_back(n);
+    t.header(head);
+
+    // Collect the mis-speculation streams once.
+    std::vector<std::vector<std::pair<Addr, Addr>>> streams;
+    for (const auto &name : specInt92Names()) {
+        WorkloadContext ctx(name, benchScale());
+        MultiscalarConfig cfg =
+            makeMultiscalarConfig(ctx, 8, SpecPolicy::Always);
+        cfg.logMisSpeculations = true;
+        streams.push_back(runMultiscalar(ctx, cfg).misspecLog);
+    }
+
+    std::vector<double> at64, at1024;
+    for (size_t cs : sizes) {
+        t.beginRow();
+        t.integer(cs);
+        for (auto &stream : streams) {
+            DepDependenceCache ddc(cs);
+            for (auto &[l, s] : stream)
+                ddc.access(l, s);
+            t.cell(formatPercent(ddc.missRate()));
+            if (cs == 64)
+                at64.push_back(ddc.missRate());
+            if (cs == 1024)
+                at1024.push_back(ddc.missRate());
+        }
+    }
+    t.print(std::cout);
+    std::printf("\n");
+
+    ShapeChecks sc;
+    auto names = specInt92Names();
+    for (size_t i = 0; i < names.size(); ++i) {
+        sc.check(at64[i] < 0.10,
+                 names[i] + ": 64-entry DDC miss rate below 10%");
+    }
+    // A 1024-entry DDC captures everything except the gcc-like
+    // irregular working set.
+    for (size_t i = 0; i < names.size(); ++i) {
+        if (names[i] == "gcc")
+            continue;
+        sc.check(at1024[i] <= at64[i],
+                 names[i] + ": 1024 entries at least as good as 64");
+    }
+    return sc.finish() ? 0 : 1;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Table 9: mis-speculations per committed load with blind speculation
+ * versus the proposed prediction/synchronization mechanism.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace mdp;
+
+int
+main()
+{
+    banner("Table 9: mis-speculations per committed load",
+           "Moshovos et al., ISCA'97, Table 9");
+
+    TextTable t({"stages", "benchmark", "ALWAYS", "SYNC", "ESYNC"});
+    ShapeChecks sc;
+
+    for (const auto &name : specInt92Names()) {
+        WorkloadContext ctx(name, benchScale());
+        for (unsigned stages : {4u, 8u}) {
+            auto run = [&](SpecPolicy p) {
+                return runMultiscalar(
+                    ctx, makeMultiscalarConfig(ctx, stages, p));
+            };
+            SimResult always = run(SpecPolicy::Always);
+            SimResult syncr = run(SpecPolicy::Sync);
+            SimResult esync = run(SpecPolicy::ESync);
+
+            t.beginRow();
+            t.integer(stages);
+            t.cell(name);
+            t.num(always.misspecPerLoad(), 4);
+            t.num(syncr.misspecPerLoad(), 4);
+            t.num(esync.misspecPerLoad(), 4);
+
+            std::string tag =
+                name + " " + std::to_string(stages) + "st";
+            sc.check(esync.misspecPerLoad() <
+                         always.misspecPerLoad(),
+                     tag + ": the mechanism reduces mis-speculations");
+            sc.check(esync.misspecPerLoad() < 0.05,
+                     tag + ": residual rate is a few percent of loads "
+                           "at most");
+        }
+    }
+    t.print(std::cout);
+    std::printf("\n");
+    return sc.finish() ? 0 : 1;
+}

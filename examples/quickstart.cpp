@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Quickstart: drive the memory dependence prediction/synchronization
+ * unit (MDPT + MDST) by hand through the protocol of the paper's
+ * working example (section 4.3, figure 4).
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "mdp/sync_unit.hh"
+
+using namespace mdp;
+
+namespace
+{
+
+const char *
+describe(const LoadCheck &r)
+{
+    if (r.wait)
+        return "WAIT (empty condition variable allocated)";
+    if (r.fullBypass)
+        return "PROCEED (pre-set full flag consumed)";
+    if (r.predicted)
+        return "PROCEED (predicted, no synchronization pending)";
+    return "PROCEED (no dependence predicted)";
+}
+
+} // namespace
+
+int
+main()
+{
+    // The static code of interest: a store and a load two iterations
+    // of a loop apart, as in figure 4.
+    constexpr Addr kStPc = 0x600100;   // ST: parent->value = ...
+    constexpr Addr kLdPc = 0x500100;   // LD: ... = child->parent->value
+    constexpr Addr kLocation = 0x2000; // the memory cell they share
+
+    SyncUnitConfig cfg;       // 64 entries, 3-bit counters, threshold 3
+    cfg.slotsPerEntry = 4;    // one synchronization slot per stage
+    auto unit = makeSynchronizer(cfg);
+
+    std::printf("-- 1. A cold load is not predicted to depend:\n");
+    LoadCheck r = unit->loadReady(kLdPc, kLocation, /*instance=*/2,
+                                  /*ldid=*/102, nullptr);
+    std::printf("   loadReady(LD, instance 2) -> %s\n\n", describe(r));
+
+    std::printf("-- 2. The ARB detects a violation (ST1 -> LD2); the\n"
+                "      MDPT allocates an entry with DIST = 1:\n");
+    unit->misSpeculation(kLdPc, kStPc, /*dist=*/1, /*store_task_pc=*/0);
+    unit->misSpeculation(kLdPc, kStPc, 1, 0);   // arms the 3-bit counter
+    std::printf("   misSpeculation recorded twice (counter armed)\n\n");
+
+    std::printf("-- 3. LD3 arrives before ST2 (figure 4 (b)-(d)):\n");
+    r = unit->loadReady(kLdPc, kLocation, /*instance=*/3, /*ldid=*/103,
+                        nullptr);
+    std::printf("   loadReady(LD, instance 3) -> %s\n", describe(r));
+
+    std::vector<LoadId> wakeups;
+    unit->storeReady(kStPc, kLocation, /*instance=*/2, /*store_id=*/52,
+                     wakeups);
+    std::printf("   storeReady(ST, instance 2) -> signals instance "
+                "2+DIST = 3; wakeups = {");
+    for (LoadId l : wakeups)
+        std::printf(" %u", l);
+    std::printf(" }\n\n");
+
+    std::printf("-- 4. ST3 executes before LD4 (figure 4 (e)-(f)):\n");
+    wakeups.clear();
+    unit->storeReady(kStPc, kLocation, /*instance=*/3, /*store_id=*/53,
+                     wakeups);
+    std::printf("   storeReady(ST, instance 3) -> full flag set for "
+                "instance 4\n");
+    r = unit->loadReady(kLdPc, kLocation, /*instance=*/4, /*ldid=*/104,
+                        nullptr);
+    std::printf("   loadReady(LD, instance 4) -> %s\n\n", describe(r));
+
+    std::printf("-- 5. Incomplete synchronization (section 4.4.2):\n");
+    r = unit->loadReady(kLdPc, kLocation, /*instance=*/5, /*ldid=*/105,
+                        nullptr);
+    std::printf("   loadReady(LD, instance 5) -> %s\n", describe(r));
+    unit->frontierRelease(105);
+    std::printf("   frontierRelease(105): the store never signalled; "
+                "the entry is freed and the predictor weakened\n\n");
+
+    const SyncStats &s = unit->stats();
+    std::printf("Unit statistics:\n"
+                "   load checks        %lu\n"
+                "   predicted          %lu\n"
+                "   waited             %lu\n"
+                "   full-flag bypasses %lu\n"
+                "   signals delivered  %lu\n"
+                "   frontier releases  %lu\n",
+                (unsigned long)s.loadChecks,
+                (unsigned long)s.loadsPredicted,
+                (unsigned long)s.loadsWaited,
+                (unsigned long)s.fullBypasses,
+                (unsigned long)s.signalsDelivered,
+                (unsigned long)s.frontierReleases);
+    return 0;
+}

@@ -1,0 +1,118 @@
+#include "base/logging.hh"
+
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace mdp
+{
+
+namespace
+{
+
+LogLevel
+initialLogLevel()
+{
+    const char *env = std::getenv("MDP_LOG_LEVEL");
+    if (!env)
+        return LogLevel::Info;
+    if (!std::strcmp(env, "debug"))
+        return LogLevel::Debug;
+    if (!std::strcmp(env, "info"))
+        return LogLevel::Info;
+    if (!std::strcmp(env, "warn"))
+        return LogLevel::Warn;
+    if (!std::strcmp(env, "quiet"))
+        return LogLevel::Quiet;
+    return LogLevel::Info;
+}
+
+LogLevel globalLevel = initialLogLevel();
+
+std::string
+vformatArgs(const char *fmt, va_list args)
+{
+    va_list copy;
+    va_copy(copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (needed < 0)
+        return std::string(fmt);
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+} // namespace
+
+namespace detail
+{
+
+std::string
+vformat(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string out = vformatArgs(fmt, args);
+    va_end(args);
+    return out;
+}
+
+void
+emit(const char *level, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", level, msg.c_str());
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    emit("panic", msg + " @ " + file + ":" + std::to_string(line));
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    emit("fatal", msg + " @ " + file + ":" + std::to_string(line));
+    std::exit(1);
+}
+
+} // namespace detail
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (globalLevel > LogLevel::Warn)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    detail::emit("warn", vformatArgs(fmt, args));
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (globalLevel > LogLevel::Info)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    detail::emit("info", vformatArgs(fmt, args));
+    va_end(args);
+}
+
+} // namespace mdp

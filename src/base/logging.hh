@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the gem5 idiom.
+ *
+ * panic()  -- an internal invariant of the library was violated (a bug in
+ *             this code base).  Aborts so a core dump / debugger is usable.
+ * fatal()  -- the simulation cannot continue because of a user error (bad
+ *             configuration, invalid argument).  Exits with status 1.
+ * warn()   -- something is suspicious but the run can continue.
+ * inform() -- status messages.
+ */
+
+#ifndef MDP_BASE_LOGGING_HH
+#define MDP_BASE_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace mdp
+{
+
+namespace detail
+{
+
+/** Format a printf-style message into a std::string. */
+std::string vformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Emit one log line with the given severity prefix to stderr. */
+void emit(const char *level, const std::string &msg);
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+} // namespace detail
+
+/** Severity filter: messages below this level are suppressed. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Quiet = 3 };
+
+/** Get/set the global log level (default Info; MDP_LOG_LEVEL overrides). */
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+#define mdp_panic(...) \
+    ::mdp::detail::panicImpl(__FILE__, __LINE__, \
+                             ::mdp::detail::vformat(__VA_ARGS__))
+
+#define mdp_fatal(...) \
+    ::mdp::detail::fatalImpl(__FILE__, __LINE__, \
+                             ::mdp::detail::vformat(__VA_ARGS__))
+
+/** Assertion that stays active in release builds; panics on failure. */
+#define mdp_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::mdp::detail::panicImpl(__FILE__, __LINE__, \
+                "assertion '" #cond "' failed: " + \
+                ::mdp::detail::vformat(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+} // namespace mdp
+
+#endif // MDP_BASE_LOGGING_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * LRU ordering for fully-associative or set-associative table
+ * replacement.  Tracks a recency stamp per entry; victim selection is
+ * O(n) over a set, which is fine for the small structures (tens to a
+ * few thousand entries) modelled here.
+ */
+
+#ifndef MDP_BASE_LRU_HH
+#define MDP_BASE_LRU_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace mdp
+{
+
+/**
+ * Recency bookkeeping over a fixed pool of entries identified by index.
+ */
+class LruState
+{
+  public:
+    explicit LruState(size_t num_entries = 0)
+        : stamps(num_entries, 0)
+    {}
+
+    void
+    resize(size_t num_entries)
+    {
+        stamps.assign(num_entries, 0);
+        tick = 0;
+    }
+
+    size_t size() const { return stamps.size(); }
+
+    /** Mark an entry as most recently used. */
+    void
+    touch(size_t index)
+    {
+        mdp_assert(index < stamps.size(), "LruState::touch out of range");
+        stamps[index] = ++tick;
+    }
+
+    /**
+     * Pick the least recently used index among [begin, end).  Entries
+     * never touched (stamp 0) win immediately.
+     */
+    size_t
+    victim(size_t begin, size_t end) const
+    {
+        mdp_assert(begin < end && end <= stamps.size(),
+                   "LruState::victim bad range [%zu, %zu)", begin, end);
+        size_t best = begin;
+        uint64_t best_stamp = stamps[begin];
+        for (size_t i = begin + 1; i < end; ++i) {
+            if (stamps[i] < best_stamp) {
+                best = i;
+                best_stamp = stamps[i];
+            }
+        }
+        return best;
+    }
+
+    /** Victim over the whole pool. */
+    size_t victim() const { return victim(0, stamps.size()); }
+
+    uint64_t stamp(size_t index) const { return stamps[index]; }
+
+  private:
+    std::vector<uint64_t> stamps;
+    uint64_t tick = 0;
+};
+
+} // namespace mdp
+
+#endif // MDP_BASE_LRU_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic choices in the library flow through Pcg32 so that every
+ * experiment is exactly reproducible from its seed.  The generator is the
+ * PCG-XSH-RR 64/32 variant (O'Neill, 2014) implemented from the public
+ * reference algorithm.
+ */
+
+#ifndef MDP_BASE_RANDOM_HH
+#define MDP_BASE_RANDOM_HH
+
+#include <cstdint>
+
+#include "base/logging.hh"
+
+namespace mdp
+{
+
+/**
+ * A small, fast, deterministic PRNG with 2^64 period.
+ */
+class Pcg32
+{
+  public:
+    /** Seed with a stream id so that sub-generators are independent. */
+    explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL,
+                   uint64_t stream = 0xda3e39cb94b95bdbULL)
+    {
+        reseed(seed, stream);
+    }
+
+    /** Reset the generator to a reproducible state. */
+    void
+    reseed(uint64_t seed, uint64_t stream = 0xda3e39cb94b95bdbULL)
+    {
+        state = 0;
+        inc = (stream << 1) | 1u;
+        next();
+        state += seed;
+        next();
+    }
+
+    /** Next 32 uniformly distributed bits. */
+    uint32_t
+    next()
+    {
+        uint64_t old = state;
+        state = old * 6364136223846793005ULL + inc;
+        uint32_t xorshifted =
+            static_cast<uint32_t>(((old >> 18) ^ old) >> 27);
+        uint32_t rot = static_cast<uint32_t>(old >> 59);
+        return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+    }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    uint32_t
+    below(uint32_t bound)
+    {
+        mdp_assert(bound != 0, "Pcg32::below(0)");
+        // Debiased modulo via rejection sampling.
+        uint32_t threshold = (-bound) % bound;
+        for (;;) {
+            uint32_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    uint32_t
+    range(uint32_t lo, uint32_t hi)
+    {
+        mdp_assert(lo <= hi, "Pcg32::range lo > hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return next() * (1.0 / 4294967296.0);
+    }
+
+    /** Bernoulli draw: true with probability p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Approximately geometric positive integer with the given mean
+     * (>= 1).  Used for dependence-distance and burst-length draws.
+     */
+    uint32_t
+    geometric(double mean)
+    {
+        if (mean <= 1.0)
+            return 1;
+        double p = 1.0 / mean;
+        uint32_t n = 1;
+        // Cap iterations so a pathological p cannot spin.
+        while (n < 100000 && !chance(p))
+            ++n;
+        return n;
+    }
+
+  private:
+    uint64_t state = 0;
+    uint64_t inc = 0;
+};
+
+/**
+ * A cheap deterministic 64-bit mixer for hashing identifiers into
+ * reproducible pseudo-random decisions (splitmix64 finalizer).
+ */
+inline uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace mdp
+
+#endif // MDP_BASE_RANDOM_HH

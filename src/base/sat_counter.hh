@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Saturating up/down counter, the basic building block of the SYNC and
+ * ESYNC dependence predictors (and of branch predictors generally).
+ */
+
+#ifndef MDP_BASE_SAT_COUNTER_HH
+#define MDP_BASE_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "base/logging.hh"
+
+namespace mdp
+{
+
+/**
+ * An n-bit saturating counter.  The paper's predictor is the 3-bit
+ * instance with values 0..7 and threshold 3 (section 5.5).
+ */
+class SatCounter
+{
+  public:
+    SatCounter() = default;
+
+    /**
+     * @param num_bits Width of the counter, 1..16.
+     * @param initial  Initial count (clamped to the max value).
+     */
+    explicit SatCounter(unsigned num_bits, unsigned initial = 0)
+        : maxVal((1u << num_bits) - 1),
+          count(initial > maxVal ? maxVal : initial)
+    {
+        mdp_assert(num_bits >= 1 && num_bits <= 16,
+                   "SatCounter width %u out of range", num_bits);
+    }
+
+    /** Increment, saturating at the maximum value. */
+    void
+    increment()
+    {
+        if (count < maxVal)
+            ++count;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (count > 0)
+            --count;
+    }
+
+    /** Snap directly to the maximum (used on mis-speculation). */
+    void saturate() { count = maxVal; }
+
+    /** Snap directly to zero. */
+    void reset() { count = 0; }
+
+    uint32_t value() const { return count; }
+    uint32_t max() const { return maxVal; }
+
+    /** Predict taken/dependence when count >= threshold. */
+    bool atLeast(uint32_t threshold) const { return count >= threshold; }
+
+  private:
+    uint32_t maxVal = 7;
+    uint32_t count = 0;
+};
+
+} // namespace mdp
+
+#endif // MDP_BASE_SAT_COUNTER_HH

@@ -1,0 +1,18 @@
+#include "base/stats.hh"
+
+#include <iomanip>
+
+namespace mdp
+{
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    for (const auto &[name, value] : entries) {
+        os << prefix << std::left << std::setw(40) << name << " "
+           << std::right << std::setw(16) << std::setprecision(6)
+           << value << "\n";
+    }
+}
+
+} // namespace mdp

@@ -1,0 +1,146 @@
+#include "base/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "base/logging.hh"
+
+namespace mdp
+{
+
+TextTable::TextTable(std::vector<std::string> header_cells)
+    : head(std::move(header_cells))
+{}
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    head = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+void
+TextTable::beginRow()
+{
+    rows.emplace_back();
+}
+
+void
+TextTable::cell(const std::string &text)
+{
+    mdp_assert(!rows.empty(), "TextTable::cell before beginRow");
+    rows.back().push_back(text);
+}
+
+void
+TextTable::num(double value, int precision)
+{
+    cell(formatDouble(value, precision));
+}
+
+void
+TextTable::integer(uint64_t value)
+{
+    cell(std::to_string(value));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    // Compute column widths over header and body.
+    size_t ncols = head.size();
+    for (const auto &r : rows)
+        ncols = std::max(ncols, r.size());
+    std::vector<size_t> width(ncols, 0);
+    auto widen = [&](const std::vector<std::string> &r) {
+        for (size_t i = 0; i < r.size(); ++i)
+            width[i] = std::max(width[i], r[i].size());
+    };
+    widen(head);
+    for (const auto &r : rows)
+        widen(r);
+
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (size_t i = 0; i < ncols; ++i) {
+            const std::string &c = i < r.size() ? r[i] : std::string();
+            os << (i == 0 ? "" : "  ");
+            os << c << std::string(width[i] - c.size(), ' ');
+        }
+        os << "\n";
+    };
+
+    if (!head.empty()) {
+        emit(head);
+        size_t total = 0;
+        for (size_t i = 0; i < ncols; ++i)
+            total += width[i] + (i == 0 ? 0 : 2);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows)
+        emit(r);
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto escape = [](const std::string &c) {
+        if (c.find_first_of(",\"\n") == std::string::npos)
+            return c;
+        std::string out = "\"";
+        for (char ch : c) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (size_t i = 0; i < r.size(); ++i)
+            os << (i == 0 ? "" : ",") << escape(r[i]);
+        os << "\n";
+    };
+    if (!head.empty())
+        emit(head);
+    for (const auto &r : rows)
+        emit(r);
+}
+
+std::string
+formatCount(uint64_t v)
+{
+    char buf[32];
+    if (v >= 1000000000ull)
+        std::snprintf(buf, sizeof(buf), "%.2f B", v / 1e9);
+    else if (v >= 1000000ull)
+        std::snprintf(buf, sizeof(buf), "%.2f M", v / 1e6);
+    else if (v >= 10000ull)
+        std::snprintf(buf, sizeof(buf), "%.1f K", v / 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+formatPercent(double v, int precision)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v * 100.0);
+    return buf;
+}
+
+std::string
+formatDouble(double v, int precision)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+} // namespace mdp

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * ASCII table and CSV rendering used by the benchmark harness to print
+ * paper-style tables.
+ */
+
+#ifndef MDP_BASE_TABLE_HH
+#define MDP_BASE_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mdp
+{
+
+/**
+ * A simple row/column text table.  All cells are strings; numeric
+ * helpers format with a fixed precision.  Columns are auto-sized.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header_cells = {});
+
+    /** Replace the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a row of pre-formatted cells. */
+    void row(std::vector<std::string> cells);
+
+    /** Start a new empty row; use cell()/num() to fill it. */
+    void beginRow();
+    void cell(const std::string &text);
+    void num(double value, int precision = 2);
+    void integer(uint64_t value);
+
+    size_t numRows() const { return rows.size(); }
+
+    /** Render with aligned columns and a rule under the header. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment, comma-escaped with quotes). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format helpers used throughout the harness. */
+std::string formatCount(uint64_t v);   ///< e.g. 12345678 -> "12.35 M"
+std::string formatPercent(double v, int precision = 2);
+std::string formatDouble(double v, int precision = 2);
+
+} // namespace mdp
+
+#endif // MDP_BASE_TABLE_HH

@@ -1,0 +1,106 @@
+#include "harness/runner.hh"
+
+#include <map>
+
+#include "base/env.hh"
+#include "base/logging.hh"
+#include "multiscalar/processor.hh"
+#include "workloads/suites.hh"
+
+namespace mdp
+{
+
+WorkloadContext::WorkloadContext(const std::string &workload_name,
+                                 double scale)
+    : wname(workload_name)
+{
+    const Workload &w = findWorkload(workload_name);
+    mispredict = w.profile().taskMispredictRate;
+    trc = w.generate(scale);
+    orc = std::make_unique<DepOracle>(trc);
+    tset = std::make_unique<TaskSet>(trc);
+}
+
+WorkloadContext::WorkloadContext(Trace trace)
+    : wname(trace.traceName()), trc(std::move(trace))
+{
+    orc = std::make_unique<DepOracle>(trc);
+    tset = std::make_unique<TaskSet>(trc);
+}
+
+MultiscalarConfig
+makeMultiscalarConfig(const WorkloadContext &ctx, unsigned stages,
+                      SpecPolicy policy)
+{
+    MultiscalarConfig cfg;
+    cfg.numStages = stages;
+    cfg.policy = policy;
+    cfg.taskMispredictRate = ctx.taskMispredictRate();
+    cfg.sync.slotsPerEntry = stages;
+    return cfg;
+}
+
+SimResult
+runMultiscalar(const WorkloadContext &ctx, const MultiscalarConfig &cfg)
+{
+    MultiscalarProcessor proc(ctx.trace(), ctx.oracle(), ctx.tasks(),
+                              cfg);
+    return proc.run();
+}
+
+double
+speedupPct(const SimResult &base, const SimResult &test)
+{
+    if (base.ipc() <= 0.0)
+        return 0.0;
+    return (test.ipc() / base.ipc() - 1.0) * 100.0;
+}
+
+std::vector<StaticEdge>
+analyzeStaticEdges(const WorkloadContext &ctx, uint64_t min_count)
+{
+    struct Info
+    {
+        uint64_t count = 0;
+        std::map<uint32_t, uint64_t> dists;
+        std::map<Addr, uint64_t> taskPcs;
+    };
+    std::map<std::pair<Addr, Addr>, Info> edges;
+
+    const Trace &t = ctx.trace();
+    const DepOracle &o = ctx.oracle();
+    for (SeqNum l : o.loads()) {
+        if (!o.interTask(l))
+            continue;
+        SeqNum p = o.producer(l);
+        Info &info = edges[{t[l].pc, t[p].pc}];
+        ++info.count;
+        ++info.dists[o.taskDistance(l)];
+        ++info.taskPcs[t[p].taskPc];
+    }
+
+    std::vector<StaticEdge> out;
+    for (const auto &[key, info] : edges) {
+        if (info.count < min_count)
+            continue;
+        StaticEdge e;
+        e.ldpc = key.first;
+        e.stpc = key.second;
+        uint64_t best = 0;
+        for (const auto &[d, c] : info.dists)
+            if (c > best) {
+                best = c;
+                e.dist = d;
+            }
+        best = 0;
+        for (const auto &[pc, c] : info.taskPcs)
+            if (c > best) {
+                best = c;
+                e.storeTaskPc = pc;
+            }
+        out.push_back(e);
+    }
+    return out;
+}
+
+} // namespace mdp

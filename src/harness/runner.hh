@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Experiment-harness conveniences shared by the benches, examples and
+ * integration tests: building the per-workload artifacts once (trace,
+ * oracle, task set) and running the Multiscalar model under a policy.
+ */
+
+#ifndef MDP_HARNESS_RUNNER_HH
+#define MDP_HARNESS_RUNNER_HH
+
+#include <memory>
+#include <string>
+
+#include "multiscalar/config.hh"
+#include "multiscalar/task_info.hh"
+#include "trace/dep_oracle.hh"
+#include "trace/trace.hh"
+#include "workloads/workload.hh"
+
+namespace mdp
+{
+
+/**
+ * The expensive shared artifacts of one workload at one scale:
+ * generated trace, dependence oracle, task partitioning.  Build once,
+ * run many configurations against it.
+ */
+class WorkloadContext
+{
+  public:
+    /** Generate from a registered workload name (fatal if unknown). */
+    WorkloadContext(const std::string &workload_name, double scale);
+
+    /** Wrap an externally produced trace. */
+    explicit WorkloadContext(Trace trace);
+
+    const Trace &trace() const { return trc; }
+    const DepOracle &oracle() const { return *orc; }
+    const TaskSet &tasks() const { return *tset; }
+    const std::string &name() const { return wname; }
+
+    /** The task-misprediction rate of the source profile (0 for
+     *  external traces). */
+    double taskMispredictRate() const { return mispredict; }
+
+  private:
+    std::string wname;
+    double mispredict = 0.0;
+    Trace trc;
+    std::unique_ptr<DepOracle> orc;
+    std::unique_ptr<TaskSet> tset;
+};
+
+/**
+ * Default Multiscalar configuration for a stage count and policy,
+ * carrying the workload's control-prediction quality.
+ */
+MultiscalarConfig makeMultiscalarConfig(const WorkloadContext &ctx,
+                                        unsigned stages,
+                                        SpecPolicy policy);
+
+/** Run the Multiscalar model once. */
+SimResult runMultiscalar(const WorkloadContext &ctx,
+                         const MultiscalarConfig &cfg);
+
+/** Percentage speedup of @p test over @p base (by IPC). */
+double speedupPct(const SimResult &base, const SimResult &test);
+
+/**
+ * Profile-guided "compiler analysis" (section 6): scan the trace for
+ * recurring inter-task dependences and return the static edges that
+ * occur at least @p min_count times, with their modal distance and
+ * producing-task PC.  Feed the result to
+ * MultiscalarConfig::preloadEdges to model ISA-exposed dependences.
+ */
+std::vector<StaticEdge> analyzeStaticEdges(const WorkloadContext &ctx,
+                                           uint64_t min_count = 16);
+
+} // namespace mdp
+
+#endif // MDP_HARNESS_RUNNER_HH

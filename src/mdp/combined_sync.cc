@@ -1,0 +1,315 @@
+#include "mdp/combined_sync.hh"
+
+#include "base/logging.hh"
+#include "base/random.hh"
+
+namespace mdp
+{
+
+CombinedSyncUnit::CombinedSyncUnit(const SyncUnitConfig &config)
+    : cfg(config), mdpt(config),
+      slots(config.numEntries,
+            std::vector<Slot>(config.slotsPerEntry))
+{
+    mdp_assert(config.slotsPerEntry > 0,
+               "combined organization needs at least one slot per entry");
+}
+
+uint64_t
+CombinedSyncUnit::loadTag(const Mdpt::Entry &e, uint64_t instance,
+                          Addr addr) const
+{
+    (void)e;
+    if (cfg.tags == TagScheme::Address)
+        return mix64(addr);
+    return instance;
+}
+
+uint64_t
+CombinedSyncUnit::storeTag(const Mdpt::Entry &e, uint64_t instance,
+                           Addr addr) const
+{
+    if (cfg.tags == TagScheme::Address)
+        return mix64(addr);
+    return instance + e.dist;
+}
+
+bool
+CombinedSyncUnit::pathMatches(const Mdpt::Entry &e, uint64_t load_instance,
+                              const TaskPcSource *tps) const
+{
+    if (cfg.predictor != PredictorKind::PathCounter)
+        return true;
+    if (!tps)
+        return true;    // no context available; fall back to counter
+    if (!e.pathCheckUsable())
+        return true;    // path proved unstable: counter-only
+    if (load_instance < e.dist)
+        return false;
+    Addr pc = tps->taskPc(load_instance - e.dist);
+    // Unknown producer task: no basis for synchronization.
+    return pc != 0 && pc == e.storeTaskPc;
+}
+
+CombinedSyncUnit::Slot *
+CombinedSyncUnit::findSlot(uint32_t entry_idx, uint64_t tag)
+{
+    for (Slot &s : slots[entry_idx])
+        if (s.valid && s.tag == tag)
+            return &s;
+    return nullptr;
+}
+
+CombinedSyncUnit::Slot &
+CombinedSyncUnit::allocSlot(uint32_t entry_idx)
+{
+    auto &row = slots[entry_idx];
+    // Invalid slot first.
+    for (Slot &s : row)
+        if (!s.valid)
+            return s;
+    // Scavenge the *stalest* full slot (smallest creating store):
+    // retired instances leave unconsumed signals behind, and
+    // reclaiming a fresh signal would strand its load until the
+    // frontier clears.
+    Slot *stale = nullptr;
+    for (Slot &s : row) {
+        if (s.full && (!stale || s.storeId < stale->storeId))
+            stale = &s;
+    }
+    if (stale) {
+        *stale = Slot{};
+        return *stale;
+    }
+    // Steal the first waiting slot; its load must be released.
+    Slot &victim = row[0];
+    if (victim.ldid != kNoLoad) {
+        releasedQueue.push_back(victim.ldid);
+        ++st.evictionReleases;
+        detach(victim);
+    }
+    victim = Slot{};
+    return victim;
+}
+
+void
+CombinedSyncUnit::detach(Slot &slot)
+{
+    if (slot.ldid == kNoLoad)
+        return;
+    auto it = pending.find(slot.ldid);
+    if (it != pending.end()) {
+        if (it->second <= 1)
+            pending.erase(it);
+        else
+            --it->second;
+    }
+    slot.ldid = kNoLoad;
+}
+
+void
+CombinedSyncUnit::clearSlots(uint32_t entry_idx)
+{
+    for (Slot &s : slots[entry_idx]) {
+        if (s.valid && !s.full && s.ldid != kNoLoad) {
+            releasedQueue.push_back(s.ldid);
+            ++st.evictionReleases;
+            detach(s);
+        }
+        s = Slot{};
+    }
+}
+
+LoadCheck
+CombinedSyncUnit::loadReady(Addr ldpc, Addr addr, uint64_t instance,
+                            LoadId ldid, const TaskPcSource *tps)
+{
+    ++st.loadChecks;
+    LoadCheck res;
+
+    matchBuf.clear();
+    mdpt.lookupLoad(ldpc, matchBuf);
+    for (uint32_t idx : matchBuf) {
+        Mdpt::Entry &e = mdpt.entry(idx);
+        if (!mdpt.predicts(idx))
+            continue;
+        if (!pathMatches(e, instance, tps))
+            continue;
+
+        res.predicted = true;
+        mdpt.touch(idx);
+        uint64_t tag = loadTag(e, instance, addr);
+        Slot *s = findSlot(idx, tag);
+        if (s && s->full) {
+            // The store already executed and signalled: continue
+            // without delay.  The condition variable is deliberately
+            // NOT reset here (a deviation from the paper's figure 2):
+            // if this load is squashed by an unrelated violation, its
+            // re-execution must still find the flag set, or it would
+            // wait for a signal that will never be repeated.  Stale
+            // flags age out via oldest-first scavenging.
+            res.fullBypass = true;
+            ++st.fullBypasses;
+            if (cfg.weakenOnFullBypass)
+                mdpt.weaken(idx);
+            else if (cfg.strengthenOnFullBypass)
+                mdpt.strengthen(idx);
+        } else if (s) {
+            // A waiting slot already exists for this instance.  A
+            // stale ldid can only belong to a squashed prior attempt;
+            // re-attach the current load.
+            if (s->ldid != ldid)
+                detach(*s);
+            if (s->ldid == kNoLoad) {
+                s->ldid = ldid;
+                ++pending[ldid];
+            }
+            res.wait = true;
+        } else {
+            Slot &ns = allocSlot(idx);
+            ns.valid = true;
+            ns.full = false;
+            ns.tag = tag;
+            ns.ldid = ldid;
+            ns.storeId = 0;
+            ++pending[ldid];
+            res.wait = true;
+        }
+    }
+
+    if (res.predicted)
+        ++st.loadsPredicted;
+    if (res.wait)
+        ++st.loadsWaited;
+    return res;
+}
+
+void
+CombinedSyncUnit::storeReady(Addr stpc, Addr addr, uint64_t instance,
+                             LoadId store_id, std::vector<LoadId> &wakeups)
+{
+    ++st.storeChecks;
+
+    matchBuf.clear();
+    mdpt.lookupStore(stpc, matchBuf);
+    for (uint32_t idx : matchBuf) {
+        Mdpt::Entry &e = mdpt.entry(idx);
+        // Stores initiate synchronization on any match (section 4.3);
+        // the prediction gate applies on the load side only.  Signals
+        // to edges that currently predict "no dependence" simply leave
+        // a full flag that is consumed or scavenged.
+        mdpt.touch(idx);
+        uint64_t tag = storeTag(e, instance, addr);
+        Slot *s = findSlot(idx, tag);
+        if (s && !s->full) {
+            // A load is waiting (or a slot was left by a squashed
+            // load); deliver the signal.  The full flag is SET rather
+            // than the slot freed, so a squashed-and-reexecuted load
+            // still finds the condition variable set.
+            LoadId waiting = s->ldid;
+            detach(*s);
+            s->full = true;
+            s->storeId = store_id;
+            ++st.signalsDelivered;
+            if (cfg.strengthenOnSyncSuccess)
+                mdpt.strengthen(idx);
+            if (waiting != kNoLoad && !pending.count(waiting))
+                wakeups.push_back(waiting);
+        } else if (s) {
+            // Duplicate signal for the same instance; refresh.
+            s->storeId = store_id;
+        } else {
+            // Load not seen yet: record the signal (full allocation,
+            // figure 4 parts (e)/(f)).
+            Slot &ns = allocSlot(idx);
+            ns.valid = true;
+            ns.full = true;
+            ns.tag = tag;
+            ns.ldid = kNoLoad;
+            ns.storeId = store_id;
+            ++st.storeAllocations;
+        }
+    }
+}
+
+void
+CombinedSyncUnit::misSpeculation(Addr ldpc, Addr stpc, uint32_t dist,
+                                 Addr store_task_pc)
+{
+    ++st.misSpecsRecorded;
+    Mdpt::AllocResult res =
+        mdpt.recordMisSpeculation(ldpc, stpc, dist, store_task_pc);
+    if (res.evictedValid) {
+        // The victim's slots belong to the displaced static edge.
+        clearSlots(res.index);
+    }
+}
+
+void
+CombinedSyncUnit::frontierRelease(LoadId ldid)
+{
+    auto it = pending.find(ldid);
+    if (it == pending.end())
+        return;
+    for (uint32_t e = 0; e < slots.size(); ++e) {
+        for (Slot &s : slots[e]) {
+            if (s.valid && !s.full && s.ldid == ldid) {
+                // The predicted store never came: false dependence.
+                if (cfg.weakenOnFrontierRelease) {
+                    for (unsigned w = 0; w < cfg.frontierReleasePenalty;
+                         ++w) {
+                        mdpt.weaken(e);
+                    }
+                }
+                detach(s);
+                s = Slot{};
+                ++st.frontierReleases;
+            }
+        }
+    }
+    pending.erase(ldid);
+}
+
+void
+CombinedSyncUnit::squash(LoadId min_ldid, uint64_t min_store_id)
+{
+    for (auto &row : slots) {
+        for (Slot &s : row) {
+            if (!s.valid)
+                continue;
+            if (!s.full && s.ldid != kNoLoad && s.ldid >= min_ldid) {
+                detach(s);
+                s = Slot{};
+                ++st.squashFrees;
+            } else if (s.full && s.storeId >= min_store_id) {
+                // Only signals from stores that were themselves
+                // squashed are dropped; those stores re-execute and
+                // re-signal.  Signals from surviving stores must be
+                // kept, or the re-executed loads would starve.
+                s = Slot{};
+                ++st.squashFrees;
+            }
+        }
+    }
+}
+
+void
+CombinedSyncUnit::drainReleasedLoads(std::vector<LoadId> &out)
+{
+    out.insert(out.end(), releasedQueue.begin(), releasedQueue.end());
+    releasedQueue.clear();
+}
+
+void
+CombinedSyncUnit::reset()
+{
+    mdpt.reset();
+    for (auto &row : slots)
+        for (Slot &s : row)
+            s = Slot{};
+    pending.clear();
+    releasedQueue.clear();
+    st = SyncStats{};
+}
+
+} // namespace mdp

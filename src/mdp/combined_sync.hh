@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The combined MDPT+MDST organization of section 5.5: one structure in
+ * which each prediction entry carries a fixed number of synchronization
+ * slots (one per stage).  Supports multiple dependences per static load
+ * or store via multiple prediction entries, with a single sync slot per
+ * static dependence and per stage.
+ */
+
+#ifndef MDP_MDP_COMBINED_SYNC_HH
+#define MDP_MDP_COMBINED_SYNC_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "mdp/mdpt.hh"
+#include "mdp/sync_unit.hh"
+
+namespace mdp
+{
+
+/**
+ * DepSynchronizer implemented as a prediction table whose entries own
+ * their synchronization slots.
+ */
+class CombinedSyncUnit : public DepSynchronizer
+{
+  public:
+    explicit CombinedSyncUnit(const SyncUnitConfig &config);
+
+    LoadCheck loadReady(Addr ldpc, Addr addr, uint64_t instance,
+                        LoadId ldid, const TaskPcSource *tps) override;
+
+    void storeReady(Addr stpc, Addr addr, uint64_t instance,
+                    LoadId store_id, std::vector<LoadId> &wakeups) override;
+
+    void misSpeculation(Addr ldpc, Addr stpc, uint32_t dist,
+                        Addr store_task_pc) override;
+
+    void frontierRelease(LoadId ldid) override;
+
+    void squash(LoadId min_ldid, uint64_t min_store_id) override;
+
+    void drainReleasedLoads(std::vector<LoadId> &out) override;
+
+    const SyncStats &stats() const override { return st; }
+
+    void reset() override;
+
+    /** Expose the prediction table for tests and introspection. */
+    const Mdpt &predictionTable() const { return mdpt; }
+
+    /** @return true if any prediction entry matches this store PC. */
+    bool matchesStore(Addr stpc) const { return mdpt.matchesStore(stpc); }
+
+    /** Number of loads currently blocked on at least one slot. */
+    size_t numWaitingLoads() const { return pending.size(); }
+
+  private:
+    struct Slot
+    {
+        uint64_t tag = 0;         ///< instance (distance) or addr hash
+        LoadId ldid = kNoLoad;    ///< waiting load, when empty
+        uint64_t storeId = 0;     ///< signalling store (age + squash)
+        bool full = false;
+        bool valid = false;
+    };
+
+    /** Tag under which a load instance looks up its slot. */
+    uint64_t loadTag(const Mdpt::Entry &e, uint64_t instance,
+                     Addr addr) const;
+
+    /** Tag under which a store instance signals. */
+    uint64_t storeTag(const Mdpt::Entry &e, uint64_t instance,
+                      Addr addr) const;
+
+    /** ESYNC path check: does the task at the recorded distance match
+     *  the recorded producing-task PC? */
+    bool pathMatches(const Mdpt::Entry &e, uint64_t load_instance,
+                     const TaskPcSource *tps) const;
+
+    Slot *findSlot(uint32_t entry_idx, uint64_t tag);
+
+    /** Get a free slot in the entry, scavenging per section 4.4.2. */
+    Slot &allocSlot(uint32_t entry_idx);
+
+    /** Detach a waiting load from a slot (no wakeup bookkeeping). */
+    void detach(Slot &slot);
+
+    /** Free every slot of an entry, releasing waiting loads. */
+    void clearSlots(uint32_t entry_idx);
+
+    SyncUnitConfig cfg;
+    Mdpt mdpt;
+    std::vector<std::vector<Slot>> slots;   ///< parallel to MDPT entries
+    std::unordered_map<LoadId, uint32_t> pending; ///< ldid -> #slots
+    std::vector<LoadId> releasedQueue;
+    std::vector<uint32_t> matchBuf;
+    SyncStats st;
+};
+
+} // namespace mdp
+
+#endif // MDP_MDP_COMBINED_SYNC_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Configuration of the dependence prediction/synchronization hardware.
+ */
+
+#ifndef MDP_MDP_CONFIG_HH
+#define MDP_MDP_CONFIG_HH
+
+#include <cstddef>
+
+namespace mdp
+{
+
+/** Which prediction field the MDPT entries carry (sections 4.4.1, 5.5). */
+enum class PredictorKind
+{
+    /**
+     * No prediction field: any matching entry forces synchronization
+     * (the "optional predictor omitted" baseline of section 4.1).
+     */
+    AlwaysSync,
+
+    /** 3-bit up/down saturating counter with a threshold (SYNC). */
+    Counter,
+
+    /**
+     * Counter plus the PC of the task that issued the store; sync is
+     * enforced only when the task at the recorded distance matches
+     * (ESYNC).
+     */
+    PathCounter,
+};
+
+/** How dynamic instances of a static dependence edge are tagged (§3). */
+enum class TagScheme
+{
+    /**
+     * Dependence-distance tags: instance numbers (approximated by task
+     * / stage identifiers in Multiscalar); a store at instance i
+     * signals the load at instance i + DIST.  The paper's choice.
+     */
+    Distance,
+
+    /**
+     * Address tags: the accessed data address identifies the instance.
+     * Evaluated as ablation A3.
+     */
+    Address,
+};
+
+/**
+ * Parameters of the MDPT/MDST pair (or the combined structure).
+ * Defaults follow section 5.5: 64 entries, 3-bit counters, threshold 3,
+ * one synchronization slot per stage.
+ */
+struct SyncUnitConfig
+{
+    size_t numEntries = 64;
+
+    /** Synchronization slots carried per prediction entry (combined
+     *  organization); equals the number of stages in section 5.5. */
+    unsigned slotsPerEntry = 8;
+
+    /** Size of the standalone MDST pool (split organization). */
+    size_t mdstEntries = 64;
+
+    unsigned counterBits = 3;
+    unsigned threshold = 3;
+
+    /** Counter value given to a newly allocated entry.  One below the
+     *  threshold arms an edge on its *second* mis-speculation within
+     *  the entry's lifetime: stable edges arm almost immediately,
+     *  while edges that thrash in and out of a capacity-stressed table
+     *  (fpppp, su2cor) never arm and fall back to blind speculation
+     *  instead of paying frontier-length false waits. */
+    unsigned initialCount = 2;
+
+    /** On repeat mis-speculation: saturate the counter instead of a
+     *  single increment (ablation knob; the paper's counter is +/-1). */
+    bool saturateOnMisspec = false;
+
+    /** Weaken the predictor when a waiting load is released because
+     *  all prior stores resolved without a signal (a false dependence
+     *  prediction). */
+    bool weakenOnFrontierRelease = true;
+
+    /** How many counter steps a frontier release subtracts.  False
+     *  waits are far more expensive than successful synchronizations
+     *  are valuable (the load stalls for the whole store frontier), so
+     *  the update is asymmetric: edges that frequently fail to signal
+     *  decay back to speculation. */
+    unsigned frontierReleasePenalty = 2;
+
+    /** Weaken when a load finds a pre-set full flag (store had already
+     *  executed; the sync imposed no delay).  The paper argues the
+     *  entry is still useful, so this defaults off. */
+    bool weakenOnFullBypass = false;
+
+    /** Strengthen when a signal releases a waiting load (the sync
+     *  avoided a likely mis-speculation). */
+    bool strengthenOnSyncSuccess = true;
+
+    /** Strengthen when a load consumes a pre-set full flag: the
+     *  synchronization succeeded (merely early).  Without this, edges
+     *  whose stores usually win the race see only weakens and decay
+     *  into a mis-speculation spiral. */
+    bool strengthenOnFullBypass = true;
+
+    PredictorKind predictor = PredictorKind::Counter;
+    TagScheme tags = TagScheme::Distance;
+
+    /** Copies in the distributed organization (section 4.4.5);
+     *  normally the number of processing stages. */
+    unsigned numCopies = 8;
+};
+
+} // namespace mdp
+
+#endif // MDP_MDP_CONFIG_HH

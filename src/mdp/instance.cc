@@ -1,0 +1,73 @@
+#include "mdp/instance.hh"
+
+#include "base/logging.hh"
+
+namespace mdp
+{
+
+InstanceNumberer::InstanceNumberer(size_t pool_size)
+    : slots(pool_size), lru(pool_size)
+{
+    mdp_assert(pool_size > 0, "instance pool must be non-empty");
+}
+
+uint64_t
+InstanceNumberer::next(Addr pc)
+{
+    auto it = index.find(pc);
+    if (it != index.end()) {
+        Slot &s = slots[it->second];
+        lru.touch(it->second);
+        return s.count++;
+    }
+
+    size_t victim = lru.victim();
+    Slot &s = slots[victim];
+    if (s.valid) {
+        index.erase(s.pc);
+        ++numEvictions;
+    }
+    s.pc = pc;
+    s.count = 0;
+    s.valid = true;
+    index[pc] = victim;
+    lru.touch(victim);
+    return s.count++;
+}
+
+uint64_t
+InstanceNumberer::current(Addr pc) const
+{
+    auto it = index.find(pc);
+    return it == index.end() ? 0 : slots[it->second].count;
+}
+
+InstanceNumberer::Checkpoint
+InstanceNumberer::checkpoint() const
+{
+    Checkpoint cp;
+    cp.counters.reserve(index.size());
+    for (const Slot &s : slots)
+        if (s.valid)
+            cp.counters.emplace_back(s.pc, s.count);
+    return cp;
+}
+
+void
+InstanceNumberer::restore(const Checkpoint &cp)
+{
+    for (auto &s : slots)
+        s.valid = false;
+    index.clear();
+    size_t i = 0;
+    for (const auto &[pc, count] : cp.counters) {
+        if (i >= slots.size())
+            break;
+        slots[i] = Slot{pc, count, true};
+        index[pc] = i;
+        lru.touch(i);
+        ++i;
+    }
+}
+
+} // namespace mdp

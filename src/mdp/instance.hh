@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Instance numbering for superscalar cores (section 3, footnote 2):
+ * "in a superscalar environment we may use a small associative pool of
+ * counters.  Load and store instructions can then be numbered based on
+ * their PC as they are issued."
+ */
+
+#ifndef MDP_MDP_INSTANCE_HH
+#define MDP_MDP_INSTANCE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/lru.hh"
+#include "trace/microop.hh"
+
+namespace mdp
+{
+
+/**
+ * A small associative pool of per-PC instance counters with LRU
+ * replacement.  A PC that falls out of the pool restarts at zero --
+ * acceptable because only instance *differences* matter and predictor
+ * entries for cold PCs will have decayed too.
+ *
+ * To support squash the counters behave like registers: checkpoint()
+ * captures the counter state and restore() rolls it back.
+ */
+class InstanceNumberer
+{
+  public:
+    explicit InstanceNumberer(size_t pool_size = 256);
+
+    /** Number the next dynamic instance of @p pc (post-incrementing). */
+    uint64_t next(Addr pc);
+
+    /** Current instance count for @p pc without advancing (0 if the PC
+     *  is not in the pool). */
+    uint64_t current(Addr pc) const;
+
+    /** Capture the full counter state. */
+    struct Checkpoint
+    {
+        std::vector<std::pair<Addr, uint64_t>> counters;
+    };
+
+    Checkpoint checkpoint() const;
+    void restore(const Checkpoint &cp);
+
+    size_t capacity() const { return slots.size(); }
+    uint64_t evictions() const { return numEvictions; }
+
+  private:
+    struct Slot
+    {
+        Addr pc = 0;
+        uint64_t count = 0;
+        bool valid = false;
+    };
+
+    std::vector<Slot> slots;
+    std::unordered_map<Addr, size_t> index;
+    LruState lru;
+    uint64_t numEvictions = 0;
+};
+
+} // namespace mdp
+
+#endif // MDP_MDP_INSTANCE_HH

@@ -1,0 +1,179 @@
+#include "mdp/mdpt.hh"
+
+#include "base/logging.hh"
+
+namespace mdp
+{
+
+namespace
+{
+
+uint64_t
+pairKey(Addr ldpc, Addr stpc)
+{
+    return (ldpc << 20) ^ stpc;
+}
+
+} // namespace
+
+Mdpt::Mdpt(const SyncUnitConfig &config)
+    : cfg(config), entries(config.numEntries), lru(config.numEntries)
+{
+    mdp_assert(config.numEntries > 0, "MDPT must have at least one entry");
+    for (auto &e : entries) {
+        e.counter = SatCounter(cfg.counterBits);
+        e.pathStable = SatCounter(2);
+        e.distStable = SatCounter(2);
+    }
+}
+
+void
+Mdpt::lookupLoad(Addr ldpc, std::vector<uint32_t> &out)
+{
+    ++st.loadLookups;
+    auto [lo, hi] = byLoad.equal_range(ldpc);
+    for (auto it = lo; it != hi; ++it) {
+        out.push_back(it->second);
+        ++st.loadMatches;
+    }
+}
+
+void
+Mdpt::lookupStore(Addr stpc, std::vector<uint32_t> &out)
+{
+    ++st.storeLookups;
+    auto [lo, hi] = byStore.equal_range(stpc);
+    for (auto it = lo; it != hi; ++it) {
+        out.push_back(it->second);
+        ++st.storeMatches;
+    }
+}
+
+void
+Mdpt::unindex(uint32_t idx)
+{
+    const Entry &e = entries[idx];
+    auto erase_one = [idx](std::unordered_multimap<Addr, uint32_t> &map,
+                           Addr key) {
+        auto [lo, hi] = map.equal_range(key);
+        for (auto it = lo; it != hi; ++it) {
+            if (it->second == idx) {
+                map.erase(it);
+                return;
+            }
+        }
+    };
+    erase_one(byLoad, e.ldpc);
+    erase_one(byStore, e.stpc);
+    byPair.erase(pairKey(e.ldpc, e.stpc));
+}
+
+void
+Mdpt::index(uint32_t idx)
+{
+    const Entry &e = entries[idx];
+    byLoad.emplace(e.ldpc, idx);
+    byStore.emplace(e.stpc, idx);
+    byPair[pairKey(e.ldpc, e.stpc)] = idx;
+}
+
+Mdpt::AllocResult
+Mdpt::recordMisSpeculation(Addr ldpc, Addr stpc, uint32_t dist,
+                           Addr store_task_pc)
+{
+    AllocResult res;
+
+    auto it = byPair.find(pairKey(ldpc, stpc));
+    if (it != byPair.end() && entries[it->second].valid &&
+        entries[it->second].ldpc == ldpc &&
+        entries[it->second].stpc == stpc) {
+        uint32_t idx = it->second;
+        Entry &e = entries[idx];
+        // The dynamic behavior of the edge may have changed; adopt a
+        // new distance only once the old one has lost confidence.
+        if (dist == e.dist) {
+            e.distStable.increment();
+        } else {
+            e.distStable.decrement();
+            if (e.distStable.value() == 0) {
+                e.dist = dist;
+                e.distStable = SatCounter(2, 2);
+            }
+        }
+        if (e.storeTaskPc == store_task_pc)
+            e.pathStable.increment();
+        else
+            e.pathStable.decrement();
+        e.storeTaskPc = store_task_pc;
+        if (cfg.saturateOnMisspec)
+            e.counter.saturate();
+        else
+            e.counter.increment();
+        ++st.strengthens;
+        lru.touch(idx);
+        res.index = idx;
+        return res;
+    }
+
+    uint32_t victim = static_cast<uint32_t>(lru.victim());
+    Entry &e = entries[victim];
+    if (e.valid) {
+        unindex(victim);
+        ++st.evictions;
+        res.evictedValid = true;
+    }
+    e.valid = true;
+    e.ldpc = ldpc;
+    e.stpc = stpc;
+    e.dist = dist;
+    e.storeTaskPc = store_task_pc;
+    e.counter = SatCounter(cfg.counterBits, cfg.initialCount);
+    e.pathStable = SatCounter(2, 3);
+    e.distStable = SatCounter(2, 2);
+    index(victim);
+    lru.touch(victim);
+    ++st.allocations;
+    res.index = victim;
+    return res;
+}
+
+void
+Mdpt::weaken(uint32_t idx)
+{
+    entries[idx].counter.decrement();
+    ++st.weakens;
+}
+
+void
+Mdpt::strengthen(uint32_t idx)
+{
+    entries[idx].counter.increment();
+    ++st.strengthens;
+}
+
+void
+Mdpt::reset()
+{
+    for (auto &e : entries) {
+        e.valid = false;
+        e.counter = SatCounter(cfg.counterBits);
+        e.pathStable = SatCounter(2);
+        e.distStable = SatCounter(2);
+    }
+    byLoad.clear();
+    byStore.clear();
+    byPair.clear();
+    lru.resize(entries.size());
+    st = MdptStats{};
+}
+
+size_t
+Mdpt::occupancy() const
+{
+    size_t n = 0;
+    for (const auto &e : entries)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace mdp

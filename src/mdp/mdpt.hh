@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The Memory Dependence Prediction Table (MDPT) of section 4.1.
+ *
+ * An entry identifies a static store-load dependence edge and predicts
+ * whether its future dynamic instances should be synchronized.  Fields
+ * per entry: valid flag (V), load PC (LDPC), store PC (STPC), dependence
+ * distance (DIST) and an optional prediction field.  Our prediction
+ * field is either absent (AlwaysSync), a saturating counter (SYNC), or
+ * a counter plus the producing task's PC (ESYNC).
+ */
+
+#ifndef MDP_MDP_MDPT_HH
+#define MDP_MDP_MDPT_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/lru.hh"
+#include "base/sat_counter.hh"
+#include "mdp/config.hh"
+#include "trace/microop.hh"
+
+namespace mdp
+{
+
+/** Aggregate MDPT event counters. */
+struct MdptStats
+{
+    uint64_t allocations = 0;
+    uint64_t evictions = 0;
+    uint64_t strengthens = 0;
+    uint64_t weakens = 0;
+    uint64_t loadLookups = 0;
+    uint64_t loadMatches = 0;
+    uint64_t storeLookups = 0;
+    uint64_t storeMatches = 0;
+};
+
+/**
+ * Fully-associative prediction table with LRU replacement.
+ *
+ * Eviction of an entry with live synchronization state is handled by
+ * the owner: recordMisSpeculation() reports the victim index so the
+ * owner can release any waiting loads attached to it.
+ */
+class Mdpt
+{
+  public:
+    struct Entry
+    {
+        Addr ldpc = 0;
+        Addr stpc = 0;
+        uint32_t dist = 0;
+        Addr storeTaskPc = 0;   ///< path context (ESYNC only)
+        SatCounter counter;
+        /** Confidence that the producing task PC is stable across
+         *  mis-speculations.  When it is not (the dependence fires on
+         *  every path), the path check would randomly suppress valid
+         *  synchronizations, so ESYNC falls back to counter-only
+         *  behaviour for this edge -- this is what guarantees the
+         *  paper's observation that SYNC never outperforms ESYNC. */
+        SatCounter pathStable;
+        /** Hysteresis on DIST: a single violation at an unusual
+         *  distance (e.g. the rare iteration whose store was skipped,
+         *  making the real producer two iterations back) must not
+         *  corrupt the stable distance, or every subsequent signal
+         *  would miss its synchronization slot. */
+        SatCounter distStable;
+        bool valid = false;
+
+        /** @return true when the path check should be applied. */
+        bool pathCheckUsable() const { return pathStable.atLeast(2); }
+    };
+
+    explicit Mdpt(const SyncUnitConfig &config);
+
+    /** Append indices of valid entries whose LDPC matches. */
+    void lookupLoad(Addr ldpc, std::vector<uint32_t> &out);
+
+    /** Append indices of valid entries whose STPC matches. */
+    void lookupStore(Addr stpc, std::vector<uint32_t> &out);
+
+    /** @return true if any valid entry's STPC matches (no stats). */
+    bool
+    matchesStore(Addr stpc) const
+    {
+        return byStore.count(stpc) > 0;
+    }
+
+    const Entry &entry(uint32_t idx) const { return entries[idx]; }
+    Entry &entry(uint32_t idx) { return entries[idx]; }
+
+    /** @return true when the entry currently predicts synchronization
+     *  (ignoring any path check, which needs runtime task context). */
+    bool
+    predicts(uint32_t idx) const
+    {
+        if (cfg.predictor == PredictorKind::AlwaysSync)
+            return true;
+        return entries[idx].counter.atLeast(cfg.threshold);
+    }
+
+    /** Result of recording a mis-speculation. */
+    struct AllocResult
+    {
+        uint32_t index = 0;
+        bool evictedValid = false;  ///< a valid victim was displaced
+    };
+
+    /**
+     * Record a mis-speculation on (ldpc, stpc): strengthen an existing
+     * entry (updating DIST and path context, which may have changed) or
+     * allocate a new one with the configured initial count.
+     */
+    AllocResult recordMisSpeculation(Addr ldpc, Addr stpc, uint32_t dist,
+                                     Addr store_task_pc);
+
+    /** Weaken the entry's prediction (false dependence observed). */
+    void weaken(uint32_t idx);
+
+    /** Strengthen the entry's prediction (synchronization succeeded). */
+    void strengthen(uint32_t idx);
+
+    /** Refresh LRU recency for an entry. */
+    void touch(uint32_t idx) { lru.touch(idx); }
+
+    /** Invalidate everything (reset between runs). */
+    void reset();
+
+    size_t capacity() const { return entries.size(); }
+    size_t occupancy() const;
+
+    const MdptStats &stats() const { return st; }
+    const SyncUnitConfig &config() const { return cfg; }
+
+  private:
+    void unindex(uint32_t idx);
+    void index(uint32_t idx);
+
+    SyncUnitConfig cfg;
+    std::vector<Entry> entries;
+    LruState lru;
+    std::unordered_multimap<Addr, uint32_t> byLoad;
+    std::unordered_multimap<Addr, uint32_t> byStore;
+    std::unordered_map<uint64_t, uint32_t> byPair;
+    MdptStats st;
+};
+
+} // namespace mdp
+
+#endif // MDP_MDP_MDPT_HH

@@ -1,0 +1,123 @@
+#include "mdp/mdst.hh"
+
+#include "base/logging.hh"
+#include "base/random.hh"
+
+namespace mdp
+{
+
+Mdst::Mdst(size_t num_entries)
+    : entries(num_entries), lru(num_entries)
+{
+    mdp_assert(num_entries > 0, "MDST must have at least one entry");
+}
+
+uint64_t
+Mdst::key(Addr ldpc, Addr stpc, uint64_t instance)
+{
+    return mix64((ldpc << 20) ^ stpc) ^ (instance * 0x9e3779b97f4a7c15ULL);
+}
+
+int
+Mdst::find(Addr ldpc, Addr stpc, uint64_t instance) const
+{
+    auto it = index.find(key(ldpc, stpc, instance));
+    if (it == index.end())
+        return -1;
+    const Entry &e = entries[it->second];
+    // Guard against (unlikely) key collisions.
+    if (e.ldpc == ldpc && e.stpc == stpc && e.instance == instance)
+        return static_cast<int>(it->second);
+    return -1;
+}
+
+uint32_t
+Mdst::allocate(Addr ldpc, Addr stpc, uint64_t instance, LoadId ldid,
+               uint64_t stid, bool full, LoadId &displaced_load)
+{
+    displaced_load = kNoLoad;
+
+    // Prefer an invalid entry.
+    int victim = -1;
+    if (index.size() < entries.size()) {
+        for (uint32_t i = 0; i < entries.size(); ++i) {
+            if (!entries[i].valid) {
+                victim = static_cast<int>(i);
+                break;
+            }
+        }
+    }
+
+    // Else scavenge the LRU full entry (its sync already completed
+    // from the store side and may never be consumed).
+    if (victim < 0) {
+        uint64_t best_stamp = UINT64_MAX;
+        for (uint32_t i = 0; i < entries.size(); ++i) {
+            if (entries[i].valid && entries[i].full &&
+                lru.stamp(i) < best_stamp) {
+                best_stamp = lru.stamp(i);
+                victim = static_cast<int>(i);
+            }
+        }
+        if (victim >= 0)
+            ++st.fullScavenges;
+    }
+
+    // Last resort: steal the LRU waiting entry; the owner must release
+    // its load (incomplete synchronization, section 4.4.2).
+    if (victim < 0) {
+        victim = static_cast<int>(lru.victim());
+        displaced_load = entries[victim].ldid;
+        ++st.forcedEvictions;
+    }
+
+    Entry &e = entries[victim];
+    if (e.valid)
+        index.erase(key(e.ldpc, e.stpc, e.instance));
+    e.ldpc = ldpc;
+    e.stpc = stpc;
+    e.instance = instance;
+    e.ldid = ldid;
+    e.stid = stid;
+    e.full = full;
+    e.valid = true;
+    index[key(ldpc, stpc, instance)] = static_cast<uint32_t>(victim);
+    lru.touch(static_cast<size_t>(victim));
+    ++st.allocations;
+    return static_cast<uint32_t>(victim);
+}
+
+void
+Mdst::free(uint32_t idx)
+{
+    Entry &e = entries[idx];
+    if (!e.valid)
+        return;
+    index.erase(key(e.ldpc, e.stpc, e.instance));
+    e.valid = false;
+    e.full = false;
+    e.ldid = kNoLoad;
+    ++st.frees;
+}
+
+void
+Mdst::waitingFor(LoadId ldid, std::vector<uint32_t> &out) const
+{
+    for (uint32_t i = 0; i < entries.size(); ++i) {
+        const Entry &e = entries[i];
+        if (e.valid && !e.full && e.ldid == ldid)
+            out.push_back(i);
+    }
+}
+
+void
+Mdst::reset()
+{
+    for (auto &e : entries)
+        e = Entry{};
+    index.clear();
+    lru.resize(entries.size());
+    st = MdstStats{};
+}
+
+} // namespace mdp

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The Memory Dependence Synchronization Table (MDST) of section 4.2.
+ *
+ * An entry supplies a condition variable (the full/empty flag) used to
+ * synchronize one dynamic instance of a static store-load dependence.
+ * Fields per entry: valid (V), load PC (LDPC), store PC (STPC), load
+ * identifier (LDID), store identifier (STID), instance tag (INSTANCE)
+ * and the full/empty flag (F/E).
+ */
+
+#ifndef MDP_MDP_MDST_HH
+#define MDP_MDP_MDST_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/lru.hh"
+#include "mdp/config.hh"
+#include "trace/microop.hh"
+
+namespace mdp
+{
+
+/** Identifies a dynamic load in the OoO core (we use sequence numbers;
+ *  a real core would use e.g. reservation-station indices). */
+using LoadId = uint32_t;
+constexpr LoadId kNoLoad = UINT32_MAX;
+
+/** Aggregate MDST event counters. */
+struct MdstStats
+{
+    uint64_t allocations = 0;
+    uint64_t frees = 0;
+    uint64_t fullScavenges = 0;   ///< full entries reclaimed under pressure
+    uint64_t forcedEvictions = 0; ///< waiting entries stolen under pressure
+};
+
+/**
+ * Fully-associative pool of synchronization entries.
+ *
+ * Replacement under pressure follows section 4.4.2: prefer an invalid
+ * entry, then scavenge an entry whose full/empty flag is already full
+ * (its synchronization will never be consumed), and only then steal the
+ * LRU waiting entry (whose load the owner must release).
+ */
+class Mdst
+{
+  public:
+    struct Entry
+    {
+        Addr ldpc = 0;
+        Addr stpc = 0;
+        uint64_t instance = 0;    ///< instance tag (distance or address)
+        LoadId ldid = kNoLoad;    ///< waiting load, when empty
+        uint64_t stid = 0;        ///< creating/signalling store id
+        bool full = false;        ///< the condition variable
+        bool valid = false;
+    };
+
+    explicit Mdst(size_t num_entries);
+
+    /** Find the entry for a dynamic dependence instance. */
+    int find(Addr ldpc, Addr stpc, uint64_t instance) const;
+
+    /**
+     * Allocate an entry.  @return the index, and reports in
+     * @p displaced_load a waiting load that had to be released to make
+     * room (kNoLoad when none).
+     */
+    uint32_t allocate(Addr ldpc, Addr stpc, uint64_t instance,
+                      LoadId ldid, uint64_t stid, bool full,
+                      LoadId &displaced_load);
+
+    const Entry &entry(uint32_t idx) const { return entries[idx]; }
+    Entry &entry(uint32_t idx) { return entries[idx]; }
+
+    /** Set the full/empty flag of an entry to full. */
+    void
+    signal(uint32_t idx)
+    {
+        entries[idx].full = true;
+    }
+
+    void free(uint32_t idx);
+
+    /** Append indices of valid, empty entries waiting on @p ldid. */
+    void waitingFor(LoadId ldid, std::vector<uint32_t> &out) const;
+
+    /** Visit every valid entry index. */
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn) const
+    {
+        for (uint32_t i = 0; i < entries.size(); ++i)
+            if (entries[i].valid)
+                fn(i);
+    }
+
+    size_t capacity() const { return entries.size(); }
+    size_t occupancy() const { return index.size(); }
+
+    const MdstStats &stats() const { return st; }
+
+    void reset();
+
+  private:
+    static uint64_t key(Addr ldpc, Addr stpc, uint64_t instance);
+
+    std::vector<Entry> entries;
+    std::unordered_map<uint64_t, uint32_t> index;
+    LruState lru;
+    MdstStats st;
+};
+
+} // namespace mdp
+
+#endif // MDP_MDP_MDST_HH

@@ -1,0 +1,56 @@
+#include "mdp/policy.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "base/logging.hh"
+
+namespace mdp
+{
+
+std::string
+policyName(SpecPolicy p)
+{
+    switch (p) {
+      case SpecPolicy::Never:
+        return "NEVER";
+      case SpecPolicy::Always:
+        return "ALWAYS";
+      case SpecPolicy::Wait:
+        return "WAIT";
+      case SpecPolicy::PerfectSync:
+        return "PSYNC";
+      case SpecPolicy::Sync:
+        return "SYNC";
+      case SpecPolicy::ESync:
+        return "ESYNC";
+      case SpecPolicy::VSync:
+        return "VSYNC";
+    }
+    return "?";
+}
+
+SpecPolicy
+parsePolicy(const std::string &name)
+{
+    std::string up = name;
+    std::transform(up.begin(), up.end(), up.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    if (up == "NEVER")
+        return SpecPolicy::Never;
+    if (up == "ALWAYS")
+        return SpecPolicy::Always;
+    if (up == "WAIT")
+        return SpecPolicy::Wait;
+    if (up == "PSYNC")
+        return SpecPolicy::PerfectSync;
+    if (up == "SYNC")
+        return SpecPolicy::Sync;
+    if (up == "ESYNC")
+        return SpecPolicy::ESync;
+    if (up == "VSYNC")
+        return SpecPolicy::VSync;
+    mdp_fatal("unknown speculation policy '%s'", name.c_str());
+}
+
+} // namespace mdp

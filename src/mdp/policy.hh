@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Data-dependence speculation policies evaluated in the paper.
+ */
+
+#ifndef MDP_MDP_POLICY_HH
+#define MDP_MDP_POLICY_HH
+
+#include <string>
+
+namespace mdp
+{
+
+/**
+ * The speculation policy a timing model applies to loads with
+ * unresolved ambiguous dependences (sections 2, 3 and 5.4/5.5).
+ */
+enum class SpecPolicy
+{
+    /**
+     * No data dependence speculation: a load waits until the addresses
+     * of all preceding stores are known (and any matching store has
+     * executed).
+     */
+    Never,
+
+    /**
+     * Blind speculation: every load issues as early as possible; a
+     * violated dependence costs a squash (the policy of the 1997-era
+     * dynamically scheduled processors).
+     */
+    Always,
+
+    /**
+     * Selective speculation with perfect dependence prediction: loads
+     * that have a true dependence within the current window are not
+     * speculated -- they wait for all prior stores to resolve (no
+     * explicit synchronization); independent loads issue freely.
+     */
+    Wait,
+
+    /**
+     * Ideal speculation/synchronization: independent loads issue
+     * freely; dependent loads wait exactly until their producing store
+     * has executed.  Upper bound for the proposed mechanism.
+     */
+    PerfectSync,
+
+    /**
+     * The proposed mechanism with the baseline up/down-counter MDPT
+     * predictor.
+     */
+    Sync,
+
+    /**
+     * The proposed mechanism with the enhanced predictor that also
+     * records the producing task's PC (path context).
+     */
+    ESync,
+
+    /**
+     * Section-6 hybrid: like ESync, but a dependent load whose value
+     * is confidently predictable consumes the predicted value instead
+     * of synchronizing (validated when the producing store executes).
+     */
+    VSync,
+};
+
+/** Short display name matching the paper's terminology. */
+std::string policyName(SpecPolicy p);
+
+/** Parse a policy name (case-insensitive); fatal on unknown names. */
+SpecPolicy parsePolicy(const std::string &name);
+
+/** @return true for the two policies that use the MDPT/MDST hardware. */
+constexpr bool
+usesPredictor(SpecPolicy p)
+{
+    return p == SpecPolicy::Sync || p == SpecPolicy::ESync ||
+           p == SpecPolicy::VSync;
+}
+
+} // namespace mdp
+
+#endif // MDP_MDP_POLICY_HH

@@ -1,0 +1,254 @@
+#include "mdp/split_sync.hh"
+
+#include "base/logging.hh"
+#include "base/random.hh"
+
+namespace mdp
+{
+
+SplitSyncUnit::SplitSyncUnit(const SyncUnitConfig &config)
+    : cfg(config), mdpt(config), mdst(config.mdstEntries)
+{}
+
+uint64_t
+SplitSyncUnit::loadTag(const Mdpt::Entry &e, uint64_t instance,
+                       Addr addr) const
+{
+    (void)e;
+    if (cfg.tags == TagScheme::Address)
+        return mix64(addr);
+    return instance;
+}
+
+uint64_t
+SplitSyncUnit::storeTag(const Mdpt::Entry &e, uint64_t instance,
+                        Addr addr) const
+{
+    if (cfg.tags == TagScheme::Address)
+        return mix64(addr);
+    return instance + e.dist;
+}
+
+bool
+SplitSyncUnit::pathMatches(const Mdpt::Entry &e, uint64_t load_instance,
+                           const TaskPcSource *tps) const
+{
+    if (cfg.predictor != PredictorKind::PathCounter)
+        return true;
+    if (!tps)
+        return true;
+    if (!e.pathCheckUsable())
+        return true;    // path proved unstable: counter-only
+    if (load_instance < e.dist)
+        return false;
+    Addr pc = tps->taskPc(load_instance - e.dist);
+    return pc != 0 && pc == e.storeTaskPc;
+}
+
+void
+SplitSyncUnit::unpend(LoadId ldid)
+{
+    auto it = pending.find(ldid);
+    if (it == pending.end())
+        return;
+    if (it->second <= 1)
+        pending.erase(it);
+    else
+        --it->second;
+}
+
+LoadCheck
+SplitSyncUnit::loadReady(Addr ldpc, Addr addr, uint64_t instance,
+                         LoadId ldid, const TaskPcSource *tps)
+{
+    ++st.loadChecks;
+    LoadCheck res;
+
+    matchBuf.clear();
+    mdpt.lookupLoad(ldpc, matchBuf);
+    for (uint32_t idx : matchBuf) {
+        Mdpt::Entry &e = mdpt.entry(idx);
+        if (!mdpt.predicts(idx))
+            continue;
+        if (!pathMatches(e, instance, tps))
+            continue;
+
+        res.predicted = true;
+        mdpt.touch(idx);
+        uint64_t tag = loadTag(e, instance, addr);
+        int slot = mdst.find(e.ldpc, e.stpc, tag);
+        if (slot >= 0 && mdst.entry(slot).full) {
+            // Keep the flag set (see the combined organization): a
+            // squashed-and-reexecuted load must still find it.
+            res.fullBypass = true;
+            ++st.fullBypasses;
+            if (cfg.weakenOnFullBypass)
+                mdpt.weaken(idx);
+            else if (cfg.strengthenOnFullBypass)
+                mdpt.strengthen(idx);
+        } else if (slot >= 0) {
+            Mdst::Entry &se = mdst.entry(slot);
+            if (se.ldid != ldid) {
+                if (se.ldid != kNoLoad)
+                    unpend(se.ldid);
+                se.ldid = ldid;
+                ++pending[ldid];
+            }
+            res.wait = true;
+        } else {
+            LoadId displaced = kNoLoad;
+            mdst.allocate(e.ldpc, e.stpc, tag, ldid, /*stid=*/0,
+                          /*full=*/false, displaced);
+            if (displaced != kNoLoad && displaced != ldid) {
+                unpend(displaced);
+                if (!pending.count(displaced)) {
+                    releasedQueue.push_back(displaced);
+                    ++st.evictionReleases;
+                }
+            }
+            ++pending[ldid];
+            res.wait = true;
+        }
+    }
+
+    if (res.predicted)
+        ++st.loadsPredicted;
+    if (res.wait)
+        ++st.loadsWaited;
+    return res;
+}
+
+void
+SplitSyncUnit::storeReady(Addr stpc, Addr addr, uint64_t instance,
+                          LoadId store_id, std::vector<LoadId> &wakeups)
+{
+    ++st.storeChecks;
+
+    matchBuf.clear();
+    mdpt.lookupStore(stpc, matchBuf);
+    for (uint32_t idx : matchBuf) {
+        Mdpt::Entry &e = mdpt.entry(idx);
+        // Stores initiate synchronization on any match (section 4.3);
+        // the prediction gate applies on the load side only.  Signals
+        // to edges that currently predict "no dependence" simply leave
+        // a full flag that is consumed or scavenged.
+        mdpt.touch(idx);
+        uint64_t tag = storeTag(e, instance, addr);
+        int slot = mdst.find(e.ldpc, e.stpc, tag);
+        if (slot >= 0 && !mdst.entry(slot).full) {
+            // Deliver the signal but keep the entry full (see the
+            // combined organization): a squashed-and-reexecuted load
+            // must still find the condition variable set.
+            Mdst::Entry &se = mdst.entry(slot);
+            LoadId waiting = se.ldid;
+            se.ldid = kNoLoad;
+            se.stid = store_id;
+            mdst.signal(slot);
+            ++st.signalsDelivered;
+            if (cfg.strengthenOnSyncSuccess)
+                mdpt.strengthen(idx);
+            if (waiting != kNoLoad) {
+                unpend(waiting);
+                if (!pending.count(waiting))
+                    wakeups.push_back(waiting);
+            }
+        } else if (slot >= 0) {
+            mdst.entry(slot).stid = store_id;
+        } else {
+            LoadId displaced = kNoLoad;
+            mdst.allocate(e.ldpc, e.stpc, tag, kNoLoad, store_id,
+                          /*full=*/true, displaced);
+            if (displaced != kNoLoad) {
+                unpend(displaced);
+                if (!pending.count(displaced)) {
+                    releasedQueue.push_back(displaced);
+                    ++st.evictionReleases;
+                }
+            }
+            ++st.storeAllocations;
+        }
+    }
+}
+
+void
+SplitSyncUnit::misSpeculation(Addr ldpc, Addr stpc, uint32_t dist,
+                              Addr store_task_pc)
+{
+    ++st.misSpecsRecorded;
+    // Eviction of a prediction entry leaves its MDST entries orphaned;
+    // they are reclaimed by the MDST's own replacement (full entries
+    // first), and orphaned waiting loads are recovered via the
+    // incomplete-synchronization path.  To keep loads from hanging,
+    // proactively release waiting entries of the displaced edge.
+    Mdpt::AllocResult res =
+        mdpt.recordMisSpeculation(ldpc, stpc, dist, store_task_pc);
+    (void)res;
+}
+
+void
+SplitSyncUnit::frontierRelease(LoadId ldid)
+{
+    auto it = pending.find(ldid);
+    if (it == pending.end())
+        return;
+    std::vector<uint32_t> waiting;
+    mdst.waitingFor(ldid, waiting);
+    for (uint32_t slot : waiting) {
+        // Weaken the predictor entry behind the false prediction.
+        const Mdst::Entry &se = mdst.entry(slot);
+        if (cfg.weakenOnFrontierRelease) {
+            matchBuf.clear();
+            mdpt.lookupLoad(se.ldpc, matchBuf);
+            for (uint32_t idx : matchBuf) {
+                if (mdpt.entry(idx).stpc == se.stpc) {
+                    for (unsigned w = 0; w < cfg.frontierReleasePenalty;
+                         ++w) {
+                        mdpt.weaken(idx);
+                    }
+                    break;
+                }
+            }
+        }
+        mdst.free(slot);
+        ++st.frontierReleases;
+    }
+    pending.erase(ldid);
+}
+
+void
+SplitSyncUnit::squash(LoadId min_ldid, uint64_t min_store_id)
+{
+    std::vector<uint32_t> doomed;
+    mdst.forEachValid([&](uint32_t i) {
+        const Mdst::Entry &e = mdst.entry(i);
+        if (!e.full && e.ldid != kNoLoad && e.ldid >= min_ldid)
+            doomed.push_back(i);
+        else if (e.full && e.stid >= min_store_id)
+            doomed.push_back(i);
+    });
+    for (uint32_t i : doomed) {
+        if (!mdst.entry(i).full)
+            unpend(mdst.entry(i).ldid);
+        mdst.free(i);
+        ++st.squashFrees;
+    }
+}
+
+void
+SplitSyncUnit::drainReleasedLoads(std::vector<LoadId> &out)
+{
+    out.insert(out.end(), releasedQueue.begin(), releasedQueue.end());
+    releasedQueue.clear();
+}
+
+void
+SplitSyncUnit::reset()
+{
+    mdpt.reset();
+    mdst.reset();
+    pending.clear();
+    releasedQueue.clear();
+    st = SyncStats{};
+}
+
+} // namespace mdp

@@ -1,0 +1,20 @@
+#include "mdp/sync_unit.hh"
+
+#include "mdp/combined_sync.hh"
+#include "mdp/distributed_sync.hh"
+#include "mdp/split_sync.hh"
+
+namespace mdp
+{
+
+std::unique_ptr<DepSynchronizer>
+makeSynchronizer(const SyncUnitConfig &cfg, SyncOrganization org)
+{
+    if (org == SyncOrganization::Split)
+        return std::make_unique<SplitSyncUnit>(cfg);
+    if (org == SyncOrganization::Distributed)
+        return std::make_unique<DistributedSyncUnit>(cfg, cfg.numCopies);
+    return std::make_unique<CombinedSyncUnit>(cfg);
+}
+
+} // namespace mdp

@@ -1,0 +1,75 @@
+#include "mdp/value_pred.hh"
+
+#include "base/logging.hh"
+
+namespace mdp
+{
+
+ValuePredictor::ValuePredictor(size_t pool_size, unsigned counter_bits,
+                               unsigned threshold)
+    : bits(counter_bits), thresh(threshold), entries(pool_size),
+      lru(pool_size)
+{
+    mdp_assert(pool_size > 0, "value predictor pool must be non-empty");
+    for (auto &e : entries)
+        e.conf = SatCounter(bits);
+}
+
+ValuePredictor::Entry &
+ValuePredictor::lookupOrAllocate(Addr pc)
+{
+    auto it = index.find(pc);
+    if (it != index.end()) {
+        lru.touch(it->second);
+        return entries[it->second];
+    }
+    size_t victim = lru.victim();
+    Entry &e = entries[victim];
+    if (e.valid)
+        index.erase(e.pc);
+    e.pc = pc;
+    e.conf = SatCounter(bits);
+    e.valid = true;
+    index[pc] = victim;
+    lru.touch(victim);
+    return e;
+}
+
+bool
+ValuePredictor::confident(Addr load_pc)
+{
+    ++st.queries;
+    auto it = index.find(load_pc);
+    if (it == index.end())
+        return false;
+    lru.touch(it->second);
+    bool ok = entries[it->second].conf.atLeast(thresh);
+    if (ok)
+        ++st.confidentQueries;
+    return ok;
+}
+
+void
+ValuePredictor::train(Addr load_pc, bool value_repeated)
+{
+    ++st.trainings;
+    Entry &e = lookupOrAllocate(load_pc);
+    if (value_repeated)
+        e.conf.increment();
+    else
+        e.conf.reset();   // a wrong value is expensive: lose confidence
+}
+
+void
+ValuePredictor::reset()
+{
+    for (auto &e : entries) {
+        e.valid = false;
+        e.conf = SatCounter(bits);
+    }
+    index.clear();
+    lru.resize(entries.size());
+    st = ValuePredStats{};
+}
+
+} // namespace mdp

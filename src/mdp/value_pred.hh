@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Confidence-gated last-value prediction, the hybrid the paper's
+ * section 6 sketches: "a data speculation approach that uses value
+ * prediction only when dependences are likely to exist".
+ *
+ * The structure does not track values themselves (the timing models
+ * replay traces, where value-repetition is a precomputed property of
+ * each store); it tracks per-load-PC *confidence* that the dependent
+ * value will repeat, trained from observed violations.
+ */
+
+#ifndef MDP_MDP_VALUE_PRED_HH
+#define MDP_MDP_VALUE_PRED_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/lru.hh"
+#include "base/sat_counter.hh"
+#include "trace/microop.hh"
+
+namespace mdp
+{
+
+/** Event counters of the value predictor. */
+struct ValuePredStats
+{
+    uint64_t trainings = 0;
+    uint64_t confidentQueries = 0;
+    uint64_t queries = 0;
+};
+
+/**
+ * A small associative pool of per-PC confidence counters.
+ */
+class ValuePredictor
+{
+  public:
+    /**
+     * @param pool_size  Entry count (LRU replaced).
+     * @param bits       Confidence counter width.
+     * @param threshold  Confidence needed to predict.
+     */
+    explicit ValuePredictor(size_t pool_size = 64, unsigned bits = 2,
+                            unsigned threshold = 3);
+
+    /** Should a dependent load at this PC consume a predicted value
+     *  instead of synchronizing? */
+    bool confident(Addr load_pc);
+
+    /**
+     * Learn from an observed outcome: when a violation (or would-be
+     * violation) on @p load_pc was examined, did the producing store
+     * repeat its previous value?
+     */
+    void train(Addr load_pc, bool value_repeated);
+
+    const ValuePredStats &stats() const { return st; }
+
+    size_t occupancy() const { return index.size(); }
+
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Addr pc = 0;
+        SatCounter conf;
+        bool valid = false;
+    };
+
+    Entry &lookupOrAllocate(Addr pc);
+
+    unsigned bits;
+    unsigned thresh;
+    std::vector<Entry> entries;
+    std::unordered_map<Addr, size_t> index;
+    LruState lru;
+    ValuePredStats st;
+};
+
+} // namespace mdp
+
+#endif // MDP_MDP_VALUE_PRED_HH

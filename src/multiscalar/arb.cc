@@ -1,0 +1,141 @@
+#include "multiscalar/arb.hh"
+
+#include <algorithm>
+
+namespace mdp
+{
+
+SeqNum
+Arb::loadExecuted(Addr addr, SeqNum load, uint32_t load_task)
+{
+    SeqNum version = kNoSeq;
+    auto cit = committedVersion.find(addr);
+    if (cit != committedVersion.end())
+        version = cit->second;
+
+    auto sit = inflightStores.find(addr);
+    if (sit != inflightStores.end()) {
+        for (SeqNum ss : sit->second) {
+            if (ss < load && (version == kNoSeq || ss > version))
+                version = ss;
+        }
+    }
+
+    loads[addr].push_back({load, version, load_task});
+    return version;
+}
+
+SeqNum
+Arb::findViolator(Addr addr, SeqNum store, uint32_t store_task) const
+{
+    SeqNum violator = kNoSeq;
+    auto lit = loads.find(addr);
+    if (lit != loads.end()) {
+        for (const LoadEntry &le : lit->second) {
+            if (le.seq > store && le.task > store_task &&
+                (le.version == kNoSeq || le.version < store)) {
+                if (violator == kNoSeq || le.seq < violator)
+                    violator = le.seq;
+            }
+        }
+    }
+    return violator;
+}
+
+SeqNum
+Arb::storeExecuted(Addr addr, SeqNum store, uint32_t store_task)
+{
+    SeqNum violator = findViolator(addr, store, store_task);
+    inflightStores[addr].push_back(store);
+    return violator;
+}
+
+void
+Arb::refreshLoadVersion(Addr addr, SeqNum load, SeqNum version)
+{
+    auto lit = loads.find(addr);
+    if (lit == loads.end())
+        return;
+    for (LoadEntry &le : lit->second) {
+        if (le.seq == load &&
+            (le.version == kNoSeq || le.version < version)) {
+            le.version = version;
+        }
+    }
+}
+
+namespace
+{
+
+template <typename T, typename Pred>
+void
+eraseIf(std::vector<T> &v, Pred pred)
+{
+    v.erase(std::remove_if(v.begin(), v.end(), pred), v.end());
+}
+
+} // namespace
+
+void
+Arb::commitLoad(Addr addr, SeqNum load)
+{
+    auto it = loads.find(addr);
+    if (it == loads.end())
+        return;
+    eraseIf(it->second,
+            [load](const LoadEntry &le) { return le.seq == load; });
+    if (it->second.empty())
+        loads.erase(it);
+}
+
+void
+Arb::commitStore(Addr addr, SeqNum store)
+{
+    auto it = inflightStores.find(addr);
+    if (it != inflightStores.end()) {
+        eraseIf(it->second, [store](SeqNum s) { return s == store; });
+        if (it->second.empty())
+            inflightStores.erase(it);
+    }
+    auto cit = committedVersion.find(addr);
+    if (cit == committedVersion.end() || cit->second == kNoSeq ||
+        cit->second < store) {
+        committedVersion[addr] = store;
+    }
+}
+
+void
+Arb::removeLoad(Addr addr, SeqNum load)
+{
+    commitLoad(addr, load);    // same bookkeeping: drop the entry
+}
+
+void
+Arb::removeStore(Addr addr, SeqNum store)
+{
+    auto it = inflightStores.find(addr);
+    if (it == inflightStores.end())
+        return;
+    eraseIf(it->second, [store](SeqNum s) { return s == store; });
+    if (it->second.empty())
+        inflightStores.erase(it);
+}
+
+void
+Arb::reset()
+{
+    loads.clear();
+    inflightStores.clear();
+    committedVersion.clear();
+}
+
+size_t
+Arb::trackedLoads() const
+{
+    size_t n = 0;
+    for (const auto &[a, v] : loads)
+        n += v.size();
+    return n;
+}
+
+} // namespace mdp

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Address Resolution Buffer: tracks speculatively executed loads and
+ * in-flight store versions per address, detecting memory dependence
+ * violations (after Franklin & Sohi's ARB, which the simulated
+ * Multiscalar uses for disambiguation).
+ */
+
+#ifndef MDP_MULTISCALAR_ARB_HH
+#define MDP_MULTISCALAR_ARB_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/microop.hh"
+
+namespace mdp
+{
+
+/**
+ * Violation detector and version oracle over the in-flight window.
+ *
+ * The owner calls loadExecuted()/storeExecuted() at execution,
+ * commit*() at task commit, and remove*() for squashed operations.
+ */
+class Arb
+{
+  public:
+    /**
+     * Record an executing load and determine the version (store
+     * sequence number) it observes: the newest executed or committed
+     * store to the address older than the load, kNoSeq if none.
+     */
+    SeqNum loadExecuted(Addr addr, SeqNum load, uint32_t load_task);
+
+    /**
+     * Record an executing store and check for violations.
+     * @return the sequence number of the *earliest* executed load that
+     * (a) is younger than the store, (b) belongs to a later task, and
+     * (c) observed a version older than this store -- or kNoSeq when
+     * the speculation was safe.
+     */
+    SeqNum storeExecuted(Addr addr, SeqNum store, uint32_t store_task);
+
+    /**
+     * Re-scan for a violator without re-recording the store (used
+     * after a benign value-predicted violation is absorbed).
+     */
+    SeqNum findViolator(Addr addr, SeqNum store,
+                        uint32_t store_task) const;
+
+    /**
+     * Update a load's observed version to @p version: a value
+     * prediction absorbed the store's effect, so the load now counts
+     * as having seen it.
+     */
+    void refreshLoadVersion(Addr addr, SeqNum load, SeqNum version);
+
+    /** Retire a load: it can no longer be violated. */
+    void commitLoad(Addr addr, SeqNum load);
+
+    /** Retire a store: fold it into the committed version. */
+    void commitStore(Addr addr, SeqNum store);
+
+    /** Remove a squashed, previously executed load. */
+    void removeLoad(Addr addr, SeqNum load);
+
+    /** Remove a squashed, previously executed store. */
+    void removeStore(Addr addr, SeqNum store);
+
+    void reset();
+
+    /** In-flight tracked loads (for tests / invariant checks). */
+    size_t trackedLoads() const;
+
+  private:
+    struct LoadEntry
+    {
+        SeqNum seq;
+        SeqNum version;
+        uint32_t task;
+    };
+
+    std::unordered_map<Addr, std::vector<LoadEntry>> loads;
+    std::unordered_map<Addr, std::vector<SeqNum>> inflightStores;
+    std::unordered_map<Addr, SeqNum> committedVersion;
+};
+
+} // namespace mdp
+
+#endif // MDP_MULTISCALAR_ARB_HH

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Configuration and result types of the Multiscalar timing model.
+ *
+ * Defaults follow section 5.2: 4 or 8 processing units, each a 2-way
+ * out-of-order issue pipeline with the functional-unit latencies of
+ * Table 2, a unidirectional point-to-point ring (1 cycle/hop), twice as
+ * many interleaved data-cache banks as stages (8 KB direct-mapped each,
+ * 64-byte blocks, 2-cycle hits, 10+3-cycle miss penalty) behind a
+ * shared split-transaction bus.
+ */
+
+#ifndef MDP_MULTISCALAR_CONFIG_HH
+#define MDP_MULTISCALAR_CONFIG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mdp/config.hh"
+#include "mdp/policy.hh"
+#include "mdp/sync_unit.hh"
+
+namespace mdp
+{
+
+/**
+ * A statically-known store->load dependence edge (section 6: the
+ * compiler could expose unambiguous dependences to the MDPT through
+ * ISA extensions).  Preloaded edges start armed, skipping the
+ * mis-speculation training the hardware otherwise needs.
+ */
+struct StaticEdge
+{
+    Addr ldpc = 0;
+    Addr stpc = 0;
+    uint32_t dist = 1;
+    Addr storeTaskPc = 0;
+};
+
+/** Parameters of one simulated Multiscalar processor. */
+struct MultiscalarConfig
+{
+    unsigned numStages = 4;        ///< processing units
+    unsigned issueWidth = 2;       ///< per-stage issue (and fetch) width
+    unsigned stageWindow = 16;     ///< per-stage scheduling window (ops)
+
+    unsigned ringHopLatency = 1;   ///< cycles per hop, adjacent stages
+    unsigned squashPenalty = 5;    ///< restart delay after a squash
+    unsigned mispredictPenalty = 6; ///< sequencer recovery delay
+
+    // Functional units per stage (Table 2 mix).
+    unsigned simpleIntFUs = 2;
+    unsigned complexIntFUs = 1;
+    unsigned fpFUs = 1;
+    unsigned branchFUs = 1;
+    unsigned memPorts = 1;
+
+    // Memory system.
+    unsigned banksPerStage = 2;    ///< data banks = banksPerStage*stages
+    unsigned bankBytes = 8 * 1024;
+    unsigned blockBytes = 64;
+    unsigned bankHitLatency = 2;
+    unsigned missPenalty = 13;     ///< 10 + 3
+    unsigned busBusyPerMiss = 4;   ///< bus occupancy per line transfer
+
+    // Speculation.
+    SpecPolicy policy = SpecPolicy::Always;
+    SyncUnitConfig sync;           ///< used by Sync/ESync policies
+    SyncOrganization organization = SyncOrganization::Combined;
+
+    /** Probability the sequencer mispredicts a task's successor; the
+     *  harness sets this from the workload profile. */
+    double taskMispredictRate = 0.0;
+
+    /** Seed for deterministic control-misprediction draws. */
+    uint64_t seed = 0x5eed;
+
+    /** Safety cap; 0 derives a generous bound from the trace length. */
+    uint64_t maxCycles = 0;
+
+    /** Record (load PC, store PC) of every mis-speculation (needed by
+     *  the DDC studies of Table 7). */
+    bool logMisSpeculations = false;
+
+    /** Statically-known dependences preloaded into the MDPT before
+     *  execution (section 6, compiler-exposed synchronization). */
+    std::vector<StaticEdge> preloadEdges;
+
+    /** Derived: number of data banks. */
+    unsigned numBanks() const { return banksPerStage * numStages; }
+};
+
+/** Dependence-prediction breakdown in the format of Table 8. */
+struct PredBreakdown
+{
+    uint64_t nn = 0;   ///< predicted no dependence, none existed
+    uint64_t ny = 0;   ///< predicted no dependence, mis-speculated
+    uint64_t yn = 0;   ///< predicted dependence, none (false prediction)
+    uint64_t yy = 0;   ///< predicted dependence, dependence existed
+
+    uint64_t total() const { return nn + ny + yn + yy; }
+};
+
+/** Results of one simulation run. */
+struct SimResult
+{
+    uint64_t cycles = 0;
+    uint64_t committedOps = 0;
+    uint64_t committedLoads = 0;
+    uint64_t committedStores = 0;
+    uint64_t committedTasks = 0;
+
+    uint64_t misSpeculations = 0;  ///< dependence violations detected
+    uint64_t squashedOps = 0;      ///< issued work thrown away
+    uint64_t controlStalls = 0;    ///< sequencer mispredict events
+
+    uint64_t loadsBlockedSync = 0;     ///< waits imposed by the MDST
+    uint64_t loadsBlockedFrontier = 0; ///< waits for store resolution
+    uint64_t frontierReleases = 0;     ///< incomplete synchronizations
+    uint64_t syncWaitCycles = 0;       ///< cycles loads spent MDST-blocked
+    uint64_t signalWaitCycles = 0;     ///< subset ended by a signal
+    uint64_t frontierWaitCycles = 0;   ///< subset ended by the frontier
+
+    uint64_t valuePredUses = 0;    ///< loads that consumed a prediction
+    uint64_t valuePredHits = 0;    ///< benign violations absorbed
+    uint64_t valuePredMisses = 0;  ///< wrong values -> squash
+
+    PredBreakdown pred;            ///< Table 8 accounting
+    SyncStats syncStats;           ///< structure-level counters
+
+    /** (load PC, store PC) per mis-speculation, if logging enabled. */
+    std::vector<std::pair<Addr, Addr>> misspecLog;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(committedOps) / cycles : 0.0;
+    }
+
+    /** Mis-speculations per committed load (Table 9 metric). */
+    double
+    misspecPerLoad() const
+    {
+        return committedLoads
+            ? static_cast<double>(misSpeculations) / committedLoads
+            : 0.0;
+    }
+};
+
+} // namespace mdp
+
+#endif // MDP_MULTISCALAR_CONFIG_HH

@@ -1,0 +1,692 @@
+#include "multiscalar/processor.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+
+namespace mdp
+{
+
+MultiscalarProcessor::MultiscalarProcessor(const Trace &trace,
+                                           const DepOracle &dep_oracle,
+                                           const TaskSet &task_set,
+                                           const MultiscalarConfig &config)
+    : trc(trace), oracle(dep_oracle), tasks(task_set), cfg(config),
+      state(trace.size()), taskRun(task_set.numTasks()),
+      stages(config.numStages), memsys(config)
+{
+    if (usesPredictor(cfg.policy)) {
+        SyncUnitConfig sc = cfg.sync;
+        sc.predictor = cfg.policy == SpecPolicy::ESync ||
+                               cfg.policy == SpecPolicy::VSync
+            ? PredictorKind::PathCounter
+            : sc.predictor == PredictorKind::AlwaysSync
+                ? PredictorKind::AlwaysSync
+                : PredictorKind::Counter;
+        sc.slotsPerEntry = std::max(sc.slotsPerEntry, cfg.numStages);
+        sc.numCopies = cfg.numStages;
+        sync = makeSynchronizer(sc, cfg.organization);
+        // Compiler-exposed dependences (section 6): seed the table as
+        // if each edge had already mis-speculated enough to arm.
+        for (const StaticEdge &e : cfg.preloadEdges) {
+            sync->misSpeculation(e.ldpc, e.stpc, e.dist, e.storeTaskPc);
+            sync->misSpeculation(e.ldpc, e.stpc, e.dist, e.storeTaskPc);
+        }
+    }
+}
+
+MultiscalarProcessor::~MultiscalarProcessor() = default;
+
+bool
+MultiscalarProcessor::taskMispredicted(uint32_t task) const
+{
+    if (cfg.seed == 0 || cfg.taskMispredictRate <= 0.0)
+        return false;
+    uint64_t h = mix64(cfg.seed ^ (task * 0x9e3779b97f4a7c15ULL));
+    double u = (h >> 11) * (1.0 / 9007199254740992.0);
+    return u < cfg.taskMispredictRate;
+}
+
+SimResult
+MultiscalarProcessor::run()
+{
+    uint32_t num_tasks = tasks.numTasks();
+    if (num_tasks == 0)
+        return res;
+
+    uint64_t cap = cfg.maxCycles
+        ? cfg.maxCycles
+        : 1000 + static_cast<uint64_t>(trc.size()) * 60;
+
+    while (committedTasks < num_tasks) {
+        ++cycle;
+        if (cycle > cap) {
+            warn("multiscalar: cycle cap %llu hit with %llu/%u tasks "
+                 "committed; results are partial",
+                 static_cast<unsigned long long>(cap),
+                 static_cast<unsigned long long>(committedTasks),
+                 num_tasks);
+            break;
+        }
+
+        sequencerStep();
+        for (unsigned k = 0; k < cfg.numStages; ++k)
+            stageStep(stages[(committedTasks + k) % cfg.numStages]);
+        frontierScan();
+        if (sync)
+            drainSyncReleases();
+        commitStep();
+    }
+
+    res.cycles = cycle;
+    res.committedTasks = committedTasks;
+    if (sync)
+        res.syncStats = sync->stats();
+    return res;
+}
+
+Addr
+MultiscalarProcessor::taskPc(uint64_t instance) const
+{
+    if (instance >= committedTasks && instance < nextTask)
+        return tasks.taskPc(static_cast<uint32_t>(instance));
+    return 0;
+}
+
+// ---------------------------------------------------------------------
+// Sequencer
+// ---------------------------------------------------------------------
+
+void
+MultiscalarProcessor::sequencerStep()
+{
+    if (nextTask >= tasks.numTasks())
+        return;
+
+    if (mispredictStall) {
+        // Recovery: the wrong-path work drains (all older tasks must
+        // commit), then the sequencer re-fetches the right task after
+        // the recovery penalty.
+        if (mispredictResume == 0 && committedTasks == nextTask)
+            mispredictResume = cycle + cfg.mispredictPenalty;
+        if (mispredictResume == 0 || cycle < mispredictResume)
+            return;
+        mispredictStall = false;
+        mispredictResume = 0;
+        // fall through to assignment
+    } else if (taskMispredicted(static_cast<uint32_t>(nextTask))) {
+        mispredictStall = true;
+        ++res.controlStalls;
+        return;
+    }
+
+    Stage &st = stages[nextTask % cfg.numStages];
+    if (st.task >= 0)
+        return;   // the ring slot is still busy with an older task
+
+    st.task = static_cast<int64_t>(nextTask);
+    st.fetchPtr = tasks.taskStart(static_cast<uint32_t>(nextTask));
+    st.window.clear();
+    st.resumeCycle = cycle + 1;
+    taskRun[nextTask] = TaskRun{};
+    ++nextTask;
+}
+
+// ---------------------------------------------------------------------
+// Issue
+// ---------------------------------------------------------------------
+
+bool
+MultiscalarProcessor::srcReady(SeqNum src, uint32_t consumer_task) const
+{
+    if (src == kNoSeq)
+        return true;
+    const OpState &ps = state[src];
+    if (!(ps.flags & kIssued))
+        return false;
+    uint32_t ptask = trc[src].taskId;
+    uint64_t ready = ps.doneCycle;
+    if (ptask != consumer_task)
+        ready += static_cast<uint64_t>(consumer_task - ptask) *
+                 cfg.ringHopLatency;
+    return ready <= cycle;
+}
+
+bool
+MultiscalarProcessor::srcsReady(SeqNum seq) const
+{
+    const MicroOp &op = trc[seq];
+    return srcReady(op.src1, op.taskId) && srcReady(op.src2, op.taskId);
+}
+
+void
+MultiscalarProcessor::classify(SeqNum load, bool predicted, bool actual)
+{
+    (void)load;
+    if (predicted)
+        actual ? ++res.pred.yy : ++res.pred.yn;
+    else
+        actual ? ++res.pred.ny : ++res.pred.nn;
+}
+
+bool
+MultiscalarProcessor::tryIssueMem(SeqNum seq, unsigned &mem_ports)
+{
+    const MicroOp &op = trc[seq];
+    OpState &os = state[seq];
+    uint32_t t = op.taskId;
+
+    if (op.isStore()) {
+        if (mem_ports == 0)
+            return false;
+        --mem_ports;
+        executeStore(seq);
+        return true;
+    }
+
+    // Loads.  Intra-task memory dependences are never speculated: all
+    // older stores of this task must have executed.
+    if (!taskStoresDoneBefore(t, seq))
+        return false;
+    if (mem_ports == 0)
+        return false;
+
+    switch (cfg.policy) {
+      case SpecPolicy::Always:
+        break;
+
+      case SpecPolicy::Never:
+        if (!allStoresDoneBefore(seq)) {
+            os.flags |= kBlockedFrontier;
+            frontierBlocked.push_back(seq);
+            ++res.loadsBlockedFrontier;
+            return true;
+        }
+        break;
+
+      case SpecPolicy::Wait: {
+        // Perfect prediction: the load knows it has a true inter-task
+        // dependence within the active window, but there is no
+        // synchronization -- it waits for every older store.
+        SeqNum p = oracle.producer(seq);
+        if (p != kNoSeq && trc[p].taskId != t &&
+            trc[p].taskId >= committedTasks &&
+            !allStoresDoneBefore(seq)) {
+            os.flags |= kBlockedFrontier;
+            frontierBlocked.push_back(seq);
+            ++res.loadsBlockedFrontier;
+            return true;
+        }
+        break;
+      }
+
+      case SpecPolicy::PerfectSync: {
+        // Ideal: wait exactly for the producing store, if it has not
+        // executed yet.
+        SeqNum p = oracle.producer(seq);
+        if (p != kNoSeq && trc[p].taskId != t &&
+            trc[p].taskId >= committedTasks &&
+            !(state[p].flags & kIssued)) {
+            os.flags |= kBlockedPsync;
+            psyncWaiters[p].push_back(seq);
+            ++res.loadsBlockedSync;
+            return true;
+        }
+        break;
+      }
+
+      case SpecPolicy::Sync:
+      case SpecPolicy::ESync:
+      case SpecPolicy::VSync: {
+        if (os.flags & kSyncDone)
+            break;   // synchronization already satisfied once
+        if (cfg.policy == SpecPolicy::VSync &&
+            vpred.confident(op.pc)) {
+            // Hybrid: consume the predicted value instead of
+            // synchronizing; validated when the producer executes.
+            os.flags |= kValuePred;
+            ++res.valuePredUses;
+            break;
+        }
+        LoadCheck r = sync->loadReady(op.pc, op.addr, t, seq, this);
+        if (r.wait) {
+            os.flags |= kBlockedSync | kPredPendingY;
+            os.doneCycle = cycle;   // stash the block time
+            syncBlocked.push_back(seq);
+            ++res.loadsBlockedSync;
+            return true;
+        }
+        if (r.fullBypass) {
+            // Predicted dependence satisfied before the load arrived.
+            // The paper counts this as a predicted-Y / actual-N
+            // outcome (section 5.5) -- unless the bypass merely
+            // consumes the signal this load already waited for.
+            if (!(os.flags & kSignaled))
+                classify(seq, true, false);
+        } else if (!r.predicted) {
+            os.flags |= kPredPendingN;
+        }
+        break;
+      }
+    }
+
+    --mem_ports;
+    executeLoad(seq);
+    return true;
+}
+
+void
+MultiscalarProcessor::executeLoad(SeqNum seq)
+{
+    const MicroOp &op = trc[seq];
+    OpState &os = state[seq];
+    os.doneCycle = memsys.access(op.addr, cycle, false);
+    os.flags |= kIssued;
+    arb.loadExecuted(op.addr, seq, op.taskId);
+
+    TaskRun &tr = taskRun[op.taskId];
+    ++tr.issuedOps;
+    tr.lastDone = std::max(tr.lastDone, os.doneCycle);
+}
+
+void
+MultiscalarProcessor::executeStore(SeqNum seq)
+{
+    const MicroOp &op = trc[seq];
+    OpState &os = state[seq];
+    os.doneCycle = memsys.access(op.addr, cycle, true);
+    os.flags |= kIssued;
+
+    TaskRun &tr = taskRun[op.taskId];
+    ++tr.issuedOps;
+    tr.lastDone = std::max(tr.lastDone, os.doneCycle);
+
+    // Violation check: did a younger load from a later task already
+    // read this location?  Benignly absorbed (value-predicted)
+    // violations re-scan in case an unpredicted load also raced.
+    SeqNum violator = arb.storeExecuted(op.addr, seq, op.taskId);
+    while (violator != kNoSeq && handleViolation(violator, seq))
+        violator = arb.findViolator(op.addr, seq, op.taskId);
+
+    // Wake ideal-sync waiters.
+    auto wit = psyncWaiters.find(seq);
+    if (wit != psyncWaiters.end()) {
+        for (SeqNum l : wit->second) {
+            if (state[l].flags & kBlockedPsync)
+                state[l].flags &= ~kBlockedPsync;
+        }
+        psyncWaiters.erase(wit);
+    }
+
+    // Signal the synchronization table.
+    if (sync) {
+        wakeupBuf.clear();
+        sync->storeReady(op.pc, op.addr, op.taskId, seq, wakeupBuf);
+        for (LoadId l : wakeupBuf) {
+            OpState &ls = state[l];
+            if (ls.flags & kBlockedSync) {
+                ls.flags &= ~kBlockedSync;
+                ls.flags |= kSignaled;
+                // Every completed synchronization is a value-locality
+                // observation: had the value repeated, the wait was
+                // avoidable (section-6 hybrid training).
+                if (cfg.policy == SpecPolicy::VSync)
+                    vpred.train(trc[l].pc, op.valueRepeats);
+                res.syncWaitCycles += cycle - ls.doneCycle;
+                res.signalWaitCycles += cycle - ls.doneCycle;
+                ls.doneCycle = 0;
+                if (ls.flags & kPredPendingY) {
+                    ls.flags &= ~kPredPendingY;
+                    classify(l, true, true);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Memory-ordering helpers
+// ---------------------------------------------------------------------
+
+bool
+MultiscalarProcessor::taskStoresDoneBefore(uint32_t t, SeqNum seq)
+{
+    const std::vector<SeqNum> &stores = tasks.stores(t);
+    TaskRun &tr = taskRun[t];
+    while (tr.storePtr < stores.size() &&
+           (state[stores[tr.storePtr]].flags & kIssued)) {
+        ++tr.storePtr;
+    }
+    return tr.storePtr >= stores.size() || stores[tr.storePtr] >= seq;
+}
+
+bool
+MultiscalarProcessor::allStoresDoneBefore(SeqNum seq)
+{
+    uint32_t lt = trc[seq].taskId;
+    for (uint64_t t = committedTasks; t <= lt; ++t) {
+        if (!taskStoresDoneBefore(static_cast<uint32_t>(t), seq))
+            return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Stage pipeline
+// ---------------------------------------------------------------------
+
+void
+MultiscalarProcessor::stageStep(Stage &stage)
+{
+    if (stage.task < 0 || cycle < stage.resumeCycle)
+        return;
+
+    uint32_t t = static_cast<uint32_t>(stage.task);
+    SeqNum end = tasks.taskEnd(t);
+
+    // Fetch in program order into the scheduling window.
+    unsigned fetched = 0;
+    while (fetched < cfg.issueWidth &&
+           stage.window.size() < cfg.stageWindow &&
+           stage.fetchPtr < end) {
+        stage.window.push_back(stage.fetchPtr);
+        ++stage.fetchPtr;
+        ++fetched;
+    }
+
+    // Out-of-order issue from the window.
+    unsigned simple_fu = cfg.simpleIntFUs;
+    unsigned complex_fu = cfg.complexIntFUs;
+    unsigned fp_fu = cfg.fpFUs;
+    unsigned branch_fu = cfg.branchFUs;
+    unsigned mem_ports = cfg.memPorts;
+    unsigned issued = 0;
+    bool any_issued = false;
+
+    for (size_t i = 0;
+         i < stage.window.size() && issued < cfg.issueWidth; ++i) {
+        SeqNum seq = stage.window[i];
+        OpState &os = state[seq];
+        if (os.flags &
+            (kIssued | kBlockedSync | kBlockedFrontier | kBlockedPsync))
+            continue;
+        if (!srcsReady(seq))
+            continue;
+
+        const MicroOp &op = trc[seq];
+        if (op.isMemOp()) {
+            if (!tryIssueMem(seq, mem_ports))
+                continue;
+            // Either issued or transitioned to blocked; blocked ops do
+            // not consume an issue slot.
+            if (!(os.flags & kIssued))
+                continue;
+        } else {
+            unsigned *fu = nullptr;
+            switch (op.kind) {
+              case OpKind::IntAlu:
+                fu = &simple_fu;
+                break;
+              case OpKind::IntMul:
+              case OpKind::IntDiv:
+                fu = &complex_fu;
+                break;
+              case OpKind::FpAdd:
+              case OpKind::FpMul:
+              case OpKind::FpDiv:
+                fu = &fp_fu;
+                break;
+              case OpKind::Branch:
+                fu = &branch_fu;
+                break;
+              default:
+                fu = &simple_fu;
+                break;
+            }
+            if (*fu == 0)
+                continue;
+            --*fu;
+            os.doneCycle = cycle + opLatency(op.kind);
+            os.flags |= kIssued;
+            TaskRun &tr = taskRun[t];
+            ++tr.issuedOps;
+            tr.lastDone = std::max(tr.lastDone, os.doneCycle);
+        }
+        ++issued;
+        any_issued = true;
+    }
+
+    if (any_issued) {
+        std::erase_if(stage.window, [this](SeqNum s) {
+            return state[s].flags & kIssued;
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Blocked-load release
+// ---------------------------------------------------------------------
+
+void
+MultiscalarProcessor::frontierScan()
+{
+    auto keep_frontier = [this](SeqNum seq) {
+        OpState &os = state[seq];
+        if (!(os.flags & kBlockedFrontier))
+            return false;   // squashed or already released
+        if (allStoresDoneBefore(seq)) {
+            os.flags &= ~kBlockedFrontier;
+            return false;
+        }
+        return true;
+    };
+    std::erase_if(frontierBlocked,
+                  [&](SeqNum s) { return !keep_frontier(s); });
+
+    if (!sync)
+        return;
+
+    auto keep_sync = [this](SeqNum seq) {
+        OpState &os = state[seq];
+        if (!(os.flags & kBlockedSync))
+            return false;
+        if (allStoresDoneBefore(seq)) {
+            // Incomplete synchronization: the predicted store never
+            // signalled, but the load is provably safe now.
+            sync->frontierRelease(seq);
+            os.flags &= ~kBlockedSync;
+            os.flags |= kSyncDone;
+            res.syncWaitCycles += cycle - os.doneCycle;
+            res.frontierWaitCycles += cycle - os.doneCycle;
+            os.doneCycle = 0;
+            if (os.flags & kPredPendingY) {
+                os.flags &= ~kPredPendingY;
+                classify(seq, true, false);
+            }
+            ++res.frontierReleases;
+            return false;
+        }
+        return true;
+    };
+    std::erase_if(syncBlocked, [&](SeqNum s) { return !keep_sync(s); });
+}
+
+void
+MultiscalarProcessor::drainSyncReleases()
+{
+    wakeupBuf.clear();
+    sync->drainReleasedLoads(wakeupBuf);
+    for (LoadId l : wakeupBuf) {
+        OpState &os = state[l];
+        if (os.flags & kBlockedSync) {
+            os.flags &= ~kBlockedSync;
+            os.flags |= kSyncDone;
+            res.syncWaitCycles += cycle - os.doneCycle;
+            os.doneCycle = 0;
+            if (os.flags & kPredPendingY) {
+                os.flags &= ~kPredPendingY;
+                classify(l, true, false);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------
+
+bool
+MultiscalarProcessor::handleViolation(SeqNum load, SeqNum store)
+{
+    const MicroOp &lop = trc[load];
+    const MicroOp &sop = trc[store];
+
+    if (cfg.policy == SpecPolicy::VSync) {
+        // Train value-prediction confidence on every examined
+        // violation; absorb it when the prediction was right.
+        vpred.train(lop.pc, sop.valueRepeats);
+        if ((state[load].flags & kValuePred) && sop.valueRepeats) {
+            ++res.valuePredHits;
+            arb.refreshLoadVersion(lop.addr, load, store);
+            return true;
+        }
+        if (state[load].flags & kValuePred)
+            ++res.valuePredMisses;
+    }
+
+    ++res.misSpeculations;
+    if (cfg.logMisSpeculations)
+        res.misspecLog.emplace_back(lop.pc, sop.pc);
+
+    // Table 8: a mis-speculated load was a predicted-N / actual-Y.
+    if (state[load].flags & kPredPendingN) {
+        state[load].flags &= ~kPredPendingN;
+        classify(load, false, true);
+    }
+
+    if (sync) {
+        uint32_t dist = lop.taskId - sop.taskId;
+        sync->misSpeculation(lop.pc, sop.pc, dist,
+                             tasks.taskPc(sop.taskId));
+    }
+
+    squashFrom(load);
+    return false;
+}
+
+void
+MultiscalarProcessor::squashFrom(SeqNum squash_start)
+{
+    uint32_t task0 = trc[squash_start].taskId;
+
+    // Reset every op from the squash point to the youngest assigned
+    // instruction.  Work older than the offending load survives, as in
+    // the paper ("instructions following the load are squashed").
+    for (uint64_t t = task0; t < nextTask; ++t) {
+        uint32_t tt = static_cast<uint32_t>(t);
+        SeqNum begin = std::max(tasks.taskStart(tt), squash_start);
+        SeqNum end = tasks.taskEnd(tt);
+
+        for (SeqNum s = begin; s < end; ++s) {
+            OpState &os = state[s];
+            if (os.flags & kIssued) {
+                ++res.squashedOps;
+                const MicroOp &op = trc[s];
+                if (op.isLoad())
+                    arb.removeLoad(op.addr, s);
+                else if (op.isStore())
+                    arb.removeStore(op.addr, s);
+            }
+            os = OpState{};
+        }
+
+        Stage &st = stages[tt % cfg.numStages];
+        if (tt == task0) {
+            // Partial squash: recompute the surviving prefix state.
+            TaskRun &tr = taskRun[tt];
+            tr = TaskRun{};
+            for (SeqNum s = tasks.taskStart(tt); s < squash_start; ++s) {
+                if (state[s].flags & kIssued) {
+                    ++tr.issuedOps;
+                    tr.lastDone =
+                        std::max(tr.lastDone, state[s].doneCycle);
+                }
+            }
+            if (st.task == static_cast<int64_t>(t)) {
+                std::erase_if(st.window, [&](SeqNum s) {
+                    return s >= squash_start;
+                });
+                st.fetchPtr = std::max(st.fetchPtr, squash_start);
+                if (st.fetchPtr > squash_start)
+                    st.fetchPtr = squash_start;
+                st.resumeCycle = cycle + cfg.squashPenalty;
+            }
+        } else {
+            taskRun[tt] = TaskRun{};
+            if (st.task == static_cast<int64_t>(t)) {
+                st.fetchPtr = tasks.taskStart(tt);
+                st.window.clear();
+                st.resumeCycle = cycle + cfg.squashPenalty;
+            }
+        }
+    }
+
+    // Purge bookkeeping that refers to squashed operations.
+    std::erase_if(frontierBlocked,
+                  [&](SeqNum s) { return s >= squash_start; });
+    std::erase_if(syncBlocked,
+                  [&](SeqNum s) { return s >= squash_start; });
+    for (auto it = psyncWaiters.begin(); it != psyncWaiters.end();) {
+        std::erase_if(it->second,
+                      [&](SeqNum s) { return s >= squash_start; });
+        if (it->second.empty() || it->first >= squash_start)
+            it = psyncWaiters.erase(it);
+        else
+            ++it;
+    }
+
+    if (sync)
+        sync->squash(squash_start, squash_start);
+}
+
+// ---------------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------------
+
+void
+MultiscalarProcessor::commitStep()
+{
+    if (committedTasks >= nextTask)
+        return;
+    uint32_t t = static_cast<uint32_t>(committedTasks);
+    Stage &st = stages[t % cfg.numStages];
+    if (st.task != static_cast<int64_t>(committedTasks))
+        return;
+
+    TaskRun &tr = taskRun[t];
+    uint32_t size = tasks.taskSize(t);
+    if (tr.issuedOps < size || tr.lastDone > cycle)
+        return;
+
+    // Retire memory state and finish prediction accounting.
+    for (SeqNum l : tasks.loads(t)) {
+        arb.commitLoad(trc[l].addr, l);
+        if (state[l].flags & kPredPendingN) {
+            state[l].flags &= ~kPredPendingN;
+            classify(l, false, false);
+        }
+    }
+    for (SeqNum s : tasks.stores(t))
+        arb.commitStore(trc[s].addr, s);
+
+    res.committedOps += size;
+    res.committedLoads += tasks.loads(t).size();
+    res.committedStores += tasks.stores(t).size();
+
+    st.task = -1;
+    st.window.clear();
+    ++committedTasks;
+}
+
+} // namespace mdp

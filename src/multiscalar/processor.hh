@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Cycle-driven Multiscalar timing model (section 5.2 configuration).
+ *
+ * The processor sequences a trace's tasks onto a ring of processing
+ * stages (task t runs on stage t mod numStages).  Each stage fetches
+ * its task in order and issues up to issueWidth ready ops per cycle
+ * from a small scheduling window.  Register dependences crossing tasks
+ * pay ring-hop latency.  Intra-task memory dependences are never
+ * speculated (a load waits until all earlier same-task stores have
+ * executed); inter-task memory dependences are handled per the
+ * configured speculation policy.  An ARB detects violations; recovery
+ * squashes the offending load's task and all younger tasks.
+ */
+
+#ifndef MDP_MULTISCALAR_PROCESSOR_HH
+#define MDP_MULTISCALAR_PROCESSOR_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mdp/sync_unit.hh"
+#include "mdp/value_pred.hh"
+#include "multiscalar/arb.hh"
+#include "multiscalar/config.hh"
+#include "multiscalar/memsys.hh"
+#include "multiscalar/task_info.hh"
+#include "trace/dep_oracle.hh"
+#include "trace/trace.hh"
+
+namespace mdp
+{
+
+/**
+ * One simulation run of one trace under one configuration.  Construct
+ * and call run() once.
+ */
+class MultiscalarProcessor : public TaskPcSource
+{
+  public:
+    MultiscalarProcessor(const Trace &trace, const DepOracle &oracle,
+                         const TaskSet &tasks,
+                         const MultiscalarConfig &config);
+    ~MultiscalarProcessor() override;
+
+    /** Execute the whole trace; returns aggregate results. */
+    SimResult run();
+
+    /** TaskPcSource: PC of an in-flight task, 0 when unknown. */
+    Addr taskPc(uint64_t instance) const override;
+
+  private:
+    // Op-state flags.
+    /** Woken by a store signal; the pending full flag will be consumed
+     *  at issue (no re-classification). */
+    static constexpr uint16_t kSignaled = 1 << 0;
+    static constexpr uint16_t kIssued = 1 << 1;
+    static constexpr uint16_t kBlockedSync = 1 << 2;
+    static constexpr uint16_t kBlockedFrontier = 1 << 3;
+    static constexpr uint16_t kBlockedPsync = 1 << 4;
+    static constexpr uint16_t kPredPendingN = 1 << 5;
+    static constexpr uint16_t kPredPendingY = 1 << 6;
+    /** The load already completed its synchronization (signal,
+     *  frontier or eviction release): it must not re-consult the
+     *  predictor when it finally issues. */
+    static constexpr uint16_t kSyncDone = 1 << 7;
+    /** The load consumed a predicted value instead of synchronizing
+     *  (VSync); a violation by a value-repeating store is benign. */
+    static constexpr uint16_t kValuePred = 1 << 8;
+
+    struct OpState
+    {
+        uint64_t doneCycle = 0;
+        uint16_t flags = 0;
+    };
+
+    struct Stage
+    {
+        int64_t task = -1;
+        SeqNum fetchPtr = 0;
+        std::vector<SeqNum> window;
+        uint64_t resumeCycle = 0;
+    };
+
+    struct TaskRun
+    {
+        uint32_t storePtr = 0;     ///< first possibly-unexecuted store
+        uint32_t issuedOps = 0;
+        uint64_t lastDone = 0;     ///< max doneCycle of issued ops
+    };
+
+    // --- per-cycle phases -------------------------------------------
+    void sequencerStep();
+    void stageStep(Stage &stage);
+    void frontierScan();
+    void drainSyncReleases();
+    void commitStep();
+
+    // --- issue helpers ----------------------------------------------
+    bool srcsReady(SeqNum seq) const;
+    bool srcReady(SeqNum src, uint32_t consumer_task) const;
+
+    /** Try to issue a memory op; returns true if it issued (or became
+     *  blocked -- in either case the window slot is handled). */
+    bool tryIssueMem(SeqNum seq, unsigned &mem_ports);
+
+    void executeLoad(SeqNum seq);
+    void executeStore(SeqNum seq);
+
+    // --- memory-ordering helpers ------------------------------------
+    /** All stores of task @p t older than @p seq have executed. */
+    bool taskStoresDoneBefore(uint32_t t, SeqNum seq);
+
+    /** All stores older than @p seq in every active task executed. */
+    bool allStoresDoneBefore(SeqNum seq);
+
+    // --- recovery -----------------------------------------------------
+    /** @return true when the violation was absorbed benignly by a
+     *  correct value prediction (no squash happened). */
+    bool handleViolation(SeqNum load, SeqNum store);
+
+    /** Squash @p squash_start and everything younger; older work in
+     *  the same task survives (the paper squashes "the instructions
+     *  following the load"). */
+    void squashFrom(SeqNum squash_start);
+
+    // --- classification (Table 8) -----------------------------------
+    void classify(SeqNum load, bool predicted, bool actual);
+
+    bool taskMispredicted(uint32_t task) const;
+
+    const Trace &trc;
+    const DepOracle &oracle;
+    const TaskSet &tasks;
+    MultiscalarConfig cfg;
+
+    std::vector<OpState> state;
+    std::vector<TaskRun> taskRun;
+    std::vector<Stage> stages;
+
+    MemorySystem memsys;
+    Arb arb;
+    std::unique_ptr<DepSynchronizer> sync;
+    ValuePredictor vpred;   ///< section-6 hybrid (VSync policy)
+
+    // Blocked-op bookkeeping.
+    std::vector<SeqNum> frontierBlocked;  ///< WAIT/NEVER waits
+    std::vector<SeqNum> syncBlocked;      ///< MDST waits
+    std::unordered_map<SeqNum, std::vector<SeqNum>> psyncWaiters;
+
+    // Sequencer state.
+    uint64_t nextTask = 0;
+    uint64_t committedTasks = 0;
+    bool mispredictStall = false;
+    uint64_t mispredictResume = 0;
+
+    uint64_t cycle = 0;
+    SimResult res;
+
+    std::vector<LoadId> wakeupBuf;
+};
+
+} // namespace mdp
+
+#endif // MDP_MULTISCALAR_PROCESSOR_HH

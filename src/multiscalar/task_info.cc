@@ -1,0 +1,24 @@
+#include "multiscalar/task_info.hh"
+
+namespace mdp
+{
+
+TaskSet::TaskSet(const Trace &trace)
+{
+    bounds = trace.taskBoundaries();
+    taskCount = trace.numTasks();
+    taskPcs.resize(taskCount);
+    storeLists.resize(taskCount);
+    loadLists.resize(taskCount);
+    for (uint32_t t = 0; t < taskCount; ++t) {
+        taskPcs[t] = trace[bounds[t]].taskPc;
+        for (SeqNum s = bounds[t]; s < bounds[t + 1]; ++s) {
+            if (trace[s].isStore())
+                storeLists[t].push_back(s);
+            else if (trace[s].isLoad())
+                loadLists[t].push_back(s);
+        }
+    }
+}
+
+} // namespace mdp

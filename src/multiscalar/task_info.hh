@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Per-task static information precomputed once per trace and shared by
+ * every simulation run over it.
+ */
+
+#ifndef MDP_MULTISCALAR_TASK_INFO_HH
+#define MDP_MULTISCALAR_TASK_INFO_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace mdp
+{
+
+/**
+ * Task boundaries and per-task memory-op lists.
+ */
+class TaskSet
+{
+  public:
+    explicit TaskSet(const Trace &trace);
+
+    uint32_t numTasks() const { return taskCount; }
+
+    SeqNum taskStart(uint32_t task) const { return bounds[task]; }
+    SeqNum taskEnd(uint32_t task) const { return bounds[task + 1]; }
+
+    uint32_t
+    taskSize(uint32_t task) const
+    {
+        return bounds[task + 1] - bounds[task];
+    }
+
+    /** PC of the first instruction of the task. */
+    Addr taskPc(uint32_t task) const { return taskPcs[task]; }
+
+    /** Store sequence numbers of the task, in program order. */
+    const std::vector<SeqNum> &stores(uint32_t task) const
+    {
+        return storeLists[task];
+    }
+
+    /** Load sequence numbers of the task, in program order. */
+    const std::vector<SeqNum> &loads(uint32_t task) const
+    {
+        return loadLists[task];
+    }
+
+  private:
+    uint32_t taskCount = 0;
+    std::vector<SeqNum> bounds;
+    std::vector<Addr> taskPcs;
+    std::vector<std::vector<SeqNum>> storeLists;
+    std::vector<std::vector<SeqNum>> loadLists;
+};
+
+} // namespace mdp
+
+#endif // MDP_MULTISCALAR_TASK_INFO_HH

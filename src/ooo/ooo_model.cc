@@ -1,0 +1,395 @@
+#include "ooo/ooo_model.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+
+namespace mdp
+{
+
+OooProcessor::OooProcessor(const Trace &trace, const DepOracle &dep_oracle,
+                           const OooConfig &config)
+    : trc(trace), oracle(dep_oracle), cfg(config), state(trace.size()),
+      instanceOf(trace.size(), 0)
+{
+    // Number dynamic instances per static PC (paper footnote 2).  A
+    // precomputed numbering behaves like checkpointed counters: squash
+    // and re-execution see the same instance number.
+    std::unordered_map<Addr, uint32_t> counters;
+    for (SeqNum s = 0; s < trc.size(); ++s) {
+        if (trc[s].isMemOp())
+            instanceOf[s] = counters[trc[s].pc]++;
+    }
+
+    if (usesPredictor(cfg.policy)) {
+        SyncUnitConfig sc = cfg.sync;
+        // There is no task-PC context in a superscalar core; ESync
+        // degenerates to the counter predictor here.
+        if (sc.predictor == PredictorKind::PathCounter)
+            sc.predictor = PredictorKind::Counter;
+        sync = makeSynchronizer(sc, cfg.organization);
+    }
+}
+
+OooProcessor::~OooProcessor() = default;
+
+uint64_t
+OooProcessor::memLatency(SeqNum seq) const
+{
+    uint64_t h = mix64(cfg.seed ^ (seq * 0x9e3779b97f4a7c15ULL));
+    double u = (h >> 11) * (1.0 / 9007199254740992.0);
+    return u < cfg.missRate ? cfg.missPenalty : cfg.loadLatency;
+}
+
+bool
+OooProcessor::srcReady(SeqNum src) const
+{
+    if (src == kNoSeq)
+        return true;
+    const OpState &ps = state[src];
+    return (ps.flags & kIssued) && ps.doneCycle <= cycle;
+}
+
+bool
+OooProcessor::srcsReady(SeqNum seq) const
+{
+    const MicroOp &op = trc[seq];
+    return srcReady(op.src1) && srcReady(op.src2);
+}
+
+bool
+OooProcessor::allStoresDoneBefore(SeqNum seq)
+{
+    const std::vector<SeqNum> &stores = oracle.stores();
+    while (storeFrontier < stores.size() &&
+           (state[stores[storeFrontier]].flags & kIssued)) {
+        ++storeFrontier;
+    }
+    return storeFrontier >= stores.size() ||
+           stores[storeFrontier] >= seq;
+}
+
+bool
+OooProcessor::tryIssueMem(SeqNum seq, unsigned &mem_ports)
+{
+    const MicroOp &op = trc[seq];
+    OpState &os = state[seq];
+
+    if (op.isStore()) {
+        if (mem_ports == 0)
+            return false;
+        --mem_ports;
+        executeStore(seq);
+        return true;
+    }
+
+    if (mem_ports == 0)
+        return false;
+
+    switch (cfg.policy) {
+      case SpecPolicy::Always:
+        break;
+
+      case SpecPolicy::Never:
+        if (!allStoresDoneBefore(seq)) {
+            os.flags |= kBlockedFrontier;
+            frontierBlocked.push_back(seq);
+            ++res.loadsBlocked;
+            return true;
+        }
+        break;
+
+      case SpecPolicy::Wait: {
+        SeqNum p = oracle.producer(seq);
+        if (p != kNoSeq && p >= head && !allStoresDoneBefore(seq)) {
+            os.flags |= kBlockedFrontier;
+            frontierBlocked.push_back(seq);
+            ++res.loadsBlocked;
+            return true;
+        }
+        break;
+      }
+
+      case SpecPolicy::PerfectSync: {
+        SeqNum p = oracle.producer(seq);
+        if (p != kNoSeq && p >= head && !(state[p].flags & kIssued)) {
+            os.flags |= kBlockedPsync;
+            psyncWaiters[p].push_back(seq);
+            ++res.loadsBlocked;
+            return true;
+        }
+        break;
+      }
+
+      case SpecPolicy::Sync:
+      case SpecPolicy::ESync: {
+        if (os.flags & kSyncDone)
+            break;
+        LoadCheck r =
+            sync->loadReady(op.pc, op.addr, instanceOf[seq], seq,
+                            nullptr);
+        if (r.wait) {
+            os.flags |= kBlockedSync;
+            syncBlocked.push_back(seq);
+            ++res.loadsBlocked;
+            return true;
+        }
+        break;
+      }
+    }
+
+    --mem_ports;
+    executeLoad(seq);
+    return true;
+}
+
+void
+OooProcessor::executeLoad(SeqNum seq)
+{
+    const MicroOp &op = trc[seq];
+    OpState &os = state[seq];
+    os.doneCycle = cycle + memLatency(seq);
+    os.flags |= kIssued;
+    arb.loadExecuted(op.addr, seq, /*load_task=*/seq);
+}
+
+void
+OooProcessor::executeStore(SeqNum seq)
+{
+    const MicroOp &op = trc[seq];
+    OpState &os = state[seq];
+    os.doneCycle = cycle + 1;
+    os.flags |= kIssued;
+
+    // Per-op "tasks" make every inter-op violation visible.
+    SeqNum violator = arb.storeExecuted(op.addr, seq, /*store_task=*/seq);
+    if (violator != kNoSeq)
+        handleViolation(violator);
+
+    auto wit = psyncWaiters.find(seq);
+    if (wit != psyncWaiters.end()) {
+        for (SeqNum l : wit->second)
+            state[l].flags &= ~kBlockedPsync;
+        psyncWaiters.erase(wit);
+    }
+
+    if (sync) {
+        wakeupBuf.clear();
+        sync->storeReady(op.pc, op.addr, instanceOf[seq], seq, wakeupBuf);
+        for (LoadId l : wakeupBuf) {
+            // Signal wake: the kept full flag is consumed when the
+            // load re-checks at issue, so no bypass flag is needed.
+            state[l].flags &= ~kBlockedSync;
+        }
+    }
+}
+
+void
+OooProcessor::handleViolation(SeqNum load)
+{
+    ++res.misSpeculations;
+
+    if (sync) {
+        SeqNum p = oracle.producer(load);
+        // Attribute the violation to the oracle's producer (the store
+        // whose value the load should have seen).
+        if (p != kNoSeq) {
+            uint32_t dist = instanceOf[load] >= instanceOf[p]
+                ? instanceOf[load] - instanceOf[p]
+                : 0;
+            sync->misSpeculation(trc[load].pc, trc[p].pc, dist, 0);
+        }
+    }
+
+    // Squash from the offending load onward.
+    for (SeqNum s = load; s < fetchPtr; ++s) {
+        OpState &os = state[s];
+        if (os.flags & kIssued) {
+            ++res.squashedOps;
+            const MicroOp &op = trc[s];
+            if (op.isLoad())
+                arb.removeLoad(op.addr, s);
+            else if (op.isStore())
+                arb.removeStore(op.addr, s);
+        }
+        os = OpState{};
+    }
+    fetchPtr = load;
+    resumeCycle = cycle + cfg.squashPenalty;
+
+    std::erase_if(frontierBlocked, [&](SeqNum s) { return s >= load; });
+    std::erase_if(syncBlocked, [&](SeqNum s) { return s >= load; });
+    for (auto it = psyncWaiters.begin(); it != psyncWaiters.end();) {
+        std::erase_if(it->second, [&](SeqNum s) { return s >= load; });
+        if (it->second.empty() || it->first >= load)
+            it = psyncWaiters.erase(it);
+        else
+            ++it;
+    }
+
+    // Rewind the store frontier past the squash point.
+    const std::vector<SeqNum> &stores = oracle.stores();
+    size_t lb = std::lower_bound(stores.begin(), stores.end(), load) -
+                stores.begin();
+    storeFrontier = std::min(storeFrontier, lb);
+
+    if (sync)
+        sync->squash(load, load);
+}
+
+void
+OooProcessor::frontierScan()
+{
+    auto release_frontier = [this](SeqNum seq) {
+        OpState &os = state[seq];
+        if (!(os.flags & kBlockedFrontier))
+            return true;
+        if (allStoresDoneBefore(seq)) {
+            os.flags &= ~kBlockedFrontier;
+            return true;
+        }
+        return false;
+    };
+    std::erase_if(frontierBlocked, release_frontier);
+
+    if (!sync)
+        return;
+    auto release_sync = [this](SeqNum seq) {
+        OpState &os = state[seq];
+        if (!(os.flags & kBlockedSync))
+            return true;
+        if (allStoresDoneBefore(seq)) {
+            sync->frontierRelease(seq);
+            os.flags &= ~kBlockedSync;
+            os.flags |= kSyncDone;
+            ++res.frontierReleases;
+            return true;
+        }
+        return false;
+    };
+    std::erase_if(syncBlocked, release_sync);
+}
+
+OooResult
+OooProcessor::run()
+{
+    SeqNum n = static_cast<SeqNum>(trc.size());
+    if (n == 0)
+        return res;
+
+    uint64_t cap = cfg.maxCycles
+        ? cfg.maxCycles
+        : 1000 + static_cast<uint64_t>(n) * 60;
+
+    while (head < n) {
+        ++cycle;
+        if (cycle > cap) {
+            warn("ooo: cycle cap hit with %u/%u ops committed",
+                 head, n);
+            break;
+        }
+
+        // Fetch.
+        if (cycle >= resumeCycle) {
+            unsigned fetched = 0;
+            while (fetched < cfg.fetchWidth &&
+                   fetchPtr < n &&
+                   fetchPtr - head < cfg.windowSize) {
+                ++fetchPtr;
+                ++fetched;
+            }
+        }
+
+        // Issue.
+        unsigned simple_fu = cfg.simpleIntFUs;
+        unsigned complex_fu = cfg.complexIntFUs;
+        unsigned fp_fu = cfg.fpFUs;
+        unsigned branch_fu = cfg.branchFUs;
+        unsigned mem_ports = cfg.memPorts;
+        unsigned issued = 0;
+
+        for (SeqNum s = head; s < fetchPtr && issued < cfg.issueWidth;
+             ++s) {
+            OpState &os = state[s];
+            if (os.flags & (kIssued | kBlockedSync | kBlockedFrontier |
+                            kBlockedPsync))
+                continue;
+            if (!srcsReady(s))
+                continue;
+
+            const MicroOp &op = trc[s];
+            if (op.isMemOp()) {
+                if (!tryIssueMem(s, mem_ports))
+                    continue;
+                if (state[s].flags & kIssued)
+                    ++issued;
+                continue;
+            }
+
+            unsigned *fu = nullptr;
+            switch (op.kind) {
+              case OpKind::IntAlu:
+                fu = &simple_fu;
+                break;
+              case OpKind::IntMul:
+              case OpKind::IntDiv:
+                fu = &complex_fu;
+                break;
+              case OpKind::FpAdd:
+              case OpKind::FpMul:
+              case OpKind::FpDiv:
+                fu = &fp_fu;
+                break;
+              case OpKind::Branch:
+                fu = &branch_fu;
+                break;
+              default:
+                fu = &simple_fu;
+                break;
+            }
+            if (*fu == 0)
+                continue;
+            --*fu;
+            os.doneCycle = cycle + opLatency(op.kind);
+            os.flags |= kIssued;
+            ++issued;
+        }
+
+        frontierScan();
+        if (sync) {
+            wakeupBuf.clear();
+            sync->drainReleasedLoads(wakeupBuf);
+            for (LoadId l : wakeupBuf) {
+                if (state[l].flags & kBlockedSync) {
+                    state[l].flags &= ~kBlockedSync;
+                    state[l].flags |= kSyncDone;
+                }
+            }
+        }
+
+        // In-order commit.
+        unsigned committed = 0;
+        while (committed < cfg.commitWidth && head < fetchPtr) {
+            OpState &os = state[head];
+            if (!(os.flags & kIssued) || os.doneCycle > cycle)
+                break;
+            const MicroOp &op = trc[head];
+            if (op.isLoad()) {
+                arb.commitLoad(op.addr, head);
+                ++res.committedLoads;
+            } else if (op.isStore()) {
+                arb.commitStore(op.addr, head);
+            }
+            ++res.committedOps;
+            ++head;
+            ++committed;
+        }
+    }
+
+    res.cycles = cycle;
+    return res;
+}
+
+} // namespace mdp

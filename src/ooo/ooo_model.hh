@@ -1,0 +1,143 @@
+/**
+ * @file
+ * A superscalar, continuous-window out-of-order timing model.
+ *
+ * The paper argues (section 6) that dependence prediction and
+ * synchronization apply beyond Multiscalar; this model explores that
+ * claim.  One centralized instruction window slides over the trace:
+ * fetch is in order, issue is out of order, commit is in order.  Loads
+ * speculate per the configured policy; violations squash from the
+ * offending load (modern-OoO granularity, unlike Multiscalar's task
+ * granularity).  Dynamic instances are numbered per static PC as the
+ * paper's footnote 2 suggests for superscalar cores.
+ */
+
+#ifndef MDP_OOO_OOO_MODEL_HH
+#define MDP_OOO_OOO_MODEL_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mdp/policy.hh"
+#include "mdp/sync_unit.hh"
+#include "multiscalar/arb.hh"
+#include "trace/dep_oracle.hh"
+#include "trace/trace.hh"
+
+namespace mdp
+{
+
+/** Parameters of the superscalar model. */
+struct OooConfig
+{
+    unsigned windowSize = 64;   ///< instruction window / ROB entries
+    unsigned fetchWidth = 4;
+    unsigned issueWidth = 4;
+    unsigned commitWidth = 4;
+
+    unsigned simpleIntFUs = 4;
+    unsigned complexIntFUs = 1;
+    unsigned fpFUs = 2;
+    unsigned branchFUs = 2;
+    unsigned memPorts = 2;
+
+    unsigned loadLatency = 2;       ///< cache hit
+    unsigned missPenalty = 13;
+    double missRate = 0.05;         ///< simple probabilistic dcache
+    unsigned squashPenalty = 4;     ///< refetch delay after violation
+
+    SpecPolicy policy = SpecPolicy::Always;
+    SyncUnitConfig sync;
+    SyncOrganization organization = SyncOrganization::Combined;
+    uint64_t seed = 0xacce55;
+    uint64_t maxCycles = 0;
+};
+
+/** Results of one superscalar run. */
+struct OooResult
+{
+    uint64_t cycles = 0;
+    uint64_t committedOps = 0;
+    uint64_t committedLoads = 0;
+    uint64_t misSpeculations = 0;
+    uint64_t squashedOps = 0;
+    uint64_t loadsBlocked = 0;
+    uint64_t frontierReleases = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(committedOps) / cycles : 0.0;
+    }
+};
+
+/**
+ * One run of one trace under one configuration.
+ */
+class OooProcessor
+{
+  public:
+    OooProcessor(const Trace &trace, const DepOracle &oracle,
+                 const OooConfig &config);
+    ~OooProcessor();
+
+    OooResult run();
+
+  private:
+    static constexpr uint8_t kIssued = 1 << 0;
+    static constexpr uint8_t kBlockedSync = 1 << 1;
+    static constexpr uint8_t kBlockedFrontier = 1 << 2;
+    static constexpr uint8_t kBlockedPsync = 1 << 3;
+    /** Synchronization already satisfied; do not re-consult. */
+    static constexpr uint8_t kSyncDone = 1 << 4;
+
+    struct OpState
+    {
+        uint64_t doneCycle = 0;
+        uint8_t flags = 0;
+    };
+
+    bool srcReady(SeqNum src) const;
+    bool srcsReady(SeqNum seq) const;
+    bool tryIssueMem(SeqNum seq, unsigned &mem_ports);
+    void executeLoad(SeqNum seq);
+    void executeStore(SeqNum seq);
+    bool allStoresDoneBefore(SeqNum seq);
+    void handleViolation(SeqNum load);
+    void frontierScan();
+
+    /** Memory latency with a probabilistic miss model (deterministic
+     *  per (seed, seq)). */
+    uint64_t memLatency(SeqNum seq) const;
+
+    const Trace &trc;
+    const DepOracle &oracle;
+    OooConfig cfg;
+
+    std::vector<OpState> state;
+    /** Per-PC instance number of each memory op (precomputed). */
+    std::vector<uint32_t> instanceOf;
+
+    Arb arb;
+    std::unique_ptr<DepSynchronizer> sync;
+
+    SeqNum head = 0;      ///< oldest uncommitted op
+    SeqNum fetchPtr = 0;  ///< next op to enter the window
+    uint64_t resumeCycle = 0;
+    uint64_t cycle = 0;
+
+    /** Index into oracle.stores() of the first unexecuted store. */
+    size_t storeFrontier = 0;
+
+    std::vector<SeqNum> frontierBlocked;
+    std::vector<SeqNum> syncBlocked;
+    std::unordered_map<SeqNum, std::vector<SeqNum>> psyncWaiters;
+    std::vector<LoadId> wakeupBuf;
+
+    OooResult res;
+};
+
+} // namespace mdp
+
+#endif // MDP_OOO_OOO_MODEL_HH

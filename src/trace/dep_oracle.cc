@@ -1,0 +1,43 @@
+#include "trace/dep_oracle.hh"
+
+#include <unordered_map>
+
+namespace mdp
+{
+
+DepOracle::DepOracle(const Trace &trace)
+    : trc(trace), producers(trace.size(), kNoSeq)
+{
+    std::unordered_map<Addr, SeqNum> last_store;
+    last_store.reserve(trace.size() / 8 + 16);
+    for (SeqNum s = 0; s < trace.size(); ++s) {
+        const MicroOp &op = trace[s];
+        if (op.isStore()) {
+            last_store[op.addr] = s;
+            storeSeqs.push_back(s);
+        } else if (op.isLoad()) {
+            auto it = last_store.find(op.addr);
+            if (it != last_store.end())
+                producers[s] = it->second;
+            loadSeqs.push_back(s);
+        }
+    }
+}
+
+bool
+DepOracle::interTask(SeqNum load_seq) const
+{
+    SeqNum p = producers[load_seq];
+    return p != kNoSeq && trc[p].taskId != trc[load_seq].taskId;
+}
+
+uint32_t
+DepOracle::taskDistance(SeqNum load_seq) const
+{
+    SeqNum p = producers[load_seq];
+    if (p == kNoSeq)
+        return 0;
+    return trc[load_seq].taskId - trc[p].taskId;
+}
+
+} // namespace mdp

@@ -1,0 +1,159 @@
+#include "trace/serialize.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace mdp
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'M', 'D', 'P', 'T', 'R', 'A', 'C', 'E'};
+constexpr uint32_t kVersion = 1;
+
+/**
+ * On-disk record layout (little-endian, 40 bytes/op):
+ *   u64 pc, u64 addr, u64 taskPc, u32 src1, u32 src2, u32 taskId,
+ *   u8 kind, u8 valueRepeats, u16 pad
+ */
+struct PackedOp
+{
+    uint64_t pc;
+    uint64_t addr;
+    uint64_t taskPc;
+    uint32_t src1;
+    uint32_t src2;
+    uint32_t taskId;
+    uint8_t kind;
+    uint8_t valueRepeats;
+    uint16_t pad;
+};
+static_assert(sizeof(PackedOp) == 40, "unexpected record padding");
+
+template <typename T>
+void
+put(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+bool
+get(std::istream &is, T &v)
+{
+    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    return is.good();
+}
+
+} // namespace
+
+bool
+writeTrace(const Trace &trace, std::ostream &os)
+{
+    os.write(kMagic, sizeof(kMagic));
+    put(os, kVersion);
+
+    uint32_t name_len = static_cast<uint32_t>(trace.traceName().size());
+    put(os, name_len);
+    os.write(trace.traceName().data(), name_len);
+
+    uint64_t count = trace.size();
+    put(os, count);
+
+    for (SeqNum s = 0; s < trace.size(); ++s) {
+        const MicroOp &op = trace[s];
+        PackedOp p{};
+        p.pc = op.pc;
+        p.addr = op.addr;
+        p.src1 = op.src1;
+        p.src2 = op.src2;
+        p.taskId = op.taskId;
+        p.taskPc = op.taskPc;
+        p.kind = static_cast<uint8_t>(op.kind);
+        p.valueRepeats = op.valueRepeats ? 1 : 0;
+        put(os, p);
+    }
+    return os.good();
+}
+
+bool
+saveTrace(const Trace &trace, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    return os && writeTrace(trace, os);
+}
+
+Trace
+readTrace(std::istream &is, std::string &error)
+{
+    error.clear();
+    char magic[8];
+    is.read(magic, sizeof(magic));
+    if (!is.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        error = "bad magic (not an mdp trace)";
+        return Trace();
+    }
+
+    uint32_t version = 0;
+    if (!get(is, version) || version != kVersion) {
+        error = "unsupported trace version " + std::to_string(version);
+        return Trace();
+    }
+
+    uint32_t name_len = 0;
+    if (!get(is, name_len) || name_len > 4096) {
+        error = "bad name length";
+        return Trace();
+    }
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+
+    uint64_t count = 0;
+    if (!get(is, count)) {
+        error = "truncated header";
+        return Trace();
+    }
+
+    Trace trace(name);
+    trace.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+        PackedOp p;
+        if (!get(is, p)) {
+            error = "truncated at op " + std::to_string(i);
+            return Trace();
+        }
+        MicroOp op;
+        op.pc = p.pc;
+        op.addr = p.addr;
+        op.src1 = p.src1;
+        op.src2 = p.src2;
+        op.taskId = p.taskId;
+        op.taskPc = p.taskPc;
+        op.kind = static_cast<OpKind>(p.kind);
+        op.valueRepeats = p.valueRepeats != 0;
+        trace.append(op);
+    }
+
+    std::string invalid = trace.validate();
+    if (!invalid.empty()) {
+        error = "loaded trace is invalid: " + invalid;
+        return Trace();
+    }
+    return trace;
+}
+
+Trace
+loadTrace(const std::string &path, std::string &error)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        error = "cannot open " + path;
+        return Trace();
+    }
+    return readTrace(is, error);
+}
+
+} // namespace mdp

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Binary trace serialization.
+ *
+ * Generated traces are deterministic, but saving them lets external
+ * tools (or future versions of the generators) exchange workloads, and
+ * makes long-trace experiments restartable.  The format is a versioned
+ * little-endian packed stream; see serialize.cc for the layout.
+ */
+
+#ifndef MDP_TRACE_SERIALIZE_HH
+#define MDP_TRACE_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace mdp
+{
+
+/** Write a trace to a stream.  @return false on I/O failure. */
+bool writeTrace(const Trace &trace, std::ostream &os);
+
+/** Write a trace to a file.  @return false on I/O failure. */
+bool saveTrace(const Trace &trace, const std::string &path);
+
+/**
+ * Read a trace from a stream.
+ * @param error Receives a description when reading fails.
+ * @return the trace, empty on failure (check @p error).
+ */
+Trace readTrace(std::istream &is, std::string &error);
+
+/** Read a trace from a file. */
+Trace loadTrace(const std::string &path, std::string &error);
+
+} // namespace mdp
+
+#endif // MDP_TRACE_SERIALIZE_HH

@@ -1,0 +1,89 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace mdp
+{
+
+uint32_t
+Trace::numTasks() const
+{
+    return ops.empty() ? 0 : ops.back().taskId + 1;
+}
+
+std::vector<SeqNum>
+Trace::taskBoundaries() const
+{
+    std::vector<SeqNum> bounds;
+    uint32_t last = UINT32_MAX;
+    for (SeqNum s = 0; s < ops.size(); ++s) {
+        if (ops[s].taskId != last) {
+            bounds.push_back(s);
+            last = ops[s].taskId;
+        }
+    }
+    bounds.push_back(static_cast<SeqNum>(ops.size()));
+    return bounds;
+}
+
+TraceStats
+Trace::stats() const
+{
+    TraceStats st;
+    st.numOps = ops.size();
+    for (const auto &op : ops) {
+        if (op.isLoad())
+            ++st.numLoads;
+        else if (op.isStore())
+            ++st.numStores;
+        else if (op.kind == OpKind::Branch)
+            ++st.numBranches;
+    }
+    st.numTasks = numTasks();
+    if (st.numTasks > 0) {
+        auto bounds = taskBoundaries();
+        uint64_t max_size = 0;
+        for (size_t i = 0; i + 1 < bounds.size(); ++i)
+            max_size = std::max<uint64_t>(max_size,
+                                          bounds[i + 1] - bounds[i]);
+        st.maxTaskSize = max_size;
+        st.avgTaskSize = static_cast<double>(st.numOps) /
+                         static_cast<double>(st.numTasks);
+    }
+    return st;
+}
+
+std::string
+Trace::validate() const
+{
+    uint32_t expect_task = 0;
+    uint32_t last_task = 0;
+    for (SeqNum s = 0; s < ops.size(); ++s) {
+        const MicroOp &op = ops[s];
+        if (s == 0) {
+            if (op.taskId != 0)
+                return "first op must be in task 0";
+            last_task = 0;
+        } else if (op.taskId != last_task) {
+            if (op.taskId != last_task + 1)
+                return "task ids must be contiguous at seq " +
+                       std::to_string(s);
+            last_task = op.taskId;
+            ++expect_task;
+        }
+        if (op.src1 != kNoSeq && op.src1 >= s)
+            return "src1 does not precede consumer at seq " +
+                   std::to_string(s);
+        if (op.src2 != kNoSeq && op.src2 >= s)
+            return "src2 does not precede consumer at seq " +
+                   std::to_string(s);
+        if (op.isMemOp() && op.addr == 0)
+            return "memory op with null address at seq " +
+                   std::to_string(s);
+    }
+    return "";
+}
+
+} // namespace mdp

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Trace container plus summary statistics.
+ */
+
+#ifndef MDP_TRACE_TRACE_HH
+#define MDP_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/microop.hh"
+
+namespace mdp
+{
+
+/**
+ * Summary statistics of a trace, used for Table 1 and sanity checks.
+ */
+struct TraceStats
+{
+    uint64_t numOps = 0;
+    uint64_t numLoads = 0;
+    uint64_t numStores = 0;
+    uint64_t numBranches = 0;
+    uint64_t numTasks = 0;
+    double avgTaskSize = 0.0;
+    uint64_t maxTaskSize = 0;
+};
+
+/**
+ * A dynamic instruction stream in program order.
+ *
+ * Invariants (checked by validate()):
+ *  - taskId values are non-decreasing and contiguous from 0;
+ *  - every producer sequence number precedes its consumer;
+ *  - memory ops have nonzero addresses.
+ */
+class Trace
+{
+  public:
+    Trace() = default;
+    explicit Trace(std::string trace_name) : name(std::move(trace_name)) {}
+
+    void reserve(size_t n) { ops.reserve(n); }
+
+    /** Append an op; returns its sequence number. */
+    SeqNum
+    append(const MicroOp &op)
+    {
+        ops.push_back(op);
+        return static_cast<SeqNum>(ops.size() - 1);
+    }
+
+    const MicroOp &operator[](SeqNum s) const { return ops[s]; }
+    MicroOp &operator[](SeqNum s) { return ops[s]; }
+
+    size_t size() const { return ops.size(); }
+    bool empty() const { return ops.empty(); }
+
+    const std::vector<MicroOp> &all() const { return ops; }
+    const std::string &traceName() const { return name; }
+
+    /** Number of tasks (max taskId + 1, or 0 for empty traces). */
+    uint32_t numTasks() const;
+
+    /** First sequence number of each task (ascending), plus end. */
+    std::vector<SeqNum> taskBoundaries() const;
+
+    /** Compute summary statistics. */
+    TraceStats stats() const;
+
+    /**
+     * Check the container invariants.
+     * @return empty string when valid, else a description of the first
+     *         violation found.
+     */
+    std::string validate() const;
+
+  private:
+    std::string name;
+    std::vector<MicroOp> ops;
+};
+
+} // namespace mdp
+
+#endif // MDP_TRACE_TRACE_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The "unrealistic" OoO execution model of section 5.
+ *
+ * A processor with a perfect, continuous window of size n in which
+ * every load whose producing store appears fewer than n instructions
+ * earlier in sequential order is mis-speculated.  This is the
+ * worst-case mis-speculation count for a window of that size, and is
+ * used to study how the number of mis-speculations, the number of
+ * responsible static dependences, and DDC miss rates vary with window
+ * size (Tables 3, 4 and 5).
+ */
+
+#ifndef MDP_WINDOW_WINDOW_MODEL_HH
+#define MDP_WINDOW_WINDOW_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/stats.hh"
+#include "mdp/ddc.hh"
+#include "trace/dep_oracle.hh"
+#include "trace/trace.hh"
+
+namespace mdp
+{
+
+/** Results of one window-size study. */
+struct WindowStudyResult
+{
+    uint32_t windowSize = 0;
+
+    /** Dynamic mis-speculations: loads whose producer is within the
+     *  window (every visible dependence mis-speculates). */
+    uint64_t misSpeculations = 0;
+
+    /** Distinct static (load PC, store PC) edges among them. */
+    uint64_t staticDeps = 0;
+
+    /** Static edges needed to cover 99.9% of the mis-speculations
+     *  (Table 4). */
+    uint64_t staticDepsFor999 = 0;
+
+    /** (DDC size, miss rate) for each requested DDC capacity. */
+    std::vector<std::pair<size_t, double>> ddcMissRates;
+};
+
+/**
+ * Analyzes one trace under the perfect-window model.
+ */
+class WindowModel
+{
+  public:
+    /** @param trace  The trace to analyze (must outlive the model).
+     *  @param oracle Dependence oracle built over the same trace. */
+    WindowModel(const Trace &trace, const DepOracle &oracle);
+
+    /**
+     * Run the model for one window size.
+     * @param window_size Size n of the perfect continuous window.
+     * @param ddc_sizes   DDC capacities to evaluate on the resulting
+     *                    mis-speculation stream.
+     */
+    WindowStudyResult study(uint32_t window_size,
+                            const std::vector<size_t> &ddc_sizes) const;
+
+    /**
+     * Histogram of load-to-producer distances in dynamic instructions
+     * (bucket = distance, last bucket = overflow).  This is the
+     * quantity behind the paper's observation that "most of the
+     * dynamic dependences are spread across several instructions",
+     * which is why selective speculation can lose to blind
+     * speculation.
+     */
+    Histogram distanceHistogram(size_t num_buckets = 512) const;
+
+  private:
+    const Trace &trc;
+    const DepOracle &oracle;
+};
+
+} // namespace mdp
+
+#endif // MDP_WINDOW_WINDOW_MODEL_HH

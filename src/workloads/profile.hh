@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Parameterization of the synthetic workloads.
+ *
+ * The paper's experiments depend on the *memory-dependence
+ * phenomenology* of the SPEC programs, not on their computation.  A
+ * WorkloadProfile captures exactly those properties: how many static
+ * store-load edges exist, at what dependence distances they recur, how
+ * often they are active, whether they occur only along particular
+ * control paths, how late store addresses resolve, and how much
+ * independent background traffic surrounds them.
+ */
+
+#ifndef MDP_WORKLOADS_PROFILE_HH
+#define MDP_WORKLOADS_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mdp
+{
+
+/**
+ * One family of recurring static store-load dependence edges.
+ *
+ * Each family contributes @c count static edges.  Edge k of the family
+ * stores at iteration i and loads at iteration i + distance; the load
+ * always executes, the store executes only when the iteration is on
+ * the triggering control path (pathCount > 1) and passes the activity
+ * gate.  This models both regular loop recurrences (espresso, the FP
+ * codes) and path-dependent dependences (compress).
+ */
+struct RecurrenceSpec
+{
+    uint32_t count = 1;        ///< static edges in this family
+    uint32_t distance = 1;     ///< dependence distance in iterations
+    double activeProb = 1.0;   ///< store-emission probability on-path
+    uint32_t pathCount = 1;    ///< control paths; store only on path 0
+    bool sameAddress = true;   ///< scalar location vs per-iteration slot
+
+    /** How path sensitivity manifests (meaningful when pathCount > 1). */
+    enum class PathStyle
+    {
+        /** The store simply does not execute off-path; the load's true
+         *  producer is then an older on-path iteration.  A counter
+         *  predictor imposes waits that end in frontier releases. */
+        GateStore,
+        /** A *different static store* (distinct PC) writes the same
+         *  location off-path.  The load then has multiple static
+         *  dependences, exactly one active per dynamic instance --
+         *  the case ESYNC's path check targets (section 5.5). */
+        SplitPc,
+    };
+    PathStyle pathStyle = PathStyle::GateStore;
+
+    /** Probability the load side is emitted each iteration (probe
+     *  frequency; < 1 models rarely-covisited code like gcc's). */
+    double loadProb = 1.0;
+
+    /** Per-instance uniform jitter applied to the load/store positions
+     *  (fraction of the task size).  This is what turns dependence
+     *  violations into a *rate* rather than an all-or-nothing outcome,
+     *  and what makes the rate grow with the stage count. */
+    double positionJitter = 0.15;
+    /** Extra address-computation chain length before the store's
+     *  address resolves; long chains make selective speculation (WAIT)
+     *  expensive because unrelated stores resolve late. */
+    uint32_t storeAddrChain = 2;
+    /** Position of the store inside its task: 0.0 = at the top,
+     *  1.0 = at the very end.  Late stores raise the cost of both
+     *  mis-speculation and frontier waits. */
+    double storePosition = 0.8;
+    /** Position of the load inside its (consuming) task. */
+    double loadPosition = 0.15;
+
+    /** Probability a store instance repeats the previous instance's
+     *  value (value locality; consumed by the section-6 hybrid that
+     *  value-predicts dependent loads instead of synchronizing). */
+    double valueStability = 0.0;
+};
+
+/**
+ * Full description of a synthetic benchmark.
+ */
+struct WorkloadProfile
+{
+    std::string name;
+    std::string suite;   ///< "SPECint92", "SPECint95", "SPECfp95"
+    std::string notes;
+
+    uint64_t seed = 1;          ///< default generation seed
+    uint32_t baseIterations = 20000; ///< loop trips at scale 1.0
+
+    // --- task structure -------------------------------------------------
+    uint32_t minTaskSize = 30;  ///< ops per task, lower bound
+    uint32_t maxTaskSize = 60;  ///< ops per task, upper bound
+    /** Probability a task is control-mispredicted by the sequencer. */
+    double taskMispredictRate = 0.01;
+
+    // --- instruction mix (fractions of background ops) ------------------
+    double fracLoads = 0.22;
+    double fracStores = 0.12;
+    double fracBranches = 0.12;
+    double fracFp = 0.0;
+    double fracComplexInt = 0.02;
+
+    // --- dependence structure -------------------------------------------
+    std::vector<RecurrenceSpec> recurrences;
+
+    /** Number of distinct control paths an iteration can take (drives
+     *  task PCs and the recurrences' path gating). */
+    uint32_t pathCount = 1;
+    /** Probability that an iteration takes path 0 (the rest is split
+     *  uniformly over the other paths). */
+    double path0Bias = 0.5;
+
+    // --- background memory behaviour ------------------------------------
+    /** Hot shared scalars (globals / stack slots); background stores
+     *  and loads touch these and create incidental cross-task
+     *  dependences with power-law popularity. */
+    uint32_t numGlobalScalars = 64;
+    /** Fraction of background loads that touch the shared scalar pool
+     *  (the rest stream privately and never conflict). */
+    double sharedScalarFrac = 0.08;
+    /** Background stores touch the scalar pool at sharedScalarFrac *
+     *  scalarStoreScale (programs read shared state more than they
+     *  write it; this also keeps incidental cross-task dependences a
+     *  long-tail phenomenon rather than the dominant one). */
+    double scalarStoreScale = 0.35;
+    /** Exponent of the power-law over scalar popularity; higher means
+     *  a heavier head (fewer static pairs dominate). */
+    double scalarSkew = 3.0;
+    /** Static PC pool size for background loads and stores; large
+     *  pools (gcc) defeat small DDCs. */
+    uint32_t staticPcPool = 400;
+    /** Streaming array working set in bytes (drives cache misses). */
+    uint32_t arrayWorkingSet = 1 << 14;
+    /** Average address-chain length for background memory ops. */
+    uint32_t addrChainLen = 2;
+    /** Exponent biasing background stores toward the top of each task
+     *  (0 = uniform; 2 = strongly early).  Early stores make frontier
+     *  waits cheap. */
+    double storeEarlyExp = 0.0;
+
+    // --- intra-task spill pairs ------------------------------------------
+    /** Average register-spill store/reload pairs per task.  These are
+     *  short-distance *intra-task* dependences: invisible to the
+     *  Multiscalar speculation (which never speculates within a task)
+     *  but dominant at small windows in the unrealistic OoO model of
+     *  section 5 -- they are why mis-speculations explode between
+     *  window sizes 8 and 32. */
+    double spillsPerTask = 1.0;
+    /** Mean dynamic distance (in ops) between a spill and its reload. */
+    double spillDistance = 12.0;
+    /** Static PC pool for spill pairs (small: spills have excellent
+     *  temporal locality). */
+    uint32_t spillPcPool = 24;
+
+    // --- misc -----------------------------------------------------------
+    /** Tasks emitted per iteration (greedy task partitioning = 1). */
+    uint32_t tasksPerIteration = 1;
+};
+
+} // namespace mdp
+
+#endif // MDP_WORKLOADS_PROFILE_HH

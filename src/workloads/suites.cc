@@ -1,0 +1,647 @@
+#include "workloads/suites.hh"
+
+#include <map>
+#include <memory>
+
+#include "base/logging.hh"
+
+namespace mdp
+{
+
+namespace
+{
+
+/** Shorthand for recurrence families. */
+RecurrenceSpec
+rec(uint32_t count, uint32_t distance, double active, uint32_t paths,
+    bool same_addr, uint32_t chain, double store_pos, double load_pos,
+    double jitter = 0.15, double load_prob = 1.0)
+{
+    RecurrenceSpec r;
+    r.count = count;
+    r.distance = distance;
+    r.activeProb = active;
+    r.pathCount = paths;
+    r.sameAddress = same_addr;
+    r.storeAddrChain = chain;
+    r.storePosition = store_pos;
+    r.loadPosition = load_pos;
+    r.positionJitter = jitter;
+    r.loadProb = load_prob;
+    return r;
+}
+
+/** A SplitPc path-sensitive family: a different static store writes
+ *  the location on the off paths. */
+RecurrenceSpec
+recSplit(uint32_t count, uint32_t distance, double active, uint32_t paths,
+         bool same_addr, uint32_t chain, double store_pos,
+         double load_pos, double jitter = 0.15)
+{
+    RecurrenceSpec r = rec(count, distance, active, paths, same_addr,
+                           chain, store_pos, load_pos, jitter);
+    r.pathStyle = RecurrenceSpec::PathStyle::SplitPc;
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// SPECint92-like profiles (the paper's primary evaluation set)
+// ---------------------------------------------------------------------
+
+WorkloadProfile
+compress92()
+{
+    WorkloadProfile p;
+    p.name = "compress";
+    p.suite = "SPECint92";
+    p.notes = "path-dependent hash-table updates: the dependence exists "
+              "only when the producing iteration takes the hit path, so "
+              "a plain counter (SYNC) imposes false waits while the "
+              "path-sensitive ESYNC predictor filters them";
+    p.seed = 92001;
+    p.baseIterations = 26000;
+    p.minTaskSize = 28;
+    p.maxTaskSize = 48;
+    p.taskMispredictRate = 0.02;
+    p.pathCount = 3;
+    p.path0Bias = 0.45;
+    p.recurrences = {
+        recSplit(4, 1, 1.00, 3, true, 4, 0.15, 0.35, 0.20),
+        rec(2, 1, 0.90, 3, true, 3, 0.25, 0.12, 0.12),
+    };
+    p.numGlobalScalars = 48;
+    p.sharedScalarFrac = 0.02;
+    p.scalarSkew = 3.5;
+    p.staticPcPool = 150;
+    p.spillsPerTask = 1.2;
+    return p;
+}
+
+WorkloadProfile
+espresso()
+{
+    WorkloadProfile p;
+    p.name = "espresso";
+    p.suite = "SPECint92";
+    p.notes = "large (~100-op) tasks with simple pointer-mediated "
+              "recurrences; mis-speculation is expensive, and even a "
+              "counter predictor captures the important dependences";
+    p.seed = 92002;
+    p.baseIterations = 11000;
+    p.minTaskSize = 85;
+    p.maxTaskSize = 115;
+    p.taskMispredictRate = 0.015;
+    p.recurrences = {
+        rec(2, 1, 0.95, 1, true, 4, 0.35, 0.30, 0.20),
+        rec(1, 1, 0.90, 1, true, 3, 0.50, 0.35, 0.20),
+    };
+    p.numGlobalScalars = 40;
+    p.sharedScalarFrac = 0.03;
+    p.scalarSkew = 3.2;
+    p.staticPcPool = 250;
+    p.spillsPerTask = 1.0;
+    return p;
+}
+
+WorkloadProfile
+gcc92()
+{
+    WorkloadProfile p;
+    p.name = "gcc";
+    p.suite = "SPECint92";
+    p.notes = "many irregular static dependences with relatively poor "
+              "temporal locality; the dependence working set defeats "
+              "small DDCs (a 1024-entry DDC still misses)";
+    p.seed = 92003;
+    p.baseIterations = 26000;
+    p.minTaskSize = 30;
+    p.maxTaskSize = 55;
+    p.taskMispredictRate = 0.03;
+    p.pathCount = 4;
+    p.path0Bias = 0.40;
+    p.recurrences = {
+        rec(24, 1, 0.85, 1, true, 4, 0.45, 0.25, 0.20, 0.030),
+        rec(20, 1, 0.30, 2, true, 4, 0.55, 0.20, 0.20, 0.030),
+        rec(12, 2, 0.70, 1, false, 3, 0.50, 0.22, 0.20, 0.025),
+    };
+    p.numGlobalScalars = 1500;
+    p.sharedScalarFrac = 0.08;
+    p.scalarSkew = 2.2;
+    p.staticPcPool = 2500;
+    p.spillsPerTask = 1.4;
+    return p;
+}
+
+WorkloadProfile
+sc92()
+{
+    WorkloadProfile p;
+    p.name = "sc";
+    p.suite = "SPECint92";
+    p.notes = "dependences spread across many late-resolving unrelated "
+              "stores: waiting for address resolution (WAIT) costs more "
+              "than an occasional squash, so selective speculation "
+              "underperforms blind speculation";
+    p.seed = 92004;
+    p.baseIterations = 22000;
+    p.minTaskSize = 35;
+    p.maxTaskSize = 65;
+    p.taskMispredictRate = 0.02;
+    p.recurrences = {
+        rec(1, 1, 0.45, 1, true, 8, 0.70, 0.15, 0.10, 0.8),
+        rec(1, 2, 0.35, 1, false, 6, 0.70, 0.15, 0.10, 0.8),
+        rec(1, 1, 0.15, 1, true, 8, 0.90, 0.08, 0.10),
+        // Old, already-satisfied dependences: harmless to every policy
+        // except WAIT, which (lacking synchronization) still forces
+        // these loads to wait for the whole store frontier -- the
+        // figure-1(d) pathology that makes selective speculation lose.
+        rec(4, 3, 1.00, 1, true, 2, 0.05, 0.55, 0.05),
+    };
+    p.numGlobalScalars = 80;
+    p.sharedScalarFrac = 0.04;
+    p.scalarSkew = 3.0;
+    p.staticPcPool = 300;
+    p.spillsPerTask = 1.2;
+    return p;
+}
+
+WorkloadProfile
+xlisp92()
+{
+    WorkloadProfile p;
+    p.name = "xlisp";
+    p.suite = "SPECint92";
+    p.notes = "small tasks (interpreter dispatch) with early-resolving "
+              "stack/cons-cell recurrences; waiting is cheap, so WAIT "
+              "performs close to ideal at small window sizes";
+    p.seed = 92005;
+    p.baseIterations = 40000;
+    p.minTaskSize = 18;
+    p.maxTaskSize = 36;
+    p.taskMispredictRate = 0.02;
+    p.recurrences = {
+        rec(2, 1, 0.90, 1, true, 1, 0.30, 0.40, 0.20),
+        rec(1, 2, 0.80, 1, true, 1, 0.35, 0.40, 0.20),
+    };
+    p.storeEarlyExp = 2.0;
+    p.numGlobalScalars = 64;
+    p.sharedScalarFrac = 0.025;
+    p.scalarSkew = 3.6;
+    p.staticPcPool = 200;
+    p.spillsPerTask = 2.0;
+    return p;
+}
+
+// ---------------------------------------------------------------------
+// SPECint95-like profiles
+// ---------------------------------------------------------------------
+
+WorkloadProfile
+go95()
+{
+    WorkloadProfile p;
+    p.name = "099.go";
+    p.suite = "SPECint95";
+    p.notes = "irregular dependence patterns with poor temporal "
+              "locality plus poor control prediction, which limits how "
+              "much of the PSYNC potential the mechanism can capture";
+    p.seed = 95001;
+    p.baseIterations = 24000;
+    p.minTaskSize = 35;
+    p.maxTaskSize = 60;
+    p.taskMispredictRate = 0.10;
+    p.pathCount = 4;
+    p.path0Bias = 0.35;
+    p.recurrences = {
+        rec(30, 1, 0.35, 4, true, 4, 0.45, 0.25, 0.20, 0.03),
+        rec(20, 2, 0.30, 2, true, 4, 0.50, 0.22, 0.20, 0.03),
+        rec(10, 1, 0.80, 1, false, 4, 0.40, 0.30, 0.20, 0.06),
+    };
+    p.numGlobalScalars = 800;
+    p.sharedScalarFrac = 0.10;
+    p.scalarSkew = 2.0;
+    p.staticPcPool = 2000;
+    p.spillsPerTask = 1.3;
+    return p;
+}
+
+WorkloadProfile
+m88ksim()
+{
+    WorkloadProfile p;
+    p.name = "124.m88ksim";
+    p.suite = "SPECint95";
+    p.notes = "clean simulator main loop: few, regular, always-active "
+              "recurrences; the mechanism performs comparably to ideal";
+    p.seed = 95002;
+    p.baseIterations = 22000;
+    p.minTaskSize = 40;
+    p.maxTaskSize = 60;
+    p.taskMispredictRate = 0.01;
+    p.recurrences = {
+        rec(2, 1, 0.95, 1, true, 3, 0.30, 0.32, 0.15),
+        rec(1, 1, 0.90, 1, true, 3, 0.45, 0.38, 0.15),
+    };
+    p.numGlobalScalars = 48;
+    p.sharedScalarFrac = 0.08;
+    p.scalarSkew = 3.4;
+    p.staticPcPool = 220;
+    return p;
+}
+
+WorkloadProfile
+gcc95()
+{
+    WorkloadProfile p = gcc92();
+    p.name = "126.gcc";
+    p.suite = "SPECint95";
+    p.seed = 95003;
+    p.baseIterations = 28000;
+    return p;
+}
+
+WorkloadProfile
+compress95()
+{
+    WorkloadProfile p = compress92();
+    p.name = "129.compress";
+    p.suite = "SPECint95";
+    p.seed = 95004;
+    p.baseIterations = 28000;
+    return p;
+}
+
+WorkloadProfile
+li95()
+{
+    WorkloadProfile p = xlisp92();
+    p.name = "130.li";
+    p.suite = "SPECint95";
+    p.seed = 95005;
+    p.baseIterations = 42000;
+    return p;
+}
+
+WorkloadProfile
+ijpeg()
+{
+    WorkloadProfile p;
+    p.name = "132.ijpeg";
+    p.suite = "SPECint95";
+    p.notes = "block-structured array code: moving recurrences plus a "
+              "large streaming working set; the mechanism captures a "
+              "significant but partial share of the ideal gain";
+    p.seed = 95006;
+    p.baseIterations = 14000;
+    p.minTaskSize = 60;
+    p.maxTaskSize = 90;
+    p.taskMispredictRate = 0.01;
+    p.recurrences = {
+        rec(3, 1, 0.95, 1, false, 3, 0.38, 0.32, 0.18),
+        rec(4, 1, 0.45, 2, false, 4, 0.50, 0.25, 0.20, 0.5),
+    };
+    p.numGlobalScalars = 32;
+    p.sharedScalarFrac = 0.03;
+    p.scalarSkew = 3.0;
+    p.staticPcPool = 350;
+    p.arrayWorkingSet = 1 << 19;
+    return p;
+}
+
+WorkloadProfile
+perl95()
+{
+    WorkloadProfile p;
+    p.name = "134.perl";
+    p.suite = "SPECint95";
+    p.notes = "interpreter mixing regular recurrences with "
+              "path-dependent ones; partial capture of the ideal gain";
+    p.seed = 95007;
+    p.baseIterations = 30000;
+    p.minTaskSize = 25;
+    p.maxTaskSize = 45;
+    p.taskMispredictRate = 0.025;
+    p.pathCount = 3;
+    p.path0Bias = 0.5;
+    p.recurrences = {
+        rec(8, 1, 0.80, 1, true, 2, 0.38, 0.32, 0.18, 0.15),
+        recSplit(2, 1, 1.00, 3, true, 3, 0.20, 0.35, 0.20),
+        rec(6, 1, 0.35, 2, true, 4, 0.50, 0.20, 0.20, 0.12),
+    };
+    p.numGlobalScalars = 400;
+    p.sharedScalarFrac = 0.10;
+    p.scalarSkew = 2.6;
+    p.staticPcPool = 900;
+    p.spillsPerTask = 1.6;
+    return p;
+}
+
+WorkloadProfile
+vortex()
+{
+    WorkloadProfile p;
+    p.name = "147.vortex";
+    p.suite = "SPECint95";
+    p.notes = "object database: many static edges with moderate "
+              "locality; good but not ideal capture";
+    p.seed = 95008;
+    p.baseIterations = 22000;
+    p.minTaskSize = 40;
+    p.maxTaskSize = 65;
+    p.taskMispredictRate = 0.02;
+    p.recurrences = {
+        rec(20, 1, 0.85, 1, true, 4, 0.40, 0.28, 0.18, 0.06),
+        rec(10, 2, 0.55, 2, false, 4, 0.50, 0.22, 0.20, 0.05),
+    };
+    p.numGlobalScalars = 600;
+    p.sharedScalarFrac = 0.10;
+    p.scalarSkew = 2.4;
+    p.staticPcPool = 1200;
+    return p;
+}
+
+// ---------------------------------------------------------------------
+// SPECfp95-like profiles
+// ---------------------------------------------------------------------
+
+/** Common FP baseline: loop nests, wide tasks, FP-heavy mix. */
+WorkloadProfile
+fpBase()
+{
+    WorkloadProfile p;
+    p.suite = "SPECfp95";
+    p.fracLoads = 0.26;
+    p.fracStores = 0.14;
+    p.fracBranches = 0.06;
+    p.fracFp = 0.35;
+    p.fracComplexInt = 0.01;
+    p.taskMispredictRate = 0.004;
+    p.numGlobalScalars = 24;
+    p.sharedScalarFrac = 0.03;
+    p.scalarSkew = 3.0;
+    p.staticPcPool = 180;
+    p.spillsPerTask = 0.6;
+    return p;
+}
+
+WorkloadProfile
+tomcatv()
+{
+    WorkloadProfile p = fpBase();
+    p.name = "101.tomcatv";
+    p.notes = "vectorizable mesh code with clean loop recurrences; the "
+              "mechanism performs very close to ideal";
+    p.seed = 95101;
+    p.baseIterations = 6500;
+    p.minTaskSize = 140;
+    p.maxTaskSize = 200;
+    p.recurrences = {
+        rec(6, 1, 1.00, 1, false, 3, 0.38, 0.32, 0.14),
+    };
+    return p;
+}
+
+WorkloadProfile
+swim()
+{
+    WorkloadProfile p = fpBase();
+    p.name = "102.swim";
+    p.notes = "memory/FU saturated stencil: almost no inter-task "
+              "dependences, so no speculation policy matters much";
+    p.seed = 95102;
+    p.baseIterations = 7000;
+    p.minTaskSize = 120;
+    p.maxTaskSize = 180;
+    p.recurrences = {
+        rec(2, 1, 1.00, 1, false, 2, 0.45, 0.30, 0.20, 0.15),
+    };
+    p.arrayWorkingSet = 1 << 21;
+    p.fracFp = 0.45;
+    return p;
+}
+
+WorkloadProfile
+su2cor()
+{
+    WorkloadProfile p = fpBase();
+    p.name = "103.su2cor";
+    p.notes = "huge (~700-op) tasks whose dependence working set "
+              "exceeds a 64-entry prediction table";
+    p.seed = 95103;
+    p.baseIterations = 1400;
+    p.minTaskSize = 600;
+    p.maxTaskSize = 900;
+    p.recurrences = {
+        rec(24, 1, 1.00, 1, true, 4, 0.33, 0.45, 0.12),
+        rec(96, 1, 1.00, 1, true, 4, 0.36, 0.44, 0.12, 0.15),
+    };
+    p.staticPcPool = 900;
+    return p;
+}
+
+WorkloadProfile
+hydro2d()
+{
+    WorkloadProfile p = swim();
+    p.name = "104.hydro2d";
+    p.notes = "saturated hydrodynamics stencil; little to gain from "
+              "dependence speculation at this configuration";
+    p.seed = 95104;
+    return p;
+}
+
+WorkloadProfile
+mgrid()
+{
+    WorkloadProfile p = swim();
+    p.name = "107.mgrid";
+    p.notes = "multigrid sweeps; effectively dependence-free across "
+              "tasks";
+    p.seed = 95105;
+    p.recurrences = {
+        rec(1, 1, 1.00, 1, false, 2, 0.45, 0.30, 0.20, 0.10),
+    };
+    return p;
+}
+
+WorkloadProfile
+applu()
+{
+    WorkloadProfile p = fpBase();
+    p.name = "110.applu";
+    p.notes = "regular PDE solver recurrences; very close to ideal";
+    p.seed = 95106;
+    p.baseIterations = 5500;
+    p.minTaskSize = 150;
+    p.maxTaskSize = 220;
+    p.recurrences = {
+        rec(8, 1, 1.00, 1, true, 3, 0.38, 0.32, 0.12),
+    };
+    return p;
+}
+
+WorkloadProfile
+turb3d()
+{
+    WorkloadProfile p = swim();
+    p.name = "125.turb3d";
+    p.notes = "FFT-style phases; saturated elsewhere, small gains";
+    p.seed = 95107;
+    return p;
+}
+
+WorkloadProfile
+apsi()
+{
+    WorkloadProfile p = fpBase();
+    p.name = "141.apsi";
+    p.notes = "mixed-regularity recurrences; the mechanism removes "
+              "dependences that would otherwise degrade performance, "
+              "to a moderate extent";
+    p.seed = 95108;
+    p.baseIterations = 8000;
+    p.minTaskSize = 100;
+    p.maxTaskSize = 160;
+    p.recurrences = {
+        rec(8, 1, 1.00, 1, true, 4, 0.40, 0.30, 0.15),
+        rec(4, 2, 1.00, 1, true, 4, 0.48, 0.26, 0.15, 0.6),
+    };
+    return p;
+}
+
+WorkloadProfile
+fpppp()
+{
+    WorkloadProfile p = fpBase();
+    p.name = "145.fpppp";
+    p.notes = "~1000-op tasks (one loop iteration per task under greedy "
+              "partitioning) with a dependence working set far beyond "
+              "64 MDPT entries; some dependences cannot be synchronized";
+    p.seed = 95109;
+    p.baseIterations = 1100;
+    p.minTaskSize = 800;
+    p.maxTaskSize = 1200;
+    p.recurrences = {
+        rec(32, 1, 1.00, 1, true, 4, 0.33, 0.45, 0.12),
+        rec(128, 1, 1.00, 1, true, 4, 0.36, 0.44, 0.12, 0.15),
+    };
+    p.staticPcPool = 1200;
+    p.fracFp = 0.5;
+    return p;
+}
+
+WorkloadProfile
+wave5()
+{
+    WorkloadProfile p = fpBase();
+    p.name = "146.wave5";
+    p.notes = "particle/field code; moderate recurrence capture";
+    p.seed = 95110;
+    p.baseIterations = 7000;
+    p.minTaskSize = 120;
+    p.maxTaskSize = 200;
+    p.recurrences = {
+        rec(10, 1, 1.00, 1, true, 3, 0.40, 0.30, 0.15),
+        rec(3, 3, 1.00, 1, false, 3, 0.42, 0.32, 0.15, 0.5),
+    };
+    return p;
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+const std::vector<Workload> &
+registry()
+{
+    static const std::vector<Workload> all = [] {
+        std::vector<Workload> v;
+        // SPECint92
+        v.emplace_back(compress92());
+        v.emplace_back(espresso());
+        v.emplace_back(gcc92());
+        v.emplace_back(sc92());
+        v.emplace_back(xlisp92());
+        // SPECint95
+        v.emplace_back(go95());
+        v.emplace_back(m88ksim());
+        v.emplace_back(gcc95());
+        v.emplace_back(compress95());
+        v.emplace_back(li95());
+        v.emplace_back(ijpeg());
+        v.emplace_back(perl95());
+        v.emplace_back(vortex());
+        // SPECfp95
+        v.emplace_back(tomcatv());
+        v.emplace_back(swim());
+        v.emplace_back(su2cor());
+        v.emplace_back(hydro2d());
+        v.emplace_back(mgrid());
+        v.emplace_back(applu());
+        v.emplace_back(turb3d());
+        v.emplace_back(apsi());
+        v.emplace_back(fpppp());
+        v.emplace_back(wave5());
+        return v;
+    }();
+    return all;
+}
+
+std::vector<std::string>
+suiteNames(const std::string &suite)
+{
+    std::vector<std::string> names;
+    for (const auto &w : registry())
+        if (w.profile().suite == suite)
+            names.push_back(w.name());
+    return names;
+}
+
+} // namespace
+
+std::vector<std::string>
+specInt92Names()
+{
+    return suiteNames("SPECint92");
+}
+
+std::vector<std::string>
+specInt95Names()
+{
+    return suiteNames("SPECint95");
+}
+
+std::vector<std::string>
+specFp95Names()
+{
+    return suiteNames("SPECfp95");
+}
+
+std::vector<std::string>
+allWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &w : registry())
+        names.push_back(w.name());
+    return names;
+}
+
+const Workload &
+findWorkload(const std::string &name)
+{
+    for (const auto &w : registry())
+        if (w.name() == name)
+            return w;
+    mdp_fatal("unknown workload '%s'", name.c_str());
+}
+
+bool
+hasWorkload(const std::string &name)
+{
+    for (const auto &w : registry())
+        if (w.name() == name)
+            return true;
+    return false;
+}
+
+} // namespace mdp

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Registry of the synthetic benchmark suites modelled after the
+ * programs evaluated in the paper (SPECint92, SPECint95, SPECfp95).
+ *
+ * Each profile is tuned to reproduce the *dependence phenomenology*
+ * the paper reports for the corresponding real program; see DESIGN.md
+ * for the substitution argument and the per-benchmark notes fields for
+ * what each profile encodes.
+ */
+
+#ifndef MDP_WORKLOADS_SUITES_HH
+#define MDP_WORKLOADS_SUITES_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace mdp
+{
+
+/** Names of the five SPECint92-like workloads (the paper's core set). */
+std::vector<std::string> specInt92Names();
+
+/** Names of the eight SPECint95-like workloads. */
+std::vector<std::string> specInt95Names();
+
+/** Names of the ten SPECfp95-like workloads. */
+std::vector<std::string> specFp95Names();
+
+/** Every registered workload name. */
+std::vector<std::string> allWorkloadNames();
+
+/** Look up a workload by name; fatal on unknown names. */
+const Workload &findWorkload(const std::string &name);
+
+/** @return true if a workload with this name is registered. */
+bool hasWorkload(const std::string &name);
+
+} // namespace mdp
+
+#endif // MDP_WORKLOADS_SUITES_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Synthetic workload: a named generator of dependence-rich traces.
+ */
+
+#ifndef MDP_WORKLOADS_WORKLOAD_HH
+#define MDP_WORKLOADS_WORKLOAD_HH
+
+#include "trace/trace.hh"
+#include "workloads/profile.hh"
+
+namespace mdp
+{
+
+/**
+ * A benchmark: a profile plus the generator that expands it into a
+ * dynamic trace.  Deterministic: generate(scale, seed) is a pure
+ * function of its arguments and the profile.
+ */
+class Workload
+{
+  public:
+    explicit Workload(WorkloadProfile profile)
+        : prof(std::move(profile))
+    {}
+
+    const WorkloadProfile &profile() const { return prof; }
+    const std::string &name() const { return prof.name; }
+
+    /**
+     * Expand the profile into a trace.
+     * @param scale multiplies the iteration count (MDP_SCALE hook).
+     * @param seed_override nonzero replaces the profile seed.
+     */
+    Trace generate(double scale = 1.0, uint64_t seed_override = 0) const;
+
+  private:
+    WorkloadProfile prof;
+};
+
+} // namespace mdp
+
+#endif // MDP_WORKLOADS_WORKLOAD_HH

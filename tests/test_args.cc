@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the command-line argument parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/args.hh"
+
+namespace mdp
+{
+namespace
+{
+
+ArgParser
+makeParser()
+{
+    ArgParser p("tool");
+    p.addFlag("verbose", "print more");
+    p.addOption("count", "10", "how many");
+    p.addOption("name", "default", "a name");
+    p.addPositional("input", "input file");
+    return p;
+}
+
+bool
+parse(ArgParser &p, std::initializer_list<const char *> argv_tail)
+{
+    std::vector<const char *> argv = {"tool"};
+    argv.insert(argv.end(), argv_tail.begin(), argv_tail.end());
+    return p.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, DefaultsApply)
+{
+    ArgParser p = makeParser();
+    ASSERT_TRUE(parse(p, {}));
+    EXPECT_FALSE(p.flag("verbose"));
+    EXPECT_EQ(p.getLong("count"), 10);
+    EXPECT_EQ(p.get("name"), "default");
+    EXPECT_TRUE(p.positionals().empty());
+}
+
+TEST(Args, FlagsAndValues)
+{
+    ArgParser p = makeParser();
+    ASSERT_TRUE(parse(p, {"--verbose", "--count", "42"}));
+    EXPECT_TRUE(p.flag("verbose"));
+    EXPECT_EQ(p.getLong("count"), 42);
+}
+
+TEST(Args, EqualsForm)
+{
+    ArgParser p = makeParser();
+    ASSERT_TRUE(parse(p, {"--count=7", "--name=zed"}));
+    EXPECT_EQ(p.getLong("count"), 7);
+    EXPECT_EQ(p.get("name"), "zed");
+}
+
+TEST(Args, Positionals)
+{
+    ArgParser p = makeParser();
+    ASSERT_TRUE(parse(p, {"a.txt", "--count", "3", "b.txt"}));
+    ASSERT_EQ(p.positionals().size(), 2u);
+    EXPECT_EQ(p.positionals()[0], "a.txt");
+    EXPECT_EQ(p.positionals()[1], "b.txt");
+}
+
+TEST(Args, UnknownOptionFails)
+{
+    ArgParser p = makeParser();
+    EXPECT_FALSE(parse(p, {"--mystery"}));
+    EXPECT_NE(p.error().find("mystery"), std::string::npos);
+}
+
+TEST(Args, MissingValueFails)
+{
+    ArgParser p = makeParser();
+    EXPECT_FALSE(parse(p, {"--count"}));
+    EXPECT_NE(p.error(), "");
+}
+
+TEST(Args, FlagWithValueFails)
+{
+    ArgParser p = makeParser();
+    EXPECT_FALSE(parse(p, {"--verbose=yes"}));
+}
+
+TEST(Args, DoubleValues)
+{
+    ArgParser p("t");
+    p.addOption("scale", "0.5", "scale");
+    std::vector<const char *> argv = {"t", "--scale", "2.25"};
+    ASSERT_TRUE(p.parse(3, argv.data()));
+    EXPECT_DOUBLE_EQ(p.getDouble("scale"), 2.25);
+}
+
+TEST(Args, UsageListsEverything)
+{
+    ArgParser p = makeParser();
+    std::string u = p.usage();
+    EXPECT_NE(u.find("--verbose"), std::string::npos);
+    EXPECT_NE(u.find("--count"), std::string::npos);
+    EXPECT_NE(u.find("v=10"), std::string::npos);
+    EXPECT_NE(u.find("<input>"), std::string::npos);
+}
+
+TEST(Args, ReparseResets)
+{
+    ArgParser p = makeParser();
+    ASSERT_TRUE(parse(p, {"--verbose", "x"}));
+    ASSERT_TRUE(parse(p, {}));
+    EXPECT_FALSE(p.flag("verbose"));
+    EXPECT_TRUE(p.positionals().empty());
+}
+
+} // namespace
+} // namespace mdp

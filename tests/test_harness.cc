@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the experiment harness helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "trace/builder.hh"
+#include "workloads/suites.hh"
+
+namespace mdp
+{
+namespace
+{
+
+TEST(Harness, ContextFromWorkloadName)
+{
+    WorkloadContext ctx("espresso", 0.005);
+    EXPECT_EQ(ctx.name(), "espresso");
+    EXPECT_GT(ctx.trace().size(), 0u);
+    EXPECT_GT(ctx.tasks().numTasks(), 0u);
+    EXPECT_GT(ctx.taskMispredictRate(), 0.0);
+    EXPECT_EQ(ctx.trace().validate(), "");
+}
+
+TEST(Harness, ContextFromExternalTrace)
+{
+    TraceBuilder b("ext");
+    b.beginTask(1);
+    b.alu(1);
+    b.load(2, 0x10);
+    WorkloadContext ctx(b.take());
+    EXPECT_EQ(ctx.name(), "ext");
+    EXPECT_EQ(ctx.trace().size(), 2u);
+    EXPECT_DOUBLE_EQ(ctx.taskMispredictRate(), 0.0);
+}
+
+TEST(Harness, ConfigCarriesStagesAndPolicy)
+{
+    WorkloadContext ctx("xlisp", 0.005);
+    MultiscalarConfig cfg =
+        makeMultiscalarConfig(ctx, 8, SpecPolicy::ESync);
+    EXPECT_EQ(cfg.numStages, 8u);
+    EXPECT_EQ(cfg.policy, SpecPolicy::ESync);
+    EXPECT_EQ(cfg.sync.slotsPerEntry, 8u);
+    EXPECT_DOUBLE_EQ(cfg.taskMispredictRate,
+                     ctx.taskMispredictRate());
+}
+
+TEST(Harness, SpeedupPct)
+{
+    SimResult base;
+    base.cycles = 100;
+    base.committedOps = 100;   // IPC 1.0
+    SimResult fast;
+    fast.cycles = 50;
+    fast.committedOps = 100;   // IPC 2.0
+    EXPECT_NEAR(speedupPct(base, fast), 100.0, 1e-9);
+    EXPECT_NEAR(speedupPct(base, base), 0.0, 1e-9);
+    SimResult zero;
+    EXPECT_DOUBLE_EQ(speedupPct(zero, fast), 0.0);
+}
+
+TEST(Harness, PolicyNamesRoundTrip)
+{
+    for (auto p : {SpecPolicy::Never, SpecPolicy::Always,
+                   SpecPolicy::Wait, SpecPolicy::PerfectSync,
+                   SpecPolicy::Sync, SpecPolicy::ESync}) {
+        EXPECT_EQ(parsePolicy(policyName(p)), p);
+    }
+    EXPECT_EQ(parsePolicy("always"), SpecPolicy::Always);
+    EXPECT_EQ(parsePolicy("psync"), SpecPolicy::PerfectSync);
+}
+
+TEST(Harness, UsesPredictorOnlyForSyncPolicies)
+{
+    EXPECT_TRUE(usesPredictor(SpecPolicy::Sync));
+    EXPECT_TRUE(usesPredictor(SpecPolicy::ESync));
+    EXPECT_FALSE(usesPredictor(SpecPolicy::Always));
+    EXPECT_FALSE(usesPredictor(SpecPolicy::Never));
+    EXPECT_FALSE(usesPredictor(SpecPolicy::Wait));
+    EXPECT_FALSE(usesPredictor(SpecPolicy::PerfectSync));
+}
+
+} // namespace
+} // namespace mdp

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the superscalar continuous-window model and the instance
+ * numbering pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mdp/instance.hh"
+#include "ooo/ooo_model.hh"
+#include "trace/builder.hh"
+#include "workloads/suites.hh"
+
+namespace mdp
+{
+namespace
+{
+
+// --------------------------------------------------------------------
+// InstanceNumberer
+// --------------------------------------------------------------------
+
+TEST(InstanceNumberer, CountsPerPc)
+{
+    InstanceNumberer n(8);
+    EXPECT_EQ(n.next(0x10), 0u);
+    EXPECT_EQ(n.next(0x10), 1u);
+    EXPECT_EQ(n.next(0x20), 0u);
+    EXPECT_EQ(n.next(0x10), 2u);
+    EXPECT_EQ(n.current(0x10), 3u);
+    EXPECT_EQ(n.current(0x99), 0u);
+}
+
+TEST(InstanceNumberer, EvictsLruAndRestartsAtZero)
+{
+    InstanceNumberer n(2);
+    n.next(0x10);
+    n.next(0x10);
+    n.next(0x20);
+    n.next(0x30);   // evicts 0x10 (LRU)
+    EXPECT_EQ(n.evictions(), 1u);
+    EXPECT_EQ(n.next(0x10), 0u);   // restarted
+}
+
+TEST(InstanceNumberer, CheckpointRestore)
+{
+    InstanceNumberer n(8);
+    n.next(0x10);
+    n.next(0x10);
+    n.next(0x20);
+    auto cp = n.checkpoint();
+    n.next(0x10);
+    n.next(0x20);
+    n.restore(cp);
+    EXPECT_EQ(n.current(0x10), 2u);
+    EXPECT_EQ(n.current(0x20), 1u);
+}
+
+// --------------------------------------------------------------------
+// OooProcessor
+// --------------------------------------------------------------------
+
+Trace
+racyTrace()
+{
+    TraceBuilder b("racy");
+    b.beginTask(0x1000);
+    for (int iter = 0; iter < 40; ++iter) {
+        // The store's address chain delays it past the next load.
+        SeqNum c = b.alu(0x10);
+        c = b.op(OpKind::IntDiv, 0x14, c);
+        b.store(0x300, 0x100 + (iter % 4) * 0x40, c);
+        b.load(0x400, 0x100 + (iter % 4) * 0x40);
+        for (int i = 0; i < 6; ++i)
+            b.alu(0x20 + i * 4);
+    }
+    return b.take();
+}
+
+OooResult
+runOoo(const Trace &t, SpecPolicy policy, unsigned window = 64)
+{
+    DepOracle o(t);
+    OooConfig cfg;
+    cfg.policy = policy;
+    cfg.windowSize = window;
+    OooProcessor p(t, o, cfg);
+    return p.run();
+}
+
+TEST(Ooo, CompletesAllPolicies)
+{
+    Trace t = racyTrace();
+    for (auto pol : {SpecPolicy::Never, SpecPolicy::Always,
+                     SpecPolicy::Wait, SpecPolicy::PerfectSync,
+                     SpecPolicy::Sync}) {
+        OooResult r = runOoo(t, pol);
+        EXPECT_EQ(r.committedOps, t.size()) << policyName(pol);
+        EXPECT_GT(r.cycles, 0u) << policyName(pol);
+    }
+}
+
+TEST(Ooo, OraclePoliciesNeverViolate)
+{
+    Trace t = racyTrace();
+    EXPECT_EQ(runOoo(t, SpecPolicy::Never).misSpeculations, 0u);
+    EXPECT_EQ(runOoo(t, SpecPolicy::Wait).misSpeculations, 0u);
+    EXPECT_EQ(runOoo(t, SpecPolicy::PerfectSync).misSpeculations, 0u);
+}
+
+TEST(Ooo, BlindSpeculationViolates)
+{
+    Trace t = racyTrace();
+    OooResult r = runOoo(t, SpecPolicy::Always);
+    EXPECT_GT(r.misSpeculations, 0u);
+}
+
+TEST(Ooo, SyncReducesViolations)
+{
+    Trace t = racyTrace();
+    OooResult always = runOoo(t, SpecPolicy::Always);
+    OooResult sync = runOoo(t, SpecPolicy::Sync);
+    EXPECT_LT(sync.misSpeculations, always.misSpeculations);
+}
+
+TEST(Ooo, LargerWindowSeesMoreViolations)
+{
+    const Workload &w = findWorkload("xlisp");
+    Trace t = w.generate(0.005);
+    uint64_t small = runOoo(t, SpecPolicy::Always, 16).misSpeculations;
+    uint64_t large = runOoo(t, SpecPolicy::Always, 128).misSpeculations;
+    EXPECT_GE(large, small);
+}
+
+TEST(Ooo, SpeculationBeatsNoSpeculation)
+{
+    const Workload &w = findWorkload("espresso");
+    Trace t = w.generate(0.005);
+    OooResult never = runOoo(t, SpecPolicy::Never, 128);
+    OooResult always = runOoo(t, SpecPolicy::Always, 128);
+    EXPECT_GT(always.ipc(), never.ipc());
+}
+
+TEST(Ooo, Deterministic)
+{
+    Trace t = racyTrace();
+    OooResult a = runOoo(t, SpecPolicy::Sync);
+    OooResult b = runOoo(t, SpecPolicy::Sync);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.misSpeculations, b.misSpeculations);
+}
+
+TEST(Ooo, EmptyTrace)
+{
+    Trace t;
+    DepOracle o(t);
+    OooConfig cfg;
+    OooProcessor p(t, o, cfg);
+    OooResult r = p.run();
+    EXPECT_EQ(r.committedOps, 0u);
+    EXPECT_EQ(r.cycles, 0u);
+}
+
+} // namespace
+} // namespace mdp

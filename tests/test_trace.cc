@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Unit tests for the trace substrate: MicroOp, Trace, TraceBuilder and
+ * the dependence oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "base/random.hh"
+#include "trace/builder.hh"
+#include "trace/dep_oracle.hh"
+#include "trace/trace.hh"
+
+namespace mdp
+{
+namespace
+{
+
+TEST(MicroOp, Kinds)
+{
+    MicroOp op;
+    op.kind = OpKind::Load;
+    EXPECT_TRUE(op.isLoad());
+    EXPECT_TRUE(op.isMemOp());
+    EXPECT_FALSE(op.isStore());
+    op.kind = OpKind::Store;
+    EXPECT_TRUE(op.isStore());
+    EXPECT_TRUE(op.isMemOp());
+    op.kind = OpKind::IntAlu;
+    EXPECT_FALSE(op.isMemOp());
+}
+
+TEST(MicroOp, LatenciesMatchTable2)
+{
+    EXPECT_EQ(opLatency(OpKind::IntAlu), 1u);
+    EXPECT_EQ(opLatency(OpKind::IntMul), 4u);
+    EXPECT_EQ(opLatency(OpKind::IntDiv), 12u);
+    EXPECT_EQ(opLatency(OpKind::FpAdd), 2u);
+    EXPECT_EQ(opLatency(OpKind::FpMul), 4u);
+    EXPECT_EQ(opLatency(OpKind::FpDiv), 18u);
+    EXPECT_EQ(opLatency(OpKind::Branch), 1u);
+}
+
+TEST(Trace, AppendAndIndex)
+{
+    Trace t("t");
+    MicroOp op;
+    op.pc = 0x100;
+    SeqNum s = t.append(op);
+    EXPECT_EQ(s, 0u);
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0].pc, 0x100u);
+    EXPECT_EQ(t.traceName(), "t");
+}
+
+TEST(Trace, EmptyTrace)
+{
+    Trace t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.numTasks(), 0u);
+    EXPECT_EQ(t.stats().numOps, 0u);
+    EXPECT_EQ(t.validate(), "");
+}
+
+TEST(TraceBuilder, BuildsTasksAndOps)
+{
+    TraceBuilder b("x");
+    b.beginTask(0x1000);
+    SeqNum a = b.alu(0x10);
+    SeqNum l = b.load(0x14, 0x8000, a);
+    b.beginTask(0x2000);
+    SeqNum s = b.store(0x18, 0x8000, kNoSeq, l);
+    b.branch(0x1c, s);
+    Trace t = b.take();
+
+    ASSERT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.numTasks(), 2u);
+    EXPECT_EQ(t[0].taskId, 0u);
+    EXPECT_EQ(t[1].taskId, 0u);
+    EXPECT_EQ(t[2].taskId, 1u);
+    EXPECT_EQ(t[0].taskPc, 0x1000u);
+    EXPECT_EQ(t[2].taskPc, 0x2000u);
+    EXPECT_EQ(t[1].src1, a);
+    EXPECT_EQ(t[2].src2, l);
+    EXPECT_EQ(t.validate(), "");
+}
+
+TEST(Trace, TaskBoundaries)
+{
+    TraceBuilder b("x");
+    b.beginTask(1);
+    b.alu(1);
+    b.alu(2);
+    b.beginTask(2);
+    b.alu(3);
+    Trace t = b.take();
+    auto bounds = t.taskBoundaries();
+    ASSERT_EQ(bounds.size(), 3u);
+    EXPECT_EQ(bounds[0], 0u);
+    EXPECT_EQ(bounds[1], 2u);
+    EXPECT_EQ(bounds[2], 3u);
+}
+
+TEST(Trace, StatsCountKinds)
+{
+    TraceBuilder b("x");
+    b.beginTask(1);
+    b.alu(1);
+    b.load(2, 0x10);
+    b.store(3, 0x18);
+    b.branch(4);
+    b.beginTask(2);
+    b.alu(5);
+    Trace t = b.take();
+    TraceStats st = t.stats();
+    EXPECT_EQ(st.numOps, 5u);
+    EXPECT_EQ(st.numLoads, 1u);
+    EXPECT_EQ(st.numStores, 1u);
+    EXPECT_EQ(st.numBranches, 1u);
+    EXPECT_EQ(st.numTasks, 2u);
+    EXPECT_EQ(st.maxTaskSize, 4u);
+    EXPECT_DOUBLE_EQ(st.avgTaskSize, 2.5);
+}
+
+TEST(Trace, ValidateCatchesForwardSrc)
+{
+    Trace t;
+    MicroOp op;
+    op.taskId = 0;
+    op.src1 = 0;   // self/forward reference
+    t.append(op);
+    EXPECT_NE(t.validate(), "");
+}
+
+TEST(Trace, ValidateCatchesNonContiguousTasks)
+{
+    Trace t;
+    MicroOp a;
+    a.taskId = 0;
+    t.append(a);
+    MicroOp b;
+    b.taskId = 2;  // skipped task 1
+    t.append(b);
+    EXPECT_NE(t.validate(), "");
+}
+
+TEST(Trace, ValidateCatchesNullAddress)
+{
+    Trace t;
+    MicroOp op;
+    op.taskId = 0;
+    op.kind = OpKind::Load;
+    op.addr = 0;
+    t.append(op);
+    EXPECT_NE(t.validate(), "");
+}
+
+TEST(Trace, ValidateCatchesFirstTaskNonZero)
+{
+    Trace t;
+    MicroOp op;
+    op.taskId = 1;
+    t.append(op);
+    EXPECT_NE(t.validate(), "");
+}
+
+// --------------------------------------------------------------------
+// DepOracle
+// --------------------------------------------------------------------
+
+TEST(DepOracle, FindsMostRecentProducer)
+{
+    TraceBuilder b("x");
+    b.beginTask(1);
+    SeqNum s1 = b.store(1, 0x100);
+    SeqNum s2 = b.store(2, 0x100);
+    SeqNum l = b.load(3, 0x100);
+    Trace t = b.take();
+    DepOracle o(t);
+    EXPECT_TRUE(o.hasProducer(l));
+    EXPECT_EQ(o.producer(l), s2);
+    EXPECT_NE(o.producer(l), s1);
+}
+
+TEST(DepOracle, NoProducerForUnwrittenAddress)
+{
+    TraceBuilder b("x");
+    b.beginTask(1);
+    b.store(1, 0x100);
+    SeqNum l = b.load(2, 0x200);
+    Trace t = b.take();
+    DepOracle o(t);
+    EXPECT_FALSE(o.hasProducer(l));
+    EXPECT_EQ(o.producer(l), kNoSeq);
+}
+
+TEST(DepOracle, LaterStoreDoesNotProduce)
+{
+    TraceBuilder b("x");
+    b.beginTask(1);
+    SeqNum l = b.load(1, 0x100);
+    b.store(2, 0x100);
+    Trace t = b.take();
+    DepOracle o(t);
+    EXPECT_FALSE(o.hasProducer(l));
+}
+
+TEST(DepOracle, ProducerWithinWindow)
+{
+    TraceBuilder b("x");
+    b.beginTask(1);
+    SeqNum s = b.store(1, 0x100);
+    for (int i = 0; i < 10; ++i)
+        b.alu(2);
+    SeqNum l = b.load(3, 0x100);
+    Trace t = b.take();
+    DepOracle o(t);
+    // Distance is 11 dynamic instructions.
+    EXPECT_EQ(l - s, 11u);
+    EXPECT_FALSE(o.producerWithin(l, 11));
+    EXPECT_TRUE(o.producerWithin(l, 12));
+}
+
+TEST(DepOracle, InterTaskAndDistance)
+{
+    TraceBuilder b("x");
+    b.beginTask(1);
+    SeqNum intra_st = b.store(1, 0x200);
+    SeqNum intra_ld = b.load(2, 0x200);
+    b.store(3, 0x100);
+    b.beginTask(2);
+    b.alu(4);
+    b.beginTask(3);
+    SeqNum inter_ld = b.load(5, 0x100);
+    Trace t = b.take();
+    DepOracle o(t);
+    EXPECT_FALSE(o.interTask(intra_ld));
+    EXPECT_EQ(o.taskDistance(intra_ld), 0u);
+    EXPECT_EQ(o.producer(intra_ld), intra_st);
+    EXPECT_TRUE(o.interTask(inter_ld));
+    EXPECT_EQ(o.taskDistance(inter_ld), 2u);
+}
+
+TEST(DepOracle, LoadAndStoreLists)
+{
+    TraceBuilder b("x");
+    b.beginTask(1);
+    b.load(1, 0x10);
+    b.store(2, 0x18);
+    b.load(3, 0x20);
+    Trace t = b.take();
+    DepOracle o(t);
+    EXPECT_EQ(o.loads().size(), 2u);
+    EXPECT_EQ(o.stores().size(), 1u);
+    EXPECT_EQ(o.loads()[0], 0u);
+    EXPECT_EQ(o.loads()[1], 2u);
+    EXPECT_EQ(o.stores()[0], 1u);
+}
+
+/** Property: the oracle agrees with a brute-force scan on random
+ *  traces. */
+TEST(DepOracle, MatchesBruteForceOnRandomTraces)
+{
+    Pcg32 rng(777);
+    for (int trial = 0; trial < 20; ++trial) {
+        TraceBuilder b("r");
+        b.beginTask(1);
+        for (int i = 0; i < 300; ++i) {
+            if (i % 40 == 39)
+                b.beginTask(1 + i);
+            Addr a = 0x100 + rng.below(16) * 8;
+            if (rng.chance(0.5))
+                b.load(1, a);
+            else
+                b.store(2, a);
+        }
+        Trace t = b.take();
+        DepOracle o(t);
+        for (SeqNum l : o.loads()) {
+            SeqNum expect = kNoSeq;
+            for (SeqNum s = 0; s < l; ++s)
+                if (t[s].isStore() && t[s].addr == t[l].addr)
+                    expect = s;
+            EXPECT_EQ(o.producer(l), expect);
+        }
+    }
+}
+
+} // namespace
+} // namespace mdp

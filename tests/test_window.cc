@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the "unrealistic" perfect-window OoO model of section 5.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/builder.hh"
+#include "window/window_model.hh"
+#include "workloads/suites.hh"
+
+namespace mdp
+{
+namespace
+{
+
+TEST(WindowModel, CountsExactlyTheVisibleDependences)
+{
+    TraceBuilder b("x");
+    b.beginTask(1);
+    SeqNum s = b.store(1, 0x100);
+    for (int i = 0; i < 6; ++i)
+        b.alu(2);
+    SeqNum l = b.load(3, 0x100);   // distance 7
+    (void)s;
+    (void)l;
+    b.load(4, 0x200);              // never written: no dependence
+    Trace t = b.take();
+    DepOracle o(t);
+    WindowModel wm(t, o);
+
+    auto r4 = wm.study(4, {});
+    EXPECT_EQ(r4.misSpeculations, 0u);
+    auto r8 = wm.study(8, {});
+    EXPECT_EQ(r8.misSpeculations, 1u);
+    EXPECT_EQ(r8.staticDeps, 1u);
+    EXPECT_EQ(r8.staticDepsFor999, 1u);
+}
+
+TEST(WindowModel, OnlyMostRecentStoreCounts)
+{
+    TraceBuilder b("x");
+    b.beginTask(1);
+    b.store(1, 0x100);
+    b.store(2, 0x100);
+    SeqNum l = b.load(3, 0x100);
+    (void)l;
+    Trace t = b.take();
+    DepOracle o(t);
+    WindowModel wm(t, o);
+    auto r = wm.study(64, {});
+    EXPECT_EQ(r.misSpeculations, 1u);
+    EXPECT_EQ(r.staticDeps, 1u);   // only the (load, store2) edge
+}
+
+TEST(WindowModel, DdcSeesTheMisspecStream)
+{
+    TraceBuilder b("x");
+    b.beginTask(1);
+    for (int i = 0; i < 10; ++i) {
+        b.store(1, 0x100);
+        b.load(2, 0x100);
+    }
+    Trace t = b.take();
+    DepOracle o(t);
+    WindowModel wm(t, o);
+    auto r = wm.study(64, {4});
+    EXPECT_EQ(r.misSpeculations, 10u);
+    ASSERT_EQ(r.ddcMissRates.size(), 1u);
+    // One compulsory miss out of ten accesses.
+    EXPECT_NEAR(r.ddcMissRates[0].second, 0.1, 1e-9);
+}
+
+TEST(WindowModel, Coverage999PicksHeavyHitters)
+{
+    TraceBuilder b("x");
+    b.beginTask(1);
+    // Edge A misspeculates 2000 times, edge B once: 99.9% of 2001 is
+    // 1999, so edge A alone is enough.
+    for (int i = 0; i < 2000; ++i) {
+        b.store(1, 0x100);
+        b.load(2, 0x100);
+    }
+    b.store(3, 0x200);
+    b.load(4, 0x200);
+    Trace t = b.take();
+    DepOracle o(t);
+    WindowModel wm(t, o);
+    auto r = wm.study(16, {});
+    EXPECT_EQ(r.misSpeculations, 2001u);
+    EXPECT_EQ(r.staticDeps, 2u);
+    EXPECT_EQ(r.staticDepsFor999, 1u);
+}
+
+/** Property over real workloads: mis-speculations are non-decreasing
+ *  in the window size (a larger window sees every dependence a smaller
+ *  one sees). */
+class WindowMonotone : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WindowMonotone, MisspecsGrowWithWindow)
+{
+    const Workload &w = findWorkload(GetParam());
+    Trace t = w.generate(0.01);
+    DepOracle o(t);
+    WindowModel wm(t, o);
+    uint64_t prev = 0;
+    uint64_t prev_static = 0;
+    for (uint32_t ws : {8u, 32u, 128u, 512u}) {
+        auto r = wm.study(ws, {});
+        EXPECT_GE(r.misSpeculations, prev) << "ws " << ws;
+        EXPECT_GE(r.staticDeps, prev_static) << "ws " << ws;
+        prev = r.misSpeculations;
+        prev_static = r.staticDeps;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Spec92, WindowMonotone,
+                         ::testing::ValuesIn(specInt92Names()),
+                         [](const auto &info) { return info.param; });
+
+/** Property: DDC miss rate is non-increasing in capacity for the same
+ *  window. */
+TEST(WindowModel, DdcMissRateMonotoneInCapacity)
+{
+    const Workload &w = findWorkload("gcc");
+    Trace t = w.generate(0.02);
+    DepOracle o(t);
+    WindowModel wm(t, o);
+    auto r = wm.study(128, {32, 128, 512, 2048});
+    for (size_t i = 1; i < r.ddcMissRates.size(); ++i)
+        EXPECT_LE(r.ddcMissRates[i].second,
+                  r.ddcMissRates[i - 1].second + 1e-12);
+}
+
+/** The paper's headline observation: mis-speculations explode between
+ *  window sizes 8 and 32 (dependences are spread across several
+ *  instructions). */
+TEST(WindowModel, DramaticGrowthFrom8To32)
+{
+    const Workload &w = findWorkload("compress");
+    Trace t = w.generate(0.05);
+    DepOracle o(t);
+    WindowModel wm(t, o);
+    auto r8 = wm.study(8, {});
+    auto r32 = wm.study(32, {});
+    EXPECT_GT(r32.misSpeculations, 2 * r8.misSpeculations);
+}
+
+} // namespace
+} // namespace mdp

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for the synthetic workload generators and their registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "trace/dep_oracle.hh"
+#include "workloads/suites.hh"
+#include "workloads/workload.hh"
+
+namespace mdp
+{
+namespace
+{
+
+TEST(Registry, SuiteSizesMatchThePaper)
+{
+    EXPECT_EQ(specInt92Names().size(), 5u);
+    EXPECT_EQ(specInt95Names().size(), 8u);
+    EXPECT_EQ(specFp95Names().size(), 10u);
+    EXPECT_EQ(allWorkloadNames().size(), 23u);
+}
+
+TEST(Registry, ContainsThePapersPrograms)
+{
+    for (const char *name :
+         {"compress", "espresso", "gcc", "sc", "xlisp", "099.go",
+          "126.gcc", "129.compress", "147.vortex", "101.tomcatv",
+          "145.fpppp", "103.su2cor", "102.swim"}) {
+        EXPECT_TRUE(hasWorkload(name)) << name;
+    }
+    EXPECT_FALSE(hasWorkload("nonexistent"));
+}
+
+TEST(Registry, FindReturnsMatchingProfile)
+{
+    const Workload &w = findWorkload("espresso");
+    EXPECT_EQ(w.name(), "espresso");
+    EXPECT_EQ(w.profile().suite, "SPECint92");
+}
+
+TEST(Registry, NamesAreUnique)
+{
+    auto names = allWorkloadNames();
+    std::set<std::string> uniq(names.begin(), names.end());
+    EXPECT_EQ(uniq.size(), names.size());
+}
+
+TEST(Generator, Deterministic)
+{
+    const Workload &w = findWorkload("compress");
+    Trace a = w.generate(0.02);
+    Trace b = w.generate(0.02);
+    ASSERT_EQ(a.size(), b.size());
+    for (SeqNum s = 0; s < a.size(); ++s) {
+        EXPECT_EQ(a[s].pc, b[s].pc);
+        EXPECT_EQ(a[s].addr, b[s].addr);
+        EXPECT_EQ(a[s].taskId, b[s].taskId);
+    }
+}
+
+TEST(Generator, SeedChangesTrace)
+{
+    const Workload &w = findWorkload("compress");
+    Trace a = w.generate(0.02, 111);
+    Trace b = w.generate(0.02, 222);
+    ASSERT_GT(a.size(), 0u);
+    bool differs = a.size() != b.size();
+    for (SeqNum s = 0; !differs && s < std::min(a.size(), b.size()); ++s)
+        differs = a[s].pc != b[s].pc || a[s].addr != b[s].addr;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Generator, ScaleControlsLength)
+{
+    const Workload &w = findWorkload("espresso");
+    Trace small = w.generate(0.01);
+    Trace large = w.generate(0.03);
+    EXPECT_GT(large.size(), 2 * small.size());
+    EXPECT_EQ(large.numTasks(), 3 * small.numTasks());
+}
+
+TEST(Generator, CompressUsesPathSplitStorePcs)
+{
+    // The compress profile's SplitPc edges must produce multiple
+    // static store PCs writing the same recurrence location.
+    const Workload &w = findWorkload("compress");
+    Trace t = w.generate(0.05);
+    std::unordered_map<Addr, std::set<Addr>> store_pcs_by_addr;
+    for (SeqNum s = 0; s < t.size(); ++s) {
+        const MicroOp &op = t[s];
+        if (op.isStore() && op.addr >= 0x20000000 &&
+            op.addr < 0x30000000) {
+            store_pcs_by_addr[op.addr].insert(op.pc);
+        }
+    }
+    bool any_multi = false;
+    for (auto &[a, pcs] : store_pcs_by_addr)
+        any_multi |= pcs.size() > 1;
+    EXPECT_TRUE(any_multi);
+}
+
+TEST(Generator, CompressTaskPcsVaryByPath)
+{
+    const Workload &w = findWorkload("compress");
+    Trace t = w.generate(0.05);
+    std::set<Addr> task_pcs;
+    for (auto b = t.taskBoundaries(); auto s : b) {
+        if (s < t.size())
+            task_pcs.insert(t[s].taskPc);
+    }
+    EXPECT_GE(task_pcs.size(), 3u);   // three control paths
+}
+
+TEST(Generator, EspressoTaskPcIsConstant)
+{
+    const Workload &w = findWorkload("espresso");
+    Trace t = w.generate(0.02);
+    std::set<Addr> task_pcs;
+    auto bounds = t.taskBoundaries();
+    for (size_t i = 0; i + 1 < bounds.size(); ++i)
+        task_pcs.insert(t[bounds[i]].taskPc);
+    EXPECT_EQ(task_pcs.size(), 1u);
+}
+
+TEST(Generator, SpillsAreIntraTask)
+{
+    const Workload &w = findWorkload("xlisp");
+    Trace t = w.generate(0.05);
+    DepOracle o(t);
+    for (SeqNum l : o.loads()) {
+        if (t[l].addr < 0x60000000)
+            continue;   // not a spill slot
+        SeqNum p = o.producer(l);
+        if (p == kNoSeq)
+            continue;
+        // A spill reload's producer must be in the same task, except
+        // for the rare frame-recycling reuse 64 tasks away.
+        uint32_t dist = t[l].taskId - t[p].taskId;
+        EXPECT_TRUE(dist == 0 || dist >= 64) << "dist " << dist;
+    }
+}
+
+TEST(Generator, RecurrenceEdgesProduceInterTaskDeps)
+{
+    const Workload &w = findWorkload("espresso");
+    Trace t = w.generate(0.05);
+    DepOracle o(t);
+    uint64_t inter = 0;
+    for (SeqNum l : o.loads())
+        if (o.interTask(l))
+            ++inter;
+    EXPECT_GT(inter, t.numTasks() / 4);   // dependences fire regularly
+}
+
+class AllWorkloads : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(AllWorkloads, GeneratesValidTrace)
+{
+    const Workload &w = findWorkload(GetParam());
+    Trace t = w.generate(0.01);
+    EXPECT_GT(t.size(), 100u);
+    EXPECT_EQ(t.validate(), "") << GetParam();
+}
+
+TEST_P(AllWorkloads, TaskSizesNearProfile)
+{
+    const Workload &w = findWorkload(GetParam());
+    Trace t = w.generate(0.01);
+    TraceStats st = t.stats();
+    const WorkloadProfile &p = w.profile();
+    // Recurrence events (each store brings its address chain) and
+    // spills add ops beyond the base size; profiles with dozens of
+    // edges (gcc, vortex) roughly triple it.  The lower bound is the
+    // profile minimum.
+    EXPECT_GE(st.avgTaskSize, p.minTaskSize);
+    EXPECT_LE(st.avgTaskSize, p.maxTaskSize * 4.0);
+}
+
+TEST_P(AllWorkloads, InstructionMixSane)
+{
+    const Workload &w = findWorkload(GetParam());
+    Trace t = w.generate(0.01);
+    TraceStats st = t.stats();
+    double loads = double(st.numLoads) / st.numOps;
+    double stores = double(st.numStores) / st.numOps;
+    EXPECT_GT(loads, 0.05);
+    EXPECT_LT(loads, 0.6);
+    EXPECT_GT(stores, 0.03);
+    EXPECT_LT(stores, 0.5);
+}
+
+TEST_P(AllWorkloads, MemoryOpsHaveAddresses)
+{
+    const Workload &w = findWorkload(GetParam());
+    Trace t = w.generate(0.01);
+    for (SeqNum s = 0; s < t.size(); ++s)
+        if (t[s].isMemOp())
+            ASSERT_NE(t[s].addr, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, AllWorkloads,
+    ::testing::ValuesIn(allWorkloadNames()),
+    [](const auto &info) {
+        std::string n = info.param;
+        for (char &c : n)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+} // namespace
+} // namespace mdp

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * mdp_sim: the command-line front end to every model in the library.
+ *
+ *   mdp_sim --list
+ *   mdp_sim --workload espresso --policy esync --stages 8
+ *   mdp_sim --workload gcc --model window --window 128
+ *   mdp_sim --workload sc --save-trace sc.trc
+ *   mdp_sim --load-trace sc.trc --policy psync --csv
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "base/args.hh"
+#include "base/stats.hh"
+#include "base/table.hh"
+#include "harness/runner.hh"
+#include "ooo/ooo_model.hh"
+#include "trace/serialize.hh"
+#include "window/window_model.hh"
+#include "workloads/suites.hh"
+
+using namespace mdp;
+
+namespace
+{
+
+SyncOrganization
+parseOrg(const std::string &s)
+{
+    if (s == "combined")
+        return SyncOrganization::Combined;
+    if (s == "split")
+        return SyncOrganization::Split;
+    if (s == "distributed")
+        return SyncOrganization::Distributed;
+    mdp_fatal("unknown organization '%s' (combined|split|distributed)",
+              s.c_str());
+}
+
+TagScheme
+parseTags(const std::string &s)
+{
+    if (s == "distance")
+        return TagScheme::Distance;
+    if (s == "address")
+        return TagScheme::Address;
+    mdp_fatal("unknown tag scheme '%s' (distance|address)", s.c_str());
+}
+
+void
+emitResult(const std::string &title, const StatGroup &stats, bool csv)
+{
+    if (csv) {
+        TextTable t({"stat", "value"});
+        for (const auto &[k, v] : stats.all())
+            t.row({k, formatDouble(v, 6)});
+        t.printCsv(std::cout);
+    } else {
+        std::printf("%s\n", title.c_str());
+        stats.dump(std::cout, "  ");
+    }
+}
+
+StatGroup
+multiscalarStats(const SimResult &r)
+{
+    StatGroup g;
+    g.set("cycles", static_cast<double>(r.cycles));
+    g.set("committed_ops", static_cast<double>(r.committedOps));
+    g.set("committed_loads", static_cast<double>(r.committedLoads));
+    g.set("committed_stores", static_cast<double>(r.committedStores));
+    g.set("committed_tasks", static_cast<double>(r.committedTasks));
+    g.set("ipc", r.ipc());
+    g.set("misspeculations", static_cast<double>(r.misSpeculations));
+    g.set("misspec_per_load", r.misspecPerLoad());
+    g.set("squashed_ops", static_cast<double>(r.squashedOps));
+    g.set("control_stalls", static_cast<double>(r.controlStalls));
+    g.set("loads_blocked_sync",
+          static_cast<double>(r.loadsBlockedSync));
+    g.set("loads_blocked_frontier",
+          static_cast<double>(r.loadsBlockedFrontier));
+    g.set("frontier_releases",
+          static_cast<double>(r.frontierReleases));
+    g.set("sync_wait_cycles", static_cast<double>(r.syncWaitCycles));
+    g.set("value_pred_uses", static_cast<double>(r.valuePredUses));
+    g.set("value_pred_hits", static_cast<double>(r.valuePredHits));
+    g.set("value_pred_misses",
+          static_cast<double>(r.valuePredMisses));
+    g.set("pred_nn", static_cast<double>(r.pred.nn));
+    g.set("pred_ny", static_cast<double>(r.pred.ny));
+    g.set("pred_yn", static_cast<double>(r.pred.yn));
+    g.set("pred_yy", static_cast<double>(r.pred.yy));
+    return g;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("mdp_sim");
+    args.addFlag("list", "list registered workloads and exit");
+    args.addFlag("help", "show this help");
+    args.addOption("workload", "espresso", "registered workload name");
+    args.addOption("load-trace", "", "read the trace from a file");
+    args.addOption("save-trace", "",
+                   "write the generated trace to a file and exit");
+    args.addOption("scale", "0.1", "trace-length scale factor");
+    args.addOption("seed", "0", "generation seed override (0 = profile)");
+    args.addOption("model", "multiscalar",
+                   "multiscalar | ooo | window");
+    args.addOption("policy", "esync",
+                   "never|always|wait|psync|sync|esync|vsync");
+    args.addOption("stages", "8", "Multiscalar processing stages");
+    args.addOption("entries", "64", "MDPT entries");
+    args.addOption("org", "combined", "combined | split | distributed");
+    args.addOption("tags", "distance", "distance | address");
+    args.addOption("window", "64",
+                   "window size (ooo and window models)");
+    args.addFlag("preload",
+                 "preload profile-derived static edges (section 6)");
+    args.addFlag("csv", "emit results as CSV");
+
+    if (!args.parse(argc, argv)) {
+        std::fprintf(stderr, "%s\n%s", args.error().c_str(),
+                     args.usage().c_str());
+        return 2;
+    }
+    if (args.flag("help")) {
+        std::printf("%s", args.usage().c_str());
+        return 0;
+    }
+    if (args.flag("list")) {
+        for (const auto &n : allWorkloadNames()) {
+            const Workload &w = findWorkload(n);
+            std::printf("%-14s %-10s %s\n", n.c_str(),
+                        w.profile().suite.c_str(),
+                        w.profile().notes.c_str());
+        }
+        return 0;
+    }
+
+    // ---- obtain the trace ------------------------------------------
+    Trace trace;
+    if (!args.get("load-trace").empty()) {
+        std::string error;
+        trace = loadTrace(args.get("load-trace"), error);
+        if (!error.empty())
+            mdp_fatal("load-trace: %s", error.c_str());
+    } else {
+        const Workload &w = findWorkload(args.get("workload"));
+        trace = w.generate(args.getDouble("scale"),
+                           static_cast<uint64_t>(args.getLong("seed")));
+    }
+
+    if (!args.get("save-trace").empty()) {
+        if (!saveTrace(trace, args.get("save-trace")))
+            mdp_fatal("cannot write %s",
+                      args.get("save-trace").c_str());
+        std::printf("wrote %zu ops to %s\n", trace.size(),
+                    args.get("save-trace").c_str());
+        return 0;
+    }
+
+    std::string model = args.get("model");
+    bool csv = args.flag("csv");
+
+    // ---- perfect-window dependence study ----------------------------
+    if (model == "window") {
+        DepOracle oracle(trace);
+        WindowModel wm(trace, oracle);
+        auto r = wm.study(
+            static_cast<uint32_t>(args.getLong("window")),
+            {32, 128, 512});
+        StatGroup g;
+        g.set("window_size", r.windowSize);
+        g.set("misspeculations",
+              static_cast<double>(r.misSpeculations));
+        g.set("static_deps", static_cast<double>(r.staticDeps));
+        g.set("static_deps_999",
+              static_cast<double>(r.staticDepsFor999));
+        for (auto &[sz, rate] : r.ddcMissRates)
+            g.set("ddc_missrate_" + std::to_string(sz), rate);
+        emitResult("window model results", g, csv);
+        return 0;
+    }
+
+    // ---- superscalar continuous-window model ------------------------
+    if (model == "ooo") {
+        DepOracle oracle(trace);
+        OooConfig cfg;
+        cfg.windowSize = static_cast<unsigned>(args.getLong("window"));
+        cfg.policy = parsePolicy(args.get("policy"));
+        cfg.sync.numEntries =
+            static_cast<size_t>(args.getLong("entries"));
+        cfg.sync.tags = parseTags(args.get("tags"));
+        cfg.organization = parseOrg(args.get("org"));
+        OooProcessor proc(trace, oracle, cfg);
+        OooResult r = proc.run();
+        StatGroup g;
+        g.set("cycles", static_cast<double>(r.cycles));
+        g.set("committed_ops", static_cast<double>(r.committedOps));
+        g.set("ipc", r.ipc());
+        g.set("misspeculations",
+              static_cast<double>(r.misSpeculations));
+        g.set("squashed_ops", static_cast<double>(r.squashedOps));
+        g.set("loads_blocked", static_cast<double>(r.loadsBlocked));
+        emitResult("superscalar model results", g, csv);
+        return 0;
+    }
+
+    // ---- Multiscalar model -------------------------------------------
+    if (model != "multiscalar")
+        mdp_fatal("unknown model '%s'", model.c_str());
+
+    WorkloadContext ctx(std::move(trace));
+    MultiscalarConfig cfg = makeMultiscalarConfig(
+        ctx, static_cast<unsigned>(args.getLong("stages")),
+        parsePolicy(args.get("policy")));
+    cfg.sync.numEntries = static_cast<size_t>(args.getLong("entries"));
+    cfg.sync.tags = parseTags(args.get("tags"));
+    cfg.organization = parseOrg(args.get("org"));
+    if (args.flag("preload"))
+        cfg.preloadEdges = analyzeStaticEdges(ctx);
+
+    SimResult r = runMultiscalar(ctx, cfg);
+    emitResult("multiscalar results (" + policyName(cfg.policy) + ")",
+               multiscalarStats(r), csv);
+    return 0;
+}
