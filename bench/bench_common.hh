@@ -9,6 +9,11 @@
  *
  * MDP_SCALE scales trace lengths (default 0.25 here so the full bench
  * suite completes in minutes; use MDP_SCALE=1 for longer runs).
+ * MDP_JOBS caps the worker threads of the parallel grid runner
+ * (default: hardware concurrency; MDP_JOBS=1 is the serial baseline
+ * and must produce byte-identical tables).
+ * MDP_JSON_OUT=<path> additionally writes rows + shape verdicts as a
+ * JSON document for CI artifacts; see harness/report.hh.
  */
 
 #ifndef MDP_BENCH_BENCH_COMMON_HH
@@ -16,10 +21,13 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/env.hh"
 #include "base/table.hh"
+#include "harness/experiment.hh"
+#include "harness/report.hh"
 #include "harness/runner.hh"
 #include "workloads/suites.hh"
 
@@ -43,7 +51,7 @@ banner(const std::string &what, const std::string &paper_ref)
                 benchScale());
 }
 
-/** One shape-check line; collects an overall verdict. */
+/** One shape-check line; collects verdicts for the exit code + JSON. */
 class ShapeChecks
 {
   public:
@@ -53,6 +61,7 @@ class ShapeChecks
         std::printf("[%s] %s\n", ok ? "shape OK  " : "shape FAIL",
                     what.c_str());
         allOk &= ok;
+        verdicts.emplace_back(ok, what);
     }
 
     bool
@@ -63,9 +72,39 @@ class ShapeChecks
         return allOk;
     }
 
+    const std::vector<std::pair<bool, std::string>> &
+    all() const
+    {
+        return verdicts;
+    }
+
   private:
     bool allOk = true;
+    std::vector<std::pair<bool, std::string>> verdicts;
 };
+
+/**
+ * Standard bench epilogue: print the verdict line, honor MDP_JSON_OUT,
+ * and return the process exit code -- nonzero when any shape check
+ * failed (or the JSON artifact could not be written) so CI gates on
+ * the result instead of just archiving the text.
+ */
+inline int
+finishBench(const std::string &bench_name, const std::string &paper_ref,
+            const ShapeChecks &sc, const TextTable &table,
+            unsigned jobs = 1)
+{
+    bool ok = sc.finish();
+    BenchReport report(bench_name, paper_ref);
+    report.setScale(benchScale());
+    report.setJobs(jobs);
+    report.addTable(table);
+    for (const auto &[check_ok, what] : sc.all())
+        report.addCheck(check_ok, what);
+    if (!report.writeEnv())
+        return 1;
+    return ok ? 0 : 1;
+}
 
 } // namespace mdp
 

@@ -24,22 +24,33 @@ main(int argc, char **argv)
                     "  dcache hit 2, miss 13 (+bus), ring hop 1\n\n");
     }
 
+    const std::vector<SpecPolicy> policies = {
+        SpecPolicy::Never, SpecPolicy::Always, SpecPolicy::Wait,
+        SpecPolicy::PerfectSync};
+
+    // Queue the whole (workload x stages x policy) grid, then sweep it
+    // in parallel; rows are printed afterwards in submission order so
+    // the table is byte-identical for any MDP_JOBS.
+    ExperimentRunner runner;
+    for (const auto &name : specInt92Names())
+        for (unsigned stages : {4u, 8u})
+            for (SpecPolicy p : policies)
+                runner.add(name, benchScale(),
+                           makeWorkloadConfig(name, stages, p));
+    runner.runAll();
+
     TextTable t({"stages", "benchmark", "NEVER IPC", "ALWAYS", "WAIT",
                  "PSYNC"});
     ShapeChecks sc;
 
+    size_t idx = 0;
     for (const auto &name : specInt92Names()) {
-        WorkloadContext ctx(name, benchScale());
         double gap4 = 0, gap8 = 0;
         for (unsigned stages : {4u, 8u}) {
-            auto run = [&](SpecPolicy p) {
-                return runMultiscalar(
-                    ctx, makeMultiscalarConfig(ctx, stages, p));
-            };
-            SimResult never = run(SpecPolicy::Never);
-            SimResult always = run(SpecPolicy::Always);
-            SimResult wait = run(SpecPolicy::Wait);
-            SimResult psync = run(SpecPolicy::PerfectSync);
+            const SimResult &never = runner.result(idx++);
+            const SimResult &always = runner.result(idx++);
+            const SimResult &wait = runner.result(idx++);
+            const SimResult &psync = runner.result(idx++);
 
             t.beginRow();
             t.integer(stages);
@@ -72,5 +83,7 @@ main(int argc, char **argv)
     }
     t.print(std::cout);
     std::printf("\n");
-    return sc.finish() ? 0 : 1;
+    return finishBench("fig5_policies",
+                       "Moshovos et al., ISCA'97, Figure 5", sc, t,
+                       runner.jobs());
 }

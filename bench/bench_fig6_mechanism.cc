@@ -18,21 +18,29 @@ main()
            "(SPECint92)",
            "Moshovos et al., ISCA'97, Figure 6");
 
+    const std::vector<SpecPolicy> policies = {
+        SpecPolicy::Always, SpecPolicy::Sync, SpecPolicy::ESync,
+        SpecPolicy::PerfectSync};
+
+    ExperimentRunner runner;
+    for (const auto &name : specInt92Names())
+        for (unsigned stages : {4u, 8u})
+            for (SpecPolicy p : policies)
+                runner.add(name, benchScale(),
+                           makeWorkloadConfig(name, stages, p));
+    runner.runAll();
+
     TextTable t({"stages", "benchmark", "ALWAYS IPC", "SYNC", "ESYNC",
                  "PSYNC"});
     ShapeChecks sc;
 
+    size_t idx = 0;
     for (const auto &name : specInt92Names()) {
-        WorkloadContext ctx(name, benchScale());
         for (unsigned stages : {4u, 8u}) {
-            auto run = [&](SpecPolicy p) {
-                return runMultiscalar(
-                    ctx, makeMultiscalarConfig(ctx, stages, p));
-            };
-            SimResult always = run(SpecPolicy::Always);
-            SimResult syncr = run(SpecPolicy::Sync);
-            SimResult esync = run(SpecPolicy::ESync);
-            SimResult psync = run(SpecPolicy::PerfectSync);
+            const SimResult &always = runner.result(idx++);
+            const SimResult &syncr = runner.result(idx++);
+            const SimResult &esync = runner.result(idx++);
+            const SimResult &psync = runner.result(idx++);
 
             t.beginRow();
             t.integer(stages);
@@ -70,5 +78,7 @@ main()
     }
     t.print(std::cout);
     std::printf("\n");
-    return sc.finish() ? 0 : 1;
+    return finishBench("fig6_mechanism",
+                       "Moshovos et al., ISCA'97, Figure 6", sc, t,
+                       runner.jobs());
 }

@@ -5,6 +5,7 @@
  * ESYNC IPC reported along the axis.
  */
 
+#include <cmath>
 #include <iostream>
 
 #include "bench_common.hh"
@@ -17,65 +18,74 @@ main()
     banner("Figure 7: SPEC95 mechanism evaluation (8 stages)",
            "Moshovos et al., ISCA'97, Figure 7");
 
+    const std::vector<SpecPolicy> policies = {
+        SpecPolicy::Always, SpecPolicy::ESync, SpecPolicy::PerfectSync};
+
+    // Both suites go into one grid so the 18 workloads sweep together.
+    std::vector<std::pair<std::string, std::string>> programs;
+    for (const auto &name : specInt95Names())
+        programs.emplace_back("SPECint95", name);
+    for (const auto &name : specFp95Names())
+        programs.emplace_back("SPECfp95", name);
+
+    ExperimentRunner runner;
+    for (const auto &[suite, name] : programs)
+        for (SpecPolicy p : policies)
+            runner.add(name, benchScale(),
+                       makeWorkloadConfig(name, 8, p));
+    runner.runAll();
+
     TextTable t({"suite", "benchmark", "ESYNC IPC", "ESYNC", "PSYNC"});
     ShapeChecks sc;
 
-    auto run_suite = [&](const std::vector<std::string> &names,
-                         const std::string &suite) {
-        for (const auto &name : names) {
-            WorkloadContext ctx(name, benchScale());
-            auto run = [&](SpecPolicy p) {
-                return runMultiscalar(ctx,
-                                      makeMultiscalarConfig(ctx, 8, p));
-            };
-            SimResult always = run(SpecPolicy::Always);
-            SimResult esync = run(SpecPolicy::ESync);
-            SimResult psync = run(SpecPolicy::PerfectSync);
+    size_t idx = 0;
+    for (const auto &[suite, name] : programs) {
+        const SimResult &always = runner.result(idx++);
+        const SimResult &esync = runner.result(idx++);
+        const SimResult &psync = runner.result(idx++);
 
-            t.beginRow();
-            t.cell(suite);
-            t.cell(name);
-            t.num(esync.ipc(), 2);
-            t.cell(formatDouble(speedupPct(always, esync), 1) + "%");
-            t.cell(formatDouble(speedupPct(always, psync), 1) + "%");
+        t.beginRow();
+        t.cell(suite);
+        t.cell(name);
+        t.num(esync.ipc(), 2);
+        t.cell(formatDouble(speedupPct(always, esync), 1) + "%");
+        t.cell(formatDouble(speedupPct(always, psync), 1) + "%");
 
-            double e = speedupPct(always, esync);
-            double p = speedupPct(always, psync);
-            sc.check(p >= e - 2.0, name + ": ideal bounds the mechanism");
+        double e = speedupPct(always, esync);
+        double p = speedupPct(always, psync);
+        sc.check(p >= e - 2.0, name + ": ideal bounds the mechanism");
 
-            if (suite == "SPECint95") {
-                sc.check(e > -3.0,
-                         name + ": integer programs benefit (or at "
-                                "least do not lose)");
-            }
-            if (name == "102.swim" || name == "104.hydro2d" ||
-                name == "107.mgrid" || name == "125.turb3d") {
-                sc.check(std::abs(p) < 8.0,
-                         name + ": saturated elsewhere, little to gain "
-                                "even ideally");
-            }
-            if (name == "101.tomcatv" || name == "110.applu") {
-                sc.check(e >= p * 0.5 && e > 10.0,
-                         name + ": mechanism close to ideal");
-            }
-            if (name == "145.fpppp" || name == "103.su2cor") {
-                sc.check(e < p - 20.0,
-                         name + ": dependence working set defeats the "
-                                "64-entry table (mechanism falls far "
-                                "short of ideal)");
-            }
-            if (name == "099.go") {
-                sc.check(e < p,
-                         name + ": poor control prediction limits the "
-                                "mechanism");
-            }
+        if (suite == "SPECint95") {
+            sc.check(e > -3.0,
+                     name + ": integer programs benefit (or at "
+                            "least do not lose)");
         }
-    };
-
-    run_suite(specInt95Names(), "SPECint95");
-    run_suite(specFp95Names(), "SPECfp95");
+        if (name == "102.swim" || name == "104.hydro2d" ||
+            name == "107.mgrid" || name == "125.turb3d") {
+            sc.check(std::abs(p) < 8.0,
+                     name + ": saturated elsewhere, little to gain "
+                            "even ideally");
+        }
+        if (name == "101.tomcatv" || name == "110.applu") {
+            sc.check(e >= p * 0.5 && e > 10.0,
+                     name + ": mechanism close to ideal");
+        }
+        if (name == "145.fpppp" || name == "103.su2cor") {
+            sc.check(e < p - 20.0,
+                     name + ": dependence working set defeats the "
+                            "64-entry table (mechanism falls far "
+                            "short of ideal)");
+        }
+        if (name == "099.go") {
+            sc.check(e < p,
+                     name + ": poor control prediction limits the "
+                            "mechanism");
+        }
+    }
 
     t.print(std::cout);
     std::printf("\n");
-    return sc.finish() ? 0 : 1;
+    return finishBench("fig7_spec95",
+                       "Moshovos et al., ISCA'97, Figure 7", sc, t,
+                       runner.jobs());
 }

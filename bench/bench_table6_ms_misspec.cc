@@ -22,19 +22,21 @@ main()
         head.push_back(n);
     t.header(head);
 
-    std::vector<uint64_t> at4, at8;
-    std::vector<std::unique_ptr<WorkloadContext>> ctxs;
-    for (const auto &name : specInt92Names())
-        ctxs.push_back(
-            std::make_unique<WorkloadContext>(name, benchScale()));
+    ExperimentRunner runner;
+    for (unsigned stages : {4u, 8u})
+        for (const auto &name : specInt92Names())
+            runner.add(name, benchScale(),
+                       makeWorkloadConfig(name, stages,
+                                          SpecPolicy::Always));
+    runner.runAll();
 
+    std::vector<uint64_t> at4, at8;
+    size_t idx = 0;
     for (unsigned stages : {4u, 8u}) {
         t.beginRow();
         t.integer(stages);
-        for (auto &ctx : ctxs) {
-            SimResult r = runMultiscalar(
-                *ctx,
-                makeMultiscalarConfig(*ctx, stages, SpecPolicy::Always));
+        for (size_t w = 0; w < specInt92Names().size(); ++w) {
+            const SimResult &r = runner.result(idx++);
             t.cell(formatCount(r.misSpeculations));
             (stages == 4 ? at4 : at8).push_back(r.misSpeculations);
         }
@@ -50,5 +52,7 @@ main()
                      ": mis-speculations more frequent at 8 stages");
         sc.check(at4[i] > 0, names[i] + ": violations occur at all");
     }
-    return sc.finish() ? 0 : 1;
+    return finishBench("table6_ms_misspec",
+                       "Moshovos et al., ISCA'97, Table 6", sc, t,
+                       runner.jobs());
 }

@@ -24,23 +24,25 @@ main()
         head.push_back(n);
     t.header(head);
 
-    // Collect the mis-speculation streams once.
-    std::vector<std::vector<std::pair<Addr, Addr>>> streams;
+    // Collect the mis-speculation streams, one parallel cell per
+    // workload; the DDC replays below are cheap and stay serial.
+    ExperimentRunner runner;
     for (const auto &name : specInt92Names()) {
-        WorkloadContext ctx(name, benchScale());
         MultiscalarConfig cfg =
-            makeMultiscalarConfig(ctx, 8, SpecPolicy::Always);
+            makeWorkloadConfig(name, 8, SpecPolicy::Always);
         cfg.logMisSpeculations = true;
-        streams.push_back(runMultiscalar(ctx, cfg).misspecLog);
+        runner.add(name, benchScale(), cfg);
     }
+    runner.runAll();
 
     std::vector<double> at64, at1024;
     for (size_t cs : sizes) {
         t.beginRow();
         t.integer(cs);
-        for (auto &stream : streams) {
+        for (size_t w = 0; w < specInt92Names().size(); ++w) {
+            const auto &stream = runner.result(w).misspecLog;
             DepDependenceCache ddc(cs);
-            for (auto &[l, s] : stream)
+            for (const auto &[l, s] : stream)
                 ddc.access(l, s);
             t.cell(formatPercent(ddc.missRate()));
             if (cs == 64)
@@ -66,5 +68,7 @@ main()
         sc.check(at1024[i] <= at64[i],
                  names[i] + ": 1024 entries at least as good as 64");
     }
-    return sc.finish() ? 0 : 1;
+    return finishBench("table7_ms_ddc",
+                       "Moshovos et al., ISCA'97, Table 7", sc, t,
+                       runner.jobs());
 }

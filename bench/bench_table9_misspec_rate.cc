@@ -16,19 +16,26 @@ main()
     banner("Table 9: mis-speculations per committed load",
            "Moshovos et al., ISCA'97, Table 9");
 
+    const std::vector<SpecPolicy> policies = {
+        SpecPolicy::Always, SpecPolicy::Sync, SpecPolicy::ESync};
+
+    ExperimentRunner runner;
+    for (const auto &name : specInt92Names())
+        for (unsigned stages : {4u, 8u})
+            for (SpecPolicy p : policies)
+                runner.add(name, benchScale(),
+                           makeWorkloadConfig(name, stages, p));
+    runner.runAll();
+
     TextTable t({"stages", "benchmark", "ALWAYS", "SYNC", "ESYNC"});
     ShapeChecks sc;
 
+    size_t idx = 0;
     for (const auto &name : specInt92Names()) {
-        WorkloadContext ctx(name, benchScale());
         for (unsigned stages : {4u, 8u}) {
-            auto run = [&](SpecPolicy p) {
-                return runMultiscalar(
-                    ctx, makeMultiscalarConfig(ctx, stages, p));
-            };
-            SimResult always = run(SpecPolicy::Always);
-            SimResult syncr = run(SpecPolicy::Sync);
-            SimResult esync = run(SpecPolicy::ESync);
+            const SimResult &always = runner.result(idx++);
+            const SimResult &syncr = runner.result(idx++);
+            const SimResult &esync = runner.result(idx++);
 
             t.beginRow();
             t.integer(stages);
@@ -49,5 +56,7 @@ main()
     }
     t.print(std::cout);
     std::printf("\n");
-    return sc.finish() ? 0 : 1;
+    return finishBench("table9_misspec_rate",
+                       "Moshovos et al., ISCA'97, Table 9", sc, t,
+                       runner.jobs());
 }

@@ -37,6 +37,13 @@ class TextTable
 
     size_t numRows() const { return rows.size(); }
 
+    /** Raw access for serializers (e.g. the JSON report sink). */
+    const std::vector<std::string> &headerCells() const { return head; }
+    const std::vector<std::vector<std::string>> &allRows() const
+    {
+        return rows;
+    }
+
     /** Render with aligned columns and a rule under the header. */
     void print(std::ostream &os) const;
 

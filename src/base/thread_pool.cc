@@ -1,0 +1,101 @@
+#include "base/thread_pool.hh"
+
+#include "base/env.hh"
+
+namespace mdp
+{
+
+ThreadPool::ThreadPool(unsigned num_threads)
+{
+    if (num_threads <= 1)
+        return; // inline pool: submit() runs tasks directly
+    workers.reserve(num_threads);
+    for (unsigned i = 0; i < num_threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    workReady.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::runTask(const std::function<void()> &task)
+{
+    try {
+        task();
+    } catch (...) {
+        std::unique_lock<std::mutex> lock(mtx);
+        if (!firstError)
+            firstError = std::current_exception();
+    }
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (workers.empty()) {
+        runTask(task);
+        return;
+    }
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        queue.push_back(std::move(task));
+        ++unfinished;
+    }
+    workReady.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    allIdle.wait(lock, [this] { return unfinished == 0; });
+    if (firstError) {
+        std::exception_ptr e = firstError;
+        firstError = nullptr;
+        lock.unlock();
+        std::rethrow_exception(e);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            workReady.wait(lock,
+                           [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping and drained
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        runTask(task);
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            if (--unfinished == 0)
+                allIdle.notify_all();
+        }
+    }
+}
+
+unsigned
+ThreadPool::defaultJobs()
+{
+    long jobs = envLong("MDP_JOBS", 0);
+    if (jobs > 0)
+        return static_cast<unsigned>(jobs);
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+} // namespace mdp

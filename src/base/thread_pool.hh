@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A small fixed-size thread pool used by the experiment harness to run
+ * independent simulation cells concurrently.
+ *
+ * Design goals, in order: determinism of the *callers* (the pool never
+ * reorders or drops work, and wait() gives a full barrier), simplicity,
+ * and zero dependencies beyond <thread>.  Tasks must not throw; the
+ * pool captures the first exception and rethrows it from wait() so a
+ * failure cannot pass silently.
+ */
+
+#ifndef MDP_BASE_THREAD_POOL_HH
+#define MDP_BASE_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mdp
+{
+
+/**
+ * Fixed set of worker threads draining a shared FIFO queue.
+ *
+ * A pool built with numThreads() <= 1 runs every task inline inside
+ * submit(): the serial path uses the exact same code the benches use
+ * when parallel, which is what makes MDP_JOBS=1 a meaningful
+ * byte-identical baseline for MDP_JOBS=N.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param num_threads worker count; 0 and 1 both mean "run inline,
+     *        spawn nothing".
+     */
+    explicit ThreadPool(unsigned num_threads);
+
+    /** Joins all workers; pending tasks are completed first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one task (runs it inline when the pool is serial). */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every submitted task has finished.  Rethrows the
+     * first exception any task raised since the last wait().
+     */
+    void wait();
+
+    /** Number of worker threads (0 for an inline pool). */
+    unsigned
+    numThreads() const
+    {
+        return static_cast<unsigned>(workers.size());
+    }
+
+    /**
+     * The job count experiments should use: MDP_JOBS if set and
+     * positive, else std::thread::hardware_concurrency(), else 1.
+     */
+    static unsigned defaultJobs();
+
+  private:
+    void workerLoop();
+    void runTask(const std::function<void()> &task);
+
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+
+    std::mutex mtx;
+    std::condition_variable workReady;
+    std::condition_variable allIdle;
+    size_t unfinished = 0; ///< queued + currently running tasks
+    bool stopping = false;
+    std::exception_ptr firstError;
+};
+
+} // namespace mdp
+
+#endif // MDP_BASE_THREAD_POOL_HH

@@ -21,8 +21,10 @@ WorkloadContext::WorkloadContext(const std::string &workload_name,
     tset = std::make_unique<TaskSet>(trc);
 }
 
-WorkloadContext::WorkloadContext(Trace trace)
-    : wname(trace.traceName()), trc(std::move(trace))
+WorkloadContext::WorkloadContext(Trace trace,
+                                 double task_mispredict_rate)
+    : wname(trace.traceName()), mispredict(task_mispredict_rate),
+      trc(std::move(trace))
 {
     orc = std::make_unique<DepOracle>(trc);
     tset = std::make_unique<TaskSet>(trc);

@@ -31,8 +31,12 @@ class WorkloadContext
     /** Generate from a registered workload name (fatal if unknown). */
     WorkloadContext(const std::string &workload_name, double scale);
 
-    /** Wrap an externally produced trace. */
-    explicit WorkloadContext(Trace trace);
+    /**
+     * Wrap an externally produced trace, optionally carrying the
+     * control-prediction quality of the profile that generated it.
+     */
+    explicit WorkloadContext(Trace trace,
+                             double task_mispredict_rate = 0.0);
 
     const Trace &trace() const { return trc; }
     const DepOracle &oracle() const { return *orc; }

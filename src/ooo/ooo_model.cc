@@ -123,8 +123,11 @@ OooProcessor::tryIssueMem(SeqNum seq, unsigned &mem_ports)
         break;
       }
 
+      // This model has no value-prediction datapath, so VSync
+      // degenerates to its ESync synchronization component.
       case SpecPolicy::Sync:
-      case SpecPolicy::ESync: {
+      case SpecPolicy::ESync:
+      case SpecPolicy::VSync: {
         if (os.flags & kSyncDone)
             break;
         LoadCheck r =

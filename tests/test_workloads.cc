@@ -201,9 +201,11 @@ TEST_P(AllWorkloads, MemoryOpsHaveAddresses)
 {
     const Workload &w = findWorkload(GetParam());
     Trace t = w.generate(0.01);
-    for (SeqNum s = 0; s < t.size(); ++s)
-        if (t[s].isMemOp())
+    for (SeqNum s = 0; s < t.size(); ++s) {
+        if (t[s].isMemOp()) {
             ASSERT_NE(t[s].addr, 0u);
+        }
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

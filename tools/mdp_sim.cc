@@ -11,10 +11,13 @@
 
 #include <cstdio>
 #include <iostream>
+#include <optional>
 
 #include "base/args.hh"
 #include "base/stats.hh"
 #include "base/table.hh"
+#include "harness/experiment.hh"
+#include "harness/report.hh"
 #include "harness/runner.hh"
 #include "ooo/ooo_model.hh"
 #include "trace/serialize.hh"
@@ -61,6 +64,24 @@ emitResult(const std::string &title, const StatGroup &stats, bool csv)
         std::printf("%s\n", title.c_str());
         stats.dump(std::cout, "  ");
     }
+}
+
+/** Write the stats as a JSON report when --json-out was given. */
+void
+maybeWriteJson(const std::string &path, const std::string &model,
+               double scale, const StatGroup &stats)
+{
+    if (path.empty())
+        return;
+    TextTable t({"stat", "value"});
+    for (const auto &[k, v] : stats.all())
+        t.row({k, formatDouble(v, 6)});
+    BenchReport report("mdp_sim_" + model, "mdp_sim CLI run");
+    report.setScale(scale);
+    report.addTable(t, "stats");
+    std::string error;
+    if (!report.writeTo(path, error))
+        mdp_fatal("--json-out: %s", error.c_str());
 }
 
 StatGroup
@@ -122,6 +143,8 @@ main(int argc, char **argv)
     args.addFlag("preload",
                  "preload profile-derived static edges (section 6)");
     args.addFlag("csv", "emit results as CSV");
+    args.addOption("json-out", "",
+                   "also write the results as a JSON report");
 
     if (!args.parse(argc, argv)) {
         std::fprintf(stderr, "%s\n%s", args.error().c_str(),
@@ -142,35 +165,49 @@ main(int argc, char **argv)
         return 0;
     }
 
-    // ---- obtain the trace ------------------------------------------
-    Trace trace;
+    // ---- obtain the shared workload context -------------------------
+    // Default-seed generated workloads go through the process-wide
+    // context cache (harness/experiment.hh) so repeated invocations in
+    // one process -- and the oracle/task artifacts below -- are built
+    // exactly once.  Loaded traces and seed overrides stay private.
+    double scale = args.getDouble("scale");
+    std::optional<WorkloadContext> owned;
+    const WorkloadContext *ctx = nullptr;
     if (!args.get("load-trace").empty()) {
         std::string error;
-        trace = loadTrace(args.get("load-trace"), error);
+        Trace trace = loadTrace(args.get("load-trace"), error);
         if (!error.empty())
             mdp_fatal("load-trace: %s", error.c_str());
+        owned.emplace(std::move(trace));
+        ctx = &*owned;
     } else {
         const Workload &w = findWorkload(args.get("workload"));
-        trace = w.generate(args.getDouble("scale"),
-                           static_cast<uint64_t>(args.getLong("seed")));
+        auto seed = static_cast<uint64_t>(args.getLong("seed"));
+        if (seed == 0) {
+            ctx = &cachedContext(w.name(), scale);
+        } else {
+            owned.emplace(w.generate(scale, seed),
+                          w.profile().taskMispredictRate);
+            ctx = &*owned;
+        }
     }
 
     if (!args.get("save-trace").empty()) {
-        if (!saveTrace(trace, args.get("save-trace")))
+        if (!saveTrace(ctx->trace(), args.get("save-trace")))
             mdp_fatal("cannot write %s",
                       args.get("save-trace").c_str());
-        std::printf("wrote %zu ops to %s\n", trace.size(),
+        std::printf("wrote %zu ops to %s\n", ctx->trace().size(),
                     args.get("save-trace").c_str());
         return 0;
     }
 
     std::string model = args.get("model");
     bool csv = args.flag("csv");
+    std::string json_out = args.get("json-out");
 
     // ---- perfect-window dependence study ----------------------------
     if (model == "window") {
-        DepOracle oracle(trace);
-        WindowModel wm(trace, oracle);
+        WindowModel wm(ctx->trace(), ctx->oracle());
         auto r = wm.study(
             static_cast<uint32_t>(args.getLong("window")),
             {32, 128, 512});
@@ -184,12 +221,12 @@ main(int argc, char **argv)
         for (auto &[sz, rate] : r.ddcMissRates)
             g.set("ddc_missrate_" + std::to_string(sz), rate);
         emitResult("window model results", g, csv);
+        maybeWriteJson(json_out, model, scale, g);
         return 0;
     }
 
     // ---- superscalar continuous-window model ------------------------
     if (model == "ooo") {
-        DepOracle oracle(trace);
         OooConfig cfg;
         cfg.windowSize = static_cast<unsigned>(args.getLong("window"));
         cfg.policy = parsePolicy(args.get("policy"));
@@ -197,7 +234,7 @@ main(int argc, char **argv)
             static_cast<size_t>(args.getLong("entries"));
         cfg.sync.tags = parseTags(args.get("tags"));
         cfg.organization = parseOrg(args.get("org"));
-        OooProcessor proc(trace, oracle, cfg);
+        OooProcessor proc(ctx->trace(), ctx->oracle(), cfg);
         OooResult r = proc.run();
         StatGroup g;
         g.set("cycles", static_cast<double>(r.cycles));
@@ -208,6 +245,7 @@ main(int argc, char **argv)
         g.set("squashed_ops", static_cast<double>(r.squashedOps));
         g.set("loads_blocked", static_cast<double>(r.loadsBlocked));
         emitResult("superscalar model results", g, csv);
+        maybeWriteJson(json_out, model, scale, g);
         return 0;
     }
 
@@ -215,18 +253,18 @@ main(int argc, char **argv)
     if (model != "multiscalar")
         mdp_fatal("unknown model '%s'", model.c_str());
 
-    WorkloadContext ctx(std::move(trace));
     MultiscalarConfig cfg = makeMultiscalarConfig(
-        ctx, static_cast<unsigned>(args.getLong("stages")),
+        *ctx, static_cast<unsigned>(args.getLong("stages")),
         parsePolicy(args.get("policy")));
     cfg.sync.numEntries = static_cast<size_t>(args.getLong("entries"));
     cfg.sync.tags = parseTags(args.get("tags"));
     cfg.organization = parseOrg(args.get("org"));
     if (args.flag("preload"))
-        cfg.preloadEdges = analyzeStaticEdges(ctx);
+        cfg.preloadEdges = analyzeStaticEdges(*ctx);
 
-    SimResult r = runMultiscalar(ctx, cfg);
+    SimResult r = runMultiscalar(*ctx, cfg);
     emitResult("multiscalar results (" + policyName(cfg.policy) + ")",
                multiscalarStats(r), csv);
+    maybeWriteJson(json_out, model, scale, multiscalarStats(r));
     return 0;
 }
