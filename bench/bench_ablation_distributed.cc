@@ -23,7 +23,7 @@ main()
     ShapeChecks sc;
 
     for (const auto &name : specInt92Names()) {
-        WorkloadContext ctx(name, benchScale());
+        const WorkloadContext &ctx = cachedContext(name, benchScale());
         MultiscalarConfig cfg =
             makeMultiscalarConfig(ctx, 8, SpecPolicy::ESync);
         SimResult central = runMultiscalar(ctx, cfg);
@@ -51,5 +51,7 @@ main()
         "updates are NOT broadcast here (a deliberate relaxation of\n"
         "section 4.4.5), so copies may diverge slightly -- visible as\n"
         "extra residual mis-speculations above.\n\n");
-    return sc.finish() ? 0 : 1;
+    return finishBench("ablation_distributed",
+                       "Moshovos et al., ISCA'97, section 4.4.5", sc,
+                       t);
 }

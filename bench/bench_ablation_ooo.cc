@@ -27,15 +27,14 @@ main()
     for (const auto &name : {std::string("compress"),
                              std::string("espresso"),
                              std::string("xlisp")}) {
-        Trace tr = findWorkload(name).generate(benchScale());
-        DepOracle oracle(tr);
+        const WorkloadContext &ctx = cachedContext(name, benchScale());
         uint64_t prev_misspec = 0;
         for (unsigned w : windows) {
             auto run = [&](SpecPolicy p) {
                 OooConfig cfg;
                 cfg.windowSize = w;
                 cfg.policy = p;
-                OooProcessor proc(tr, oracle, cfg);
+                OooProcessor proc(ctx.trace(), ctx.oracle(), cfg);
                 return proc.run();
             };
             OooResult never = run(SpecPolicy::Never);
@@ -50,7 +49,8 @@ main()
             t.num(always.ipc(), 2);
             t.num(sync.ipc(), 2);
             t.num(psync.ipc(), 2);
-            t.num(1000.0 * always.misSpeculations / tr.size(), 2);
+            t.num(1000.0 * always.misSpeculations / ctx.trace().size(),
+                  2);
 
             std::string tag = name + " w" + std::to_string(w);
             if (w == 16) {
@@ -75,5 +75,8 @@ main()
     }
     t.print(std::cout);
     std::printf("\n");
-    return sc.finish() ? 0 : 1;
+    return finishBench("ablation_ooo",
+                       "Moshovos et al., ISCA'97, section 6 "
+                       "(other models)",
+                       sc, t);
 }

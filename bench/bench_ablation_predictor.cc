@@ -19,10 +19,10 @@ main()
 
     const std::vector<std::string> names = {"compress", "espresso",
                                             "sc"};
-    std::vector<std::unique_ptr<WorkloadContext>> ctxs;
+    std::vector<const WorkloadContext *> ctxs;
     std::vector<SimResult> base;
     for (const auto &n : names) {
-        ctxs.push_back(std::make_unique<WorkloadContext>(n, benchScale()));
+        ctxs.push_back(&cachedContext(n, benchScale()));
         base.push_back(runMultiscalar(
             *ctxs.back(),
             makeMultiscalarConfig(*ctxs.back(), 8, SpecPolicy::Always)));
@@ -78,5 +78,7 @@ main()
 
     sc.check(default_compress > -5.0,
              "default predictor does not lose on compress");
-    return sc.finish() ? 0 : 1;
+    return finishBench("ablation_predictor",
+                       "Moshovos et al., ISCA'97, section 4.4.1", sc,
+                       t);
 }

@@ -28,10 +28,10 @@ main()
     t.header(head);
 
     ShapeChecks sc;
-    std::vector<std::unique_ptr<WorkloadContext>> ctxs;
+    std::vector<const WorkloadContext *> ctxs;
     std::vector<SimResult> base;
     for (const auto &n : names) {
-        ctxs.push_back(std::make_unique<WorkloadContext>(n, benchScale()));
+        ctxs.push_back(&cachedContext(n, benchScale()));
         base.push_back(runMultiscalar(
             *ctxs.back(),
             makeMultiscalarConfig(*ctxs.back(), 8, SpecPolicy::Always)));
@@ -71,5 +71,7 @@ main()
     sc.check(big_gain[2] < 0.0,
              "fpppp: capacity alone does not recover the huge-task "
              "workloads");
-    return sc.finish() ? 0 : 1;
+    return finishBench("ablation_table_size",
+                       "Moshovos et al., ISCA'97, sections 5.5/6", sc,
+                       t);
 }

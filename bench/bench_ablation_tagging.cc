@@ -23,7 +23,7 @@ main()
     ShapeChecks sc;
 
     for (const auto &name : specInt92Names()) {
-        WorkloadContext ctx(name, benchScale());
+        const WorkloadContext &ctx = cachedContext(name, benchScale());
         SimResult base = runMultiscalar(
             ctx, makeMultiscalarConfig(ctx, 8, SpecPolicy::Always));
 
@@ -53,5 +53,7 @@ main()
     }
     t.print(std::cout);
     std::printf("\n");
-    return sc.finish() ? 0 : 1;
+    return finishBench("ablation_tagging",
+                       "Moshovos et al., ISCA'97, sections 3, 4, 5.5",
+                       sc, t);
 }

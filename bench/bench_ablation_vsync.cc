@@ -83,5 +83,8 @@ main()
              "locality 0.95: hybrid approaches (or exceeds) the "
              "synchronization ideal -- value prediction can beat the "
              "dataflow limit");
-    return sc.finish() ? 0 : 1;
+    return finishBench("ablation_vsync",
+                       "Moshovos et al., ISCA'97, section 6 "
+                       "(future work)",
+                       sc, t);
 }

@@ -27,7 +27,7 @@ main()
     ShapeChecks sc;
 
     for (const auto &name : specInt92Names()) {
-        WorkloadContext ctx(name, scale);
+        const WorkloadContext &ctx = cachedContext(name, scale);
         MultiscalarConfig cfg =
             makeMultiscalarConfig(ctx, 8, SpecPolicy::ESync);
         SimResult cold = runMultiscalar(ctx, cfg);
@@ -49,5 +49,8 @@ main()
     }
     t.print(std::cout);
     std::printf("\n");
-    return sc.finish() ? 0 : 1;
+    return finishBench("ablation_warmstart",
+                       "Moshovos et al., ISCA'97, section 6 "
+                       "(ISA extensions)",
+                       sc, t);
 }

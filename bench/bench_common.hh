@@ -27,6 +27,7 @@
 #include "base/env.hh"
 #include "base/table.hh"
 #include "harness/experiment.hh"
+#include "harness/phase_timer.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "workloads/suites.hh"
@@ -101,6 +102,8 @@ finishBench(const std::string &bench_name, const std::string &paper_ref,
     report.addTable(table);
     for (const auto &[check_ok, what] : sc.all())
         report.addCheck(check_ok, what);
+    for (const auto &[phase, seconds] : phaseSeconds())
+        report.addTiming(phase, seconds);
     if (!report.writeEnv())
         return 1;
     return ok ? 0 : 1;

@@ -19,8 +19,8 @@ main()
                  "tasks", "avg task"});
     for (const auto &name : allWorkloadNames()) {
         const Workload &w = findWorkload(name);
-        Trace tr = w.generate(benchScale());
-        TraceStats st = tr.stats();
+        const WorkloadContext &ctx = cachedContext(name, benchScale());
+        TraceStats st = ctx.trace().stats();
         t.beginRow();
         t.cell(w.profile().suite);
         t.cell(name);
@@ -35,10 +35,11 @@ main()
     ShapeChecks sc;
     // The paper's fpppp/su2cor run ~1000-instruction tasks; the rest
     // are tens of instructions.
-    Trace fp = findWorkload("145.fpppp").generate(benchScale());
-    Trace ix = findWorkload("xlisp").generate(benchScale());
+    const TraceView &fp = cachedContext("145.fpppp", benchScale()).trace();
+    const TraceView &ix = cachedContext("xlisp", benchScale()).trace();
     sc.check(fp.stats().avgTaskSize > 500,
              "fpppp tasks are huge (greedy task partitioning)");
     sc.check(ix.stats().avgTaskSize < 100, "xlisp tasks are small");
-    return sc.finish() ? 0 : 1;
+    return finishBench("table1_instcounts",
+                       "Moshovos et al., ISCA'97, Table 1", sc, t);
 }

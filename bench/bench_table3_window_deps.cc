@@ -27,17 +27,15 @@ main()
     // First/last rows for the shape check.
     std::vector<uint64_t> at8, at32, at512;
 
-    std::vector<std::pair<Trace, std::string>> traces;
+    std::vector<const WorkloadContext *> ctxs;
     for (const auto &name : specInt92Names())
-        traces.emplace_back(findWorkload(name).generate(benchScale()),
-                            name);
+        ctxs.push_back(&cachedContext(name, benchScale()));
 
     for (uint32_t ws : sizes) {
         t.beginRow();
         t.integer(ws);
-        for (auto &[tr, name] : traces) {
-            DepOracle o(tr);
-            WindowModel wm(tr, o);
+        for (const WorkloadContext *ctx : ctxs) {
+            WindowModel wm(ctx->trace(), ctx->oracle());
             auto r = wm.study(ws, {});
             t.cell(formatCount(r.misSpeculations));
             if (ws == 8)
@@ -52,12 +50,13 @@ main()
     std::printf("\n");
 
     ShapeChecks sc;
-    for (size_t i = 0; i < traces.size(); ++i) {
+    for (size_t i = 0; i < ctxs.size(); ++i) {
         sc.check(at32[i] >= 2 * at8[i],
-                 traces[i].second +
+                 ctxs[i]->name() +
                      ": dramatic increase from WS 8 to WS 32");
         sc.check(at512[i] >= at32[i],
-                 traces[i].second + ": monotone growth to WS 512");
+                 ctxs[i]->name() + ": monotone growth to WS 512");
     }
-    return sc.finish() ? 0 : 1;
+    return finishBench("table3_window_deps",
+                       "Moshovos et al., ISCA'97, Table 3", sc, t);
 }

@@ -24,18 +24,16 @@ main()
         head.push_back(n);
     t.header(head);
 
-    std::vector<std::pair<Trace, std::string>> traces;
+    std::vector<const WorkloadContext *> ctxs;
     for (const auto &name : specInt92Names())
-        traces.emplace_back(findWorkload(name).generate(benchScale()),
-                            name);
+        ctxs.push_back(&cachedContext(name, benchScale()));
 
     std::vector<uint64_t> at8, at512, total512;
     for (uint32_t ws : sizes) {
         t.beginRow();
         t.integer(ws);
-        for (auto &[tr, name] : traces) {
-            DepOracle o(tr);
-            WindowModel wm(tr, o);
+        for (const WorkloadContext *ctx : ctxs) {
+            WindowModel wm(ctx->trace(), ctx->oracle());
             auto r = wm.study(ws, {});
             t.integer(r.staticDepsFor999);
             if (ws == 8)
@@ -50,12 +48,12 @@ main()
     std::printf("\n");
 
     ShapeChecks sc;
-    for (size_t i = 0; i < traces.size(); ++i) {
+    for (size_t i = 0; i < ctxs.size(); ++i) {
         sc.check(at512[i] >= at8[i],
-                 traces[i].second +
+                 ctxs[i]->name() +
                      ": more static deps exposed at larger windows");
         sc.check(at512[i] <= total512[i],
-                 traces[i].second + ": coverage set within total");
+                 ctxs[i]->name() + ": coverage set within total");
     }
     // gcc's irregular dependence set is the largest of the suite.
     size_t gcc_idx = 2;   // compress espresso gcc sc xlisp
@@ -64,5 +62,6 @@ main()
         if (i != gcc_idx && at512[i] > at512[gcc_idx])
             gcc_largest = false;
     sc.check(gcc_largest, "gcc has the largest dependence working set");
-    return sc.finish() ? 0 : 1;
+    return finishBench("table4_static_deps",
+                       "Moshovos et al., ISCA'97, Table 4", sc, t);
 }

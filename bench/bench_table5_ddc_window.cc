@@ -24,9 +24,8 @@ main()
     ShapeChecks sc;
 
     for (const auto &name : specInt92Names()) {
-        Trace tr = findWorkload(name).generate(benchScale());
-        DepOracle o(tr);
-        WindowModel wm(tr, o);
+        const WorkloadContext &ctx = cachedContext(name, benchScale());
+        WindowModel wm(ctx.trace(), ctx.oracle());
         double worst_big_ddc = 0.0;
         for (uint32_t ws : windows) {
             auto r = wm.study(ws, ddcs);
@@ -51,5 +50,6 @@ main()
     }
     t.print(std::cout);
     std::printf("\n");
-    return sc.finish() ? 0 : 1;
+    return finishBench("table5_ddc_window",
+                       "Moshovos et al., ISCA'97, Table 5", sc, t);
 }

@@ -1,0 +1,50 @@
+#include "harness/phase_timer.hh"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+namespace mdp
+{
+
+namespace
+{
+
+std::mutex &
+phaseMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::map<std::string, double> &
+phaseMap()
+{
+    static std::map<std::string, double> totals;
+    return totals;
+}
+
+} // namespace
+
+void
+addPhaseSeconds(const std::string &phase, double seconds)
+{
+    std::lock_guard<std::mutex> lock(phaseMutex());
+    phaseMap()[phase] += seconds;
+}
+
+std::vector<std::pair<std::string, double>>
+phaseSeconds()
+{
+    std::lock_guard<std::mutex> lock(phaseMutex());
+    return {phaseMap().begin(), phaseMap().end()};
+}
+
+void
+resetPhaseSeconds()
+{
+    std::lock_guard<std::mutex> lock(phaseMutex());
+    phaseMap().clear();
+}
+
+} // namespace mdp

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Process-wide wall-clock accounting of coarse experiment phases.
+ *
+ * The benches report how their wall time splits between acquiring
+ * workload artifacts (trace generation vs. trace-cache load, oracle
+ * and task-set construction) and simulating.  Each phase accumulates
+ * across threads and workloads; finishBench() folds the totals into
+ * the JSON artifact so CI can track the cold/warm trajectory per PR.
+ */
+
+#ifndef MDP_HARNESS_PHASE_TIMER_HH
+#define MDP_HARNESS_PHASE_TIMER_HH
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mdp
+{
+
+/** Add @p seconds to @p phase's total.  Thread-safe. */
+void addPhaseSeconds(const std::string &phase, double seconds);
+
+/** All accumulated (phase, seconds), sorted by phase name. */
+std::vector<std::pair<std::string, double>> phaseSeconds();
+
+/** Reset all totals (tests). */
+void resetPhaseSeconds();
+
+/** RAII: accumulates the enclosed scope's wall time into a phase. */
+class ScopedPhase
+{
+  public:
+    explicit ScopedPhase(std::string phase)
+        : name(std::move(phase)),
+          start(std::chrono::steady_clock::now())
+    {}
+
+    ~ScopedPhase()
+    {
+        std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - start;
+        addPhaseSeconds(name, dt.count());
+    }
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+  private:
+    std::string name;
+    std::chrono::steady_clock::time_point start;
+};
+
+} // namespace mdp
+
+#endif // MDP_HARNESS_PHASE_TIMER_HH

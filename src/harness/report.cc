@@ -538,6 +538,12 @@ BenchReport::addCheck(bool ok, const std::string &what)
     checks.emplace_back(ok, what);
 }
 
+void
+BenchReport::addTiming(const std::string &phase, double seconds)
+{
+    timings.emplace_back(phase, seconds);
+}
+
 bool
 BenchReport::allChecksOk() const
 {
@@ -570,6 +576,13 @@ BenchReport::toJson() const
     }
     doc.set("shape_checks", std::move(chks));
     doc.set("all_checks_ok", JsonValue::boolean(allChecksOk()));
+
+    if (!timings.empty()) {
+        JsonValue phases = JsonValue::object();
+        for (const auto &[phase, seconds] : timings)
+            phases.set(phase, JsonValue::number(seconds));
+        doc.set("phase_seconds", std::move(phases));
+    }
     return doc;
 }
 

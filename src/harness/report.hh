@@ -106,6 +106,13 @@ class BenchReport
     /** Record one shape-check verdict. */
     void addCheck(bool ok, const std::string &what);
 
+    /**
+     * Record accumulated wall-clock seconds of one phase (e.g.
+     * trace_generate, trace_cache_load, simulate); emitted under
+     * "phase_seconds" so CI can track cold vs. warm startup per PR.
+     */
+    void addTiming(const std::string &phase, double seconds);
+
     bool allChecksOk() const;
     size_t numChecks() const { return checks.size(); }
 
@@ -128,6 +135,7 @@ class BenchReport
     unsigned njobs = 1;
     std::vector<std::pair<std::string, JsonValue>> tables;
     std::vector<std::pair<bool, std::string>> checks;
+    std::vector<std::pair<std::string, double>> timings;
 };
 
 } // namespace mdp

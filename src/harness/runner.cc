@@ -4,6 +4,7 @@
 
 #include "base/env.hh"
 #include "base/logging.hh"
+#include "harness/phase_timer.hh"
 #include "multiscalar/processor.hh"
 #include "workloads/suites.hh"
 
@@ -16,18 +17,41 @@ WorkloadContext::WorkloadContext(const std::string &workload_name,
 {
     const Workload &w = findWorkload(workload_name);
     mispredict = w.profile().taskMispredictRate;
-    trc = w.generate(scale);
-    orc = std::make_unique<DepOracle>(trc);
-    tset = std::make_unique<TaskSet>(trc);
+
+    if (auto cache = traceCacheFromEnv()) {
+        const TraceCacheKey key = workloadTraceKey(w, scale);
+        {
+            ScopedPhase phase("trace_cache_load");
+            mapped = cache->load(key);
+        }
+        if (!mapped) {
+            ScopedPhase phase("trace_generate");
+            trc = w.generate(scale);
+            cache->store(key, trc); // best-effort publication
+        }
+    } else {
+        ScopedPhase phase("trace_generate");
+        trc = w.generate(scale);
+    }
+    view = mapped ? mapped->view() : TraceView(trc);
+
+    {
+        ScopedPhase phase("oracle_build");
+        orc = std::make_unique<DepOracle>(view);
+    }
+    {
+        ScopedPhase phase("task_set_build");
+        tset = std::make_unique<TaskSet>(view);
+    }
 }
 
 WorkloadContext::WorkloadContext(Trace trace,
                                  double task_mispredict_rate)
     : wname(trace.traceName()), mispredict(task_mispredict_rate),
-      trc(std::move(trace))
+      trc(std::move(trace)), view(trc)
 {
-    orc = std::make_unique<DepOracle>(trc);
-    tset = std::make_unique<TaskSet>(trc);
+    orc = std::make_unique<DepOracle>(view);
+    tset = std::make_unique<TaskSet>(view);
 }
 
 MultiscalarConfig
@@ -45,6 +69,7 @@ makeMultiscalarConfig(const WorkloadContext &ctx, unsigned stages,
 SimResult
 runMultiscalar(const WorkloadContext &ctx, const MultiscalarConfig &cfg)
 {
+    ScopedPhase phase("simulate");
     MultiscalarProcessor proc(ctx.trace(), ctx.oracle(), ctx.tasks(),
                               cfg);
     return proc.run();
@@ -69,7 +94,7 @@ analyzeStaticEdges(const WorkloadContext &ctx, uint64_t min_count)
     };
     std::map<std::pair<Addr, Addr>, Info> edges;
 
-    const Trace &t = ctx.trace();
+    const TraceView &t = ctx.trace();
     const DepOracle &o = ctx.oracle();
     for (SeqNum l : o.loads()) {
         if (!o.interTask(l))

@@ -13,6 +13,7 @@
 
 #include "multiscalar/config.hh"
 #include "multiscalar/task_info.hh"
+#include "trace/cache.hh"
 #include "trace/dep_oracle.hh"
 #include "trace/trace.hh"
 #include "workloads/workload.hh"
@@ -22,8 +23,16 @@ namespace mdp
 
 /**
  * The expensive shared artifacts of one workload at one scale:
- * generated trace, dependence oracle, task partitioning.  Build once,
- * run many configurations against it.
+ * trace, dependence oracle, task partitioning.  Build once, run many
+ * configurations against it.
+ *
+ * When MDP_TRACE_CACHE names a directory, the generating constructor
+ * first consults the persistent trace cache: on a hit the trace is
+ * mmap'd zero-copy (no generation, no deserialization); on a miss it
+ * is generated as before and the entry is published for the next
+ * process.  Cache problems of any kind silently fall back to
+ * generation -- results are byte-identical with the cache cold, warm,
+ * or disabled.
  */
 class WorkloadContext
 {
@@ -38,10 +47,13 @@ class WorkloadContext
     explicit WorkloadContext(Trace trace,
                              double task_mispredict_rate = 0.0);
 
-    const Trace &trace() const { return trc; }
+    const TraceView &trace() const { return view; }
     const DepOracle &oracle() const { return *orc; }
     const TaskSet &tasks() const { return *tset; }
     const std::string &name() const { return wname; }
+
+    /** @return true when the trace came from the persistent cache. */
+    bool fromTraceCache() const { return mapped != nullptr; }
 
     /** The task-misprediction rate of the source profile (0 for
      *  external traces). */
@@ -50,7 +62,9 @@ class WorkloadContext
   private:
     std::string wname;
     double mispredict = 0.0;
-    Trace trc;
+    Trace trc;                           ///< owned (generated) trace
+    std::unique_ptr<MappedTrace> mapped; ///< cache-backed trace
+    TraceView view;                      ///< whichever backing is live
     std::unique_ptr<DepOracle> orc;
     std::unique_ptr<TaskSet> tset;
 };

@@ -8,7 +8,7 @@
 namespace mdp
 {
 
-MultiscalarProcessor::MultiscalarProcessor(const Trace &trace,
+MultiscalarProcessor::MultiscalarProcessor(const TraceView &trace,
                                            const DepOracle &dep_oracle,
                                            const TaskSet &task_set,
                                            const MultiscalarConfig &config)
@@ -156,7 +156,7 @@ MultiscalarProcessor::srcReady(SeqNum src, uint32_t consumer_task) const
 bool
 MultiscalarProcessor::srcsReady(SeqNum seq) const
 {
-    const MicroOp &op = trc[seq];
+    const MicroOp op = trc[seq];
     return srcReady(op.src1, op.taskId) && srcReady(op.src2, op.taskId);
 }
 
@@ -173,7 +173,7 @@ MultiscalarProcessor::classify(SeqNum load, bool predicted, bool actual)
 bool
 MultiscalarProcessor::tryIssueMem(SeqNum seq, unsigned &mem_ports)
 {
-    const MicroOp &op = trc[seq];
+    const MicroOp op = trc[seq];
     OpState &os = state[seq];
     uint32_t t = op.taskId;
 
@@ -279,7 +279,7 @@ MultiscalarProcessor::tryIssueMem(SeqNum seq, unsigned &mem_ports)
 void
 MultiscalarProcessor::executeLoad(SeqNum seq)
 {
-    const MicroOp &op = trc[seq];
+    const MicroOp op = trc[seq];
     OpState &os = state[seq];
     os.doneCycle = memsys.access(op.addr, cycle, false);
     os.flags |= kIssued;
@@ -293,7 +293,7 @@ MultiscalarProcessor::executeLoad(SeqNum seq)
 void
 MultiscalarProcessor::executeStore(SeqNum seq)
 {
-    const MicroOp &op = trc[seq];
+    const MicroOp op = trc[seq];
     OpState &os = state[seq];
     os.doneCycle = memsys.access(op.addr, cycle, true);
     os.flags |= kIssued;
@@ -414,7 +414,7 @@ MultiscalarProcessor::stageStep(Stage &stage)
         if (!srcsReady(seq))
             continue;
 
-        const MicroOp &op = trc[seq];
+        const MicroOp op = trc[seq];
         if (op.isMemOp()) {
             if (!tryIssueMem(seq, mem_ports))
                 continue;
@@ -539,8 +539,8 @@ MultiscalarProcessor::drainSyncReleases()
 bool
 MultiscalarProcessor::handleViolation(SeqNum load, SeqNum store)
 {
-    const MicroOp &lop = trc[load];
-    const MicroOp &sop = trc[store];
+    const MicroOp lop = trc[load];
+    const MicroOp sop = trc[store];
 
     if (cfg.policy == SpecPolicy::VSync) {
         // Train value-prediction confidence on every examined
@@ -592,7 +592,7 @@ MultiscalarProcessor::squashFrom(SeqNum squash_start)
             OpState &os = state[s];
             if (os.flags & kIssued) {
                 ++res.squashedOps;
-                const MicroOp &op = trc[s];
+                const MicroOp op = trc[s];
                 if (op.isLoad())
                     arb.removeLoad(op.addr, s);
                 else if (op.isStore())

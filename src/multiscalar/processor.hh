@@ -39,7 +39,7 @@ namespace mdp
 class MultiscalarProcessor : public TaskPcSource
 {
   public:
-    MultiscalarProcessor(const Trace &trace, const DepOracle &oracle,
+    MultiscalarProcessor(const TraceView &trace, const DepOracle &oracle,
                          const TaskSet &tasks,
                          const MultiscalarConfig &config);
     ~MultiscalarProcessor() override;
@@ -130,7 +130,7 @@ class MultiscalarProcessor : public TaskPcSource
 
     bool taskMispredicted(uint32_t task) const;
 
-    const Trace &trc;
+    TraceView trc;
     const DepOracle &oracle;
     const TaskSet &tasks;
     MultiscalarConfig cfg;

@@ -3,7 +3,7 @@
 namespace mdp
 {
 
-TaskSet::TaskSet(const Trace &trace)
+TaskSet::TaskSet(const TraceView &trace)
 {
     bounds = trace.taskBoundaries();
     taskCount = trace.numTasks();

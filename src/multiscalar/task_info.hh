@@ -21,7 +21,7 @@ namespace mdp
 class TaskSet
 {
   public:
-    explicit TaskSet(const Trace &trace);
+    explicit TaskSet(const TraceView &trace);
 
     uint32_t numTasks() const { return taskCount; }
 

@@ -9,7 +9,8 @@
 namespace mdp
 {
 
-OooProcessor::OooProcessor(const Trace &trace, const DepOracle &dep_oracle,
+OooProcessor::OooProcessor(const TraceView &trace,
+                           const DepOracle &dep_oracle,
                            const OooConfig &config)
     : trc(trace), oracle(dep_oracle), cfg(config), state(trace.size()),
       instanceOf(trace.size(), 0)
@@ -55,7 +56,7 @@ OooProcessor::srcReady(SeqNum src) const
 bool
 OooProcessor::srcsReady(SeqNum seq) const
 {
-    const MicroOp &op = trc[seq];
+    const MicroOp op = trc[seq];
     return srcReady(op.src1) && srcReady(op.src2);
 }
 
@@ -74,7 +75,7 @@ OooProcessor::allStoresDoneBefore(SeqNum seq)
 bool
 OooProcessor::tryIssueMem(SeqNum seq, unsigned &mem_ports)
 {
-    const MicroOp &op = trc[seq];
+    const MicroOp op = trc[seq];
     OpState &os = state[seq];
 
     if (op.isStore()) {
@@ -151,7 +152,7 @@ OooProcessor::tryIssueMem(SeqNum seq, unsigned &mem_ports)
 void
 OooProcessor::executeLoad(SeqNum seq)
 {
-    const MicroOp &op = trc[seq];
+    const MicroOp op = trc[seq];
     OpState &os = state[seq];
     os.doneCycle = cycle + memLatency(seq);
     os.flags |= kIssued;
@@ -161,7 +162,7 @@ OooProcessor::executeLoad(SeqNum seq)
 void
 OooProcessor::executeStore(SeqNum seq)
 {
-    const MicroOp &op = trc[seq];
+    const MicroOp op = trc[seq];
     OpState &os = state[seq];
     os.doneCycle = cycle + 1;
     os.flags |= kIssued;
@@ -211,7 +212,7 @@ OooProcessor::handleViolation(SeqNum load)
         OpState &os = state[s];
         if (os.flags & kIssued) {
             ++res.squashedOps;
-            const MicroOp &op = trc[s];
+            const MicroOp op = trc[s];
             if (op.isLoad())
                 arb.removeLoad(op.addr, s);
             else if (op.isStore())
@@ -322,7 +323,7 @@ OooProcessor::run()
             if (!srcsReady(s))
                 continue;
 
-            const MicroOp &op = trc[s];
+            const MicroOp op = trc[s];
             if (op.isMemOp()) {
                 if (!tryIssueMem(s, mem_ports))
                     continue;
@@ -378,7 +379,7 @@ OooProcessor::run()
             OpState &os = state[head];
             if (!(os.flags & kIssued) || os.doneCycle > cycle)
                 break;
-            const MicroOp &op = trc[head];
+            const MicroOp op = trc[head];
             if (op.isLoad()) {
                 arb.commitLoad(op.addr, head);
                 ++res.committedLoads;

@@ -78,7 +78,7 @@ struct OooResult
 class OooProcessor
 {
   public:
-    OooProcessor(const Trace &trace, const DepOracle &oracle,
+    OooProcessor(const TraceView &trace, const DepOracle &oracle,
                  const OooConfig &config);
     ~OooProcessor();
 
@@ -111,7 +111,7 @@ class OooProcessor
      *  per (seed, seq)). */
     uint64_t memLatency(SeqNum seq) const;
 
-    const Trace &trc;
+    TraceView trc;
     const DepOracle &oracle;
     OooConfig cfg;
 

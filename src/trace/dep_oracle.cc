@@ -5,13 +5,13 @@
 namespace mdp
 {
 
-DepOracle::DepOracle(const Trace &trace)
+DepOracle::DepOracle(const TraceView &trace)
     : trc(trace), producers(trace.size(), kNoSeq)
 {
     std::unordered_map<Addr, SeqNum> last_store;
     last_store.reserve(trace.size() / 8 + 16);
     for (SeqNum s = 0; s < trace.size(); ++s) {
-        const MicroOp &op = trace[s];
+        const MicroOp op = trace[s];
         if (op.isStore()) {
             last_store[op.addr] = s;
             storeSeqs.push_back(s);

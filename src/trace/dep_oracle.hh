@@ -27,7 +27,7 @@ class DepOracle
 {
   public:
     /** Build the oracle; O(n) expected over the trace. */
-    explicit DepOracle(const Trace &trace);
+    explicit DepOracle(const TraceView &trace);
 
     /**
      * @return the sequence number of the most recent store before @p
@@ -72,7 +72,7 @@ class DepOracle
     const std::vector<SeqNum> &stores() const { return storeSeqs; }
 
   private:
-    const Trace &trc;
+    TraceView trc;
     /** Indexed by sequence number; only meaningful at load positions. */
     std::vector<SeqNum> producers;
     std::vector<SeqNum> loadSeqs;

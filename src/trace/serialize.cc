@@ -3,84 +3,108 @@
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
+#include <vector>
+
+#include "base/hash.hh"
 
 namespace mdp
 {
 
+using trace_format::FileHeader;
+using trace_format::Layout;
+
 namespace
 {
 
-constexpr char kMagic[8] = {'M', 'D', 'P', 'T', 'R', 'A', 'C', 'E'};
-constexpr uint32_t kVersion = 1;
-
-/**
- * On-disk record layout (little-endian, 40 bytes/op):
- *   u64 pc, u64 addr, u64 taskPc, u32 src1, u32 src2, u32 taskId,
- *   u8 kind, u8 valueRepeats, u16 pad
- */
-struct PackedOp
+/** Serialize the payload (name + columns) of a trace into @p buf. */
+std::vector<std::byte>
+buildPayload(const TraceView &trace)
 {
-    uint64_t pc;
-    uint64_t addr;
-    uint64_t taskPc;
-    uint32_t src1;
-    uint32_t src2;
-    uint32_t taskId;
-    uint8_t kind;
-    uint8_t valueRepeats;
-    uint16_t pad;
-};
-static_assert(sizeof(PackedOp) == 40, "unexpected record padding");
+    const uint64_t n = trace.size();
+    const std::string_view name = trace.name();
+    const Layout l = trace_format::layoutFor(
+        n, static_cast<uint32_t>(name.size()));
 
-template <typename T>
-void
-put(std::ostream &os, const T &v)
-{
-    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
-}
+    std::vector<std::byte> buf(l.end); // zero-filled: padding is 0
+    std::memcpy(buf.data() + l.name, name.data(), name.size());
 
-template <typename T>
-bool
-get(std::istream &is, T &v)
-{
-    is.read(reinterpret_cast<char *>(&v), sizeof(T));
-    return is.good();
+    auto *pc = reinterpret_cast<Addr *>(buf.data() + l.pc);
+    auto *addr = reinterpret_cast<Addr *>(buf.data() + l.addr);
+    auto *task_pc = reinterpret_cast<Addr *>(buf.data() + l.taskPc);
+    auto *src1 = reinterpret_cast<SeqNum *>(buf.data() + l.src1);
+    auto *src2 = reinterpret_cast<SeqNum *>(buf.data() + l.src2);
+    auto *task_id = reinterpret_cast<uint32_t *>(buf.data() + l.taskId);
+    auto *kind = reinterpret_cast<uint8_t *>(buf.data() + l.kind);
+    auto *repeats =
+        reinterpret_cast<uint8_t *>(buf.data() + l.valueRepeats);
+
+    for (SeqNum s = 0; s < n; ++s) {
+        const MicroOp op = trace[s];
+        pc[s] = op.pc;
+        addr[s] = op.addr;
+        task_pc[s] = op.taskPc;
+        src1[s] = op.src1;
+        src2[s] = op.src2;
+        task_id[s] = op.taskId;
+        kind[s] = static_cast<uint8_t>(op.kind);
+        repeats[s] = op.valueRepeats ? 1 : 0;
+    }
+    return buf;
 }
 
 } // namespace
 
-bool
-writeTrace(const Trace &trace, std::ostream &os)
+namespace trace_format
 {
-    os.write(kMagic, sizeof(kMagic));
-    put(os, kVersion);
 
-    uint32_t name_len = static_cast<uint32_t>(trace.traceName().size());
-    put(os, name_len);
-    os.write(trace.traceName().data(), name_len);
+std::string
+checkHeader(const FileHeader &header, uint64_t file_bytes)
+{
+    if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0)
+        return "bad magic (not an mdp trace)";
+    if (header.version != kVersion)
+        return "unsupported trace version " +
+               std::to_string(header.version);
+    if (header.nameLen > 4096)
+        return "bad name length";
+    if (header.count > std::numeric_limits<SeqNum>::max())
+        return "op count overflows sequence numbers";
+    const Layout l = layoutFor(header.count, header.nameLen);
+    if (header.payloadBytes != l.end)
+        return "payload size does not match op count";
+    if (file_bytes != 0 &&
+        file_bytes != sizeof(FileHeader) + header.payloadBytes)
+        return "file size does not match header (truncated?)";
+    return "";
+}
 
-    uint64_t count = trace.size();
-    put(os, count);
+} // namespace trace_format
 
-    for (SeqNum s = 0; s < trace.size(); ++s) {
-        const MicroOp &op = trace[s];
-        PackedOp p{};
-        p.pc = op.pc;
-        p.addr = op.addr;
-        p.src1 = op.src1;
-        p.src2 = op.src2;
-        p.taskId = op.taskId;
-        p.taskPc = op.taskPc;
-        p.kind = static_cast<uint8_t>(op.kind);
-        p.valueRepeats = op.valueRepeats ? 1 : 0;
-        put(os, p);
-    }
+bool
+writeTrace(const TraceView &trace, std::ostream &os)
+{
+    const std::vector<std::byte> payload = buildPayload(trace);
+
+    FileHeader header{};
+    std::memcpy(header.magic, trace_format::kMagic,
+                sizeof(header.magic));
+    header.version = trace_format::kVersion;
+    header.nameLen = static_cast<uint32_t>(trace.name().size());
+    header.count = trace.size();
+    header.payloadBytes = payload.size();
+    header.payloadChecksum =
+        fnv1aBulk(payload.data(), payload.size());
+
+    os.write(reinterpret_cast<const char *>(&header), sizeof(header));
+    os.write(reinterpret_cast<const char *>(payload.data()),
+             static_cast<std::streamsize>(payload.size()));
     return os.good();
 }
 
 bool
-saveTrace(const Trace &trace, const std::string &path)
+saveTrace(const TraceView &trace, const std::string &path)
 {
     std::ofstream os(path, std::ios::binary);
     return os && writeTrace(trace, os);
@@ -90,52 +114,44 @@ Trace
 readTrace(std::istream &is, std::string &error)
 {
     error.clear();
-    char magic[8];
-    is.read(magic, sizeof(magic));
-    if (!is.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-        error = "bad magic (not an mdp trace)";
-        return Trace();
-    }
-
-    uint32_t version = 0;
-    if (!get(is, version) || version != kVersion) {
-        error = "unsupported trace version " + std::to_string(version);
-        return Trace();
-    }
-
-    uint32_t name_len = 0;
-    if (!get(is, name_len) || name_len > 4096) {
-        error = "bad name length";
-        return Trace();
-    }
-    std::string name(name_len, '\0');
-    is.read(name.data(), name_len);
-
-    uint64_t count = 0;
-    if (!get(is, count)) {
+    FileHeader header{};
+    is.read(reinterpret_cast<char *>(&header), sizeof(header));
+    if (!is.good()) {
         error = "truncated header";
         return Trace();
     }
+    error = trace_format::checkHeader(header, 0);
+    if (!error.empty())
+        return Trace();
+
+    std::vector<std::byte> payload(header.payloadBytes);
+    is.read(reinterpret_cast<char *>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+    if (static_cast<uint64_t>(is.gcount()) != header.payloadBytes) {
+        error = "truncated payload";
+        return Trace();
+    }
+    if (fnv1aBulk(payload.data(), payload.size()) !=
+        header.payloadChecksum) {
+        error = "payload checksum mismatch";
+        return Trace();
+    }
+
+    const Layout l =
+        trace_format::layoutFor(header.count, header.nameLen);
+    std::string name(reinterpret_cast<const char *>(payload.data()),
+                     header.nameLen);
+    const TraceView view = TraceView::columnar(
+        header.count, name, payload.data() + l.pc,
+        payload.data() + l.addr, payload.data() + l.taskPc,
+        payload.data() + l.src1, payload.data() + l.src2,
+        payload.data() + l.taskId, payload.data() + l.kind,
+        payload.data() + l.valueRepeats);
 
     Trace trace(name);
-    trace.reserve(count);
-    for (uint64_t i = 0; i < count; ++i) {
-        PackedOp p;
-        if (!get(is, p)) {
-            error = "truncated at op " + std::to_string(i);
-            return Trace();
-        }
-        MicroOp op;
-        op.pc = p.pc;
-        op.addr = p.addr;
-        op.src1 = p.src1;
-        op.src2 = p.src2;
-        op.taskId = p.taskId;
-        op.taskPc = p.taskPc;
-        op.kind = static_cast<OpKind>(p.kind);
-        op.valueRepeats = p.valueRepeats != 0;
-        trace.append(op);
-    }
+    trace.reserve(header.count);
+    for (SeqNum s = 0; s < header.count; ++s)
+        trace.append(view[s]);
 
     std::string invalid = trace.validate();
     if (!invalid.empty()) {

@@ -1,16 +1,23 @@
 /**
  * @file
- * Binary trace serialization.
+ * Binary trace serialization: the columnar (SoA) trace-file format.
  *
  * Generated traces are deterministic, but saving them lets external
- * tools (or future versions of the generators) exchange workloads, and
- * makes long-trace experiments restartable.  The format is a versioned
- * little-endian packed stream; see serialize.cc for the layout.
+ * tools exchange workloads, makes long-trace experiments restartable,
+ * and -- through the trace cache (trace/cache.hh) -- turns trace
+ * generation into a build-once artifact.  Format v2 is columnar so a
+ * file can be mmap'd and wrapped by a TraceView without any
+ * deserialization: after a fixed little-endian header and the name
+ * bytes, each MicroOp field is stored as one packed column, every
+ * column 8-byte aligned.  A bulk FNV-1a checksum over the payload
+ * (fnv1aBulk, base/hash.hh) detects corruption and truncation; readers
+ * never trust a file.
  */
 
 #ifndef MDP_TRACE_SERIALIZE_HH
 #define MDP_TRACE_SERIALIZE_HH
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -19,14 +26,83 @@
 namespace mdp
 {
 
-/** Write a trace to a stream.  @return false on I/O failure. */
-bool writeTrace(const Trace &trace, std::ostream &os);
+namespace trace_format
+{
 
-/** Write a trace to a file.  @return false on I/O failure. */
-bool saveTrace(const Trace &trace, const std::string &path);
+constexpr char kMagic[8] = {'M', 'D', 'P', 'T', 'R', 'A', 'C', 'E'};
+
+/** Bump on any layout change; stale files are discarded, not read. */
+constexpr uint32_t kVersion = 2;
+
+/** Fixed file header (little-endian, followed by the payload). */
+struct FileHeader
+{
+    char magic[8];
+    uint32_t version;
+    uint32_t nameLen;        ///< trace-name bytes (unpadded)
+    uint64_t count;          ///< ops in the trace
+    uint64_t payloadBytes;   ///< name + columns, as laid out below
+    uint64_t payloadChecksum; ///< FNV-1a over the payload bytes
+};
+static_assert(sizeof(FileHeader) == 40, "unexpected header padding");
+
+/** Round up to the 8-byte column alignment. */
+constexpr uint64_t
+pad8(uint64_t n)
+{
+    return (n + 7) & ~uint64_t{7};
+}
+
+/** Byte offsets of each region, relative to the payload start. */
+struct Layout
+{
+    uint64_t name = 0;
+    uint64_t pc = 0;
+    uint64_t addr = 0;
+    uint64_t taskPc = 0;
+    uint64_t src1 = 0;
+    uint64_t src2 = 0;
+    uint64_t taskId = 0;
+    uint64_t kind = 0;
+    uint64_t valueRepeats = 0;
+    uint64_t end = 0; ///< total payload size
+};
+
+/** Compute the column layout for a trace shape. */
+constexpr Layout
+layoutFor(uint64_t count, uint32_t name_len)
+{
+    Layout l;
+    l.name = 0;
+    l.pc = pad8(name_len);
+    l.addr = l.pc + count * 8;
+    l.taskPc = l.addr + count * 8;
+    l.src1 = l.taskPc + count * 8;
+    l.src2 = l.src1 + count * 4;
+    l.taskId = l.src2 + count * 4;
+    l.kind = l.taskId + count * 4;
+    l.valueRepeats = l.kind + pad8(count);
+    l.end = l.valueRepeats + pad8(count);
+    return l;
+}
 
 /**
- * Read a trace from a stream.
+ * Validate a header against @p file_bytes (0 = unknown size, e.g.
+ * streams).  @return empty string when plausible, else the reason.
+ */
+std::string checkHeader(const FileHeader &header, uint64_t file_bytes);
+
+} // namespace trace_format
+
+/** Write a trace to a stream.  @return false on I/O failure. */
+bool writeTrace(const TraceView &trace, std::ostream &os);
+
+/** Write a trace to a file.  @return false on I/O failure. */
+bool saveTrace(const TraceView &trace, const std::string &path);
+
+/**
+ * Read a trace from a stream (checksum-verified copy into memory; for
+ * the zero-copy path see MappedTrace in trace/cache.hh).
  * @param error Receives a description when reading fails.
  * @return the trace, empty on failure (check @p error).
  */

@@ -7,39 +7,91 @@
 namespace mdp
 {
 
-uint32_t
-Trace::numTasks() const
+TraceView::TraceView(const Trace &trace)
+    : count(trace.size()), viewName(trace.traceName())
 {
-    return ops.empty() ? 0 : ops.back().taskId + 1;
+    if (count == 0)
+        return;
+    const MicroOp *ops = trace.all().data();
+    constexpr auto stride = static_cast<uint32_t>(sizeof(MicroOp));
+    auto field = [](const void *p) {
+        return Field{static_cast<const std::byte *>(p), stride};
+    };
+    fPc = field(&ops->pc);
+    fAddr = field(&ops->addr);
+    fTaskPc = field(&ops->taskPc);
+    fSrc1 = field(&ops->src1);
+    fSrc2 = field(&ops->src2);
+    fTaskId = field(&ops->taskId);
+    fKind = field(&ops->kind);
+    fValueRepeats = field(&ops->valueRepeats);
+}
+
+TraceView
+TraceView::columnar(size_t count, std::string_view trace_name,
+                    const std::byte *pc, const std::byte *addr,
+                    const std::byte *task_pc, const std::byte *src1,
+                    const std::byte *src2, const std::byte *task_id,
+                    const std::byte *kind,
+                    const std::byte *value_repeats)
+{
+    TraceView v;
+    v.count = count;
+    v.viewName = trace_name;
+    v.fPc = {pc, sizeof(Addr)};
+    v.fAddr = {addr, sizeof(Addr)};
+    v.fTaskPc = {task_pc, sizeof(Addr)};
+    v.fSrc1 = {src1, sizeof(SeqNum)};
+    v.fSrc2 = {src2, sizeof(SeqNum)};
+    v.fTaskId = {task_id, sizeof(uint32_t)};
+    v.fKind = {kind, sizeof(uint8_t)};
+    v.fValueRepeats = {value_repeats, sizeof(uint8_t)};
+    return v;
+}
+
+uint32_t
+TraceView::numTasks() const
+{
+    if (count == 0)
+        return 0;
+    return at<uint32_t>(fTaskId, count - 1) + 1;
 }
 
 std::vector<SeqNum>
-Trace::taskBoundaries() const
+TraceView::taskBoundaries() const
 {
     std::vector<SeqNum> bounds;
     uint32_t last = UINT32_MAX;
-    for (SeqNum s = 0; s < ops.size(); ++s) {
-        if (ops[s].taskId != last) {
+    for (SeqNum s = 0; s < count; ++s) {
+        uint32_t task = at<uint32_t>(fTaskId, s);
+        if (task != last) {
             bounds.push_back(s);
-            last = ops[s].taskId;
+            last = task;
         }
     }
-    bounds.push_back(static_cast<SeqNum>(ops.size()));
+    bounds.push_back(static_cast<SeqNum>(count));
     return bounds;
 }
 
 TraceStats
-Trace::stats() const
+TraceView::stats() const
 {
     TraceStats st;
-    st.numOps = ops.size();
-    for (const auto &op : ops) {
-        if (op.isLoad())
+    st.numOps = count;
+    for (SeqNum s = 0; s < count; ++s) {
+        switch (static_cast<OpKind>(at<uint8_t>(fKind, s))) {
+          case OpKind::Load:
             ++st.numLoads;
-        else if (op.isStore())
+            break;
+          case OpKind::Store:
             ++st.numStores;
-        else if (op.kind == OpKind::Branch)
+            break;
+          case OpKind::Branch:
             ++st.numBranches;
+            break;
+          default:
+            break;
+        }
     }
     st.numTasks = numTasks();
     if (st.numTasks > 0) {
@@ -56,12 +108,11 @@ Trace::stats() const
 }
 
 std::string
-Trace::validate() const
+TraceView::validate() const
 {
-    uint32_t expect_task = 0;
     uint32_t last_task = 0;
-    for (SeqNum s = 0; s < ops.size(); ++s) {
-        const MicroOp &op = ops[s];
+    for (SeqNum s = 0; s < count; ++s) {
+        const MicroOp op = (*this)[s];
         if (s == 0) {
             if (op.taskId != 0)
                 return "first op must be in task 0";
@@ -71,7 +122,6 @@ Trace::validate() const
                 return "task ids must be contiguous at seq " +
                        std::to_string(s);
             last_task = op.taskId;
-            ++expect_task;
         }
         if (op.src1 != kNoSeq && op.src1 >= s)
             return "src1 does not precede consumer at seq " +

@@ -1,13 +1,17 @@
 /**
  * @file
- * Trace container plus summary statistics.
+ * Trace container, the zero-copy TraceView accessor, and summary
+ * statistics.
  */
 
 #ifndef MDP_TRACE_TRACE_HH
 #define MDP_TRACE_TRACE_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "trace/microop.hh"
@@ -29,8 +33,107 @@ struct TraceStats
     uint64_t maxTaskSize = 0;
 };
 
+class Trace;
+
 /**
- * A dynamic instruction stream in program order.
+ * A non-owning, uniformly strided view of a dynamic instruction
+ * stream.  This is the type every timing model consumes; it reads
+ * either
+ *
+ *  - an in-memory Trace (array-of-structs: each field pointer starts
+ *    inside MicroOp[0] and strides by sizeof(MicroOp)), or
+ *  - an mmap'd columnar trace file (struct-of-arrays: each field
+ *    pointer is the column base and strides by the field width),
+ *
+ * through the same branch-free (base + seq * stride) access, so cached
+ * on-disk traces replay with zero deserialization.  The view borrows
+ * its storage: the Trace or MappedTrace behind it must outlive it.
+ */
+class TraceView
+{
+  public:
+    TraceView() = default;
+
+    /** View an in-memory trace (implicit: models take TraceView). */
+    TraceView(const Trace &trace); // NOLINT(google-explicit-constructor)
+
+    /**
+     * View columnar storage (the serialize.cc v2 layout).  Each
+     * pointer is a packed column of `count` entries in field order;
+     * @p trace_name must outlive the view (it aliases the mapped
+     * file's name bytes).
+     */
+    static TraceView columnar(size_t count, std::string_view trace_name,
+                              const std::byte *pc, const std::byte *addr,
+                              const std::byte *task_pc,
+                              const std::byte *src1,
+                              const std::byte *src2,
+                              const std::byte *task_id,
+                              const std::byte *kind,
+                              const std::byte *value_repeats);
+
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    std::string_view name() const { return viewName; }
+
+    /** Materialize one op (a gather of all fields at @p s). */
+    MicroOp
+    operator[](SeqNum s) const
+    {
+        MicroOp op;
+        op.pc = at<Addr>(fPc, s);
+        op.addr = at<Addr>(fAddr, s);
+        op.taskPc = at<Addr>(fTaskPc, s);
+        op.src1 = at<SeqNum>(fSrc1, s);
+        op.src2 = at<SeqNum>(fSrc2, s);
+        op.taskId = at<uint32_t>(fTaskId, s);
+        op.kind = static_cast<OpKind>(at<uint8_t>(fKind, s));
+        op.valueRepeats = at<uint8_t>(fValueRepeats, s) != 0;
+        return op;
+    }
+
+    /** Number of tasks (max taskId + 1, or 0 for empty traces). */
+    uint32_t numTasks() const;
+
+    /** First sequence number of each task (ascending), plus end. */
+    std::vector<SeqNum> taskBoundaries() const;
+
+    /** Compute summary statistics. */
+    TraceStats stats() const;
+
+    /**
+     * Check the stream invariants (contiguous tasks, producers precede
+     * consumers, memory ops have addresses).
+     * @return empty string when valid, else a description of the first
+     *         violation found.
+     */
+    std::string validate() const;
+
+  private:
+    /** One field: column (or struct-member) base and element stride. */
+    struct Field
+    {
+        const std::byte *base = nullptr;
+        uint32_t stride = 0;
+    };
+
+    template <typename T>
+    static T
+    at(Field f, size_t i)
+    {
+        T v;
+        std::memcpy(&v, f.base + i * size_t{f.stride}, sizeof(T));
+        return v;
+    }
+
+    size_t count = 0;
+    std::string_view viewName;
+    Field fPc, fAddr, fTaskPc, fSrc1, fSrc2, fTaskId, fKind,
+        fValueRepeats;
+};
+
+/**
+ * A dynamic instruction stream in program order (owning container).
  *
  * Invariants (checked by validate()):
  *  - taskId values are non-decreasing and contiguous from 0;
@@ -63,20 +166,24 @@ class Trace
     const std::string &traceName() const { return name; }
 
     /** Number of tasks (max taskId + 1, or 0 for empty traces). */
-    uint32_t numTasks() const;
+    uint32_t numTasks() const { return TraceView(*this).numTasks(); }
 
     /** First sequence number of each task (ascending), plus end. */
-    std::vector<SeqNum> taskBoundaries() const;
+    std::vector<SeqNum>
+    taskBoundaries() const
+    {
+        return TraceView(*this).taskBoundaries();
+    }
 
     /** Compute summary statistics. */
-    TraceStats stats() const;
+    TraceStats stats() const { return TraceView(*this).stats(); }
 
     /**
      * Check the container invariants.
      * @return empty string when valid, else a description of the first
      *         violation found.
      */
-    std::string validate() const;
+    std::string validate() const { return TraceView(*this).validate(); }
 
   private:
     std::string name;

@@ -6,7 +6,8 @@
 namespace mdp
 {
 
-WindowModel::WindowModel(const Trace &trace, const DepOracle &dep_oracle)
+WindowModel::WindowModel(const TraceView &trace,
+                         const DepOracle &dep_oracle)
     : trc(trace), oracle(dep_oracle)
 {}
 

@@ -53,7 +53,7 @@ class WindowModel
   public:
     /** @param trace  The trace to analyze (must outlive the model).
      *  @param oracle Dependence oracle built over the same trace. */
-    WindowModel(const Trace &trace, const DepOracle &oracle);
+    WindowModel(const TraceView &trace, const DepOracle &oracle);
 
     /**
      * Run the model for one window size.
@@ -75,7 +75,7 @@ class WindowModel
     Histogram distanceHistogram(size_t num_buckets = 512) const;
 
   private:
-    const Trace &trc;
+    TraceView trc;
     const DepOracle &oracle;
 };
 

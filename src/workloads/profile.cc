@@ -1,0 +1,66 @@
+#include "workloads/profile.hh"
+
+#include "base/hash.hh"
+
+namespace mdp
+{
+
+namespace
+{
+
+void
+mixRecurrence(Fnv1a &h, const RecurrenceSpec &r)
+{
+    h.value(r.count);
+    h.value(r.distance);
+    h.value(r.activeProb);
+    h.value(r.pathCount);
+    h.value<uint8_t>(r.sameAddress ? 1 : 0);
+    h.value<uint32_t>(static_cast<uint32_t>(r.pathStyle));
+    h.value(r.loadProb);
+    h.value(r.positionJitter);
+    h.value(r.storeAddrChain);
+    h.value(r.storePosition);
+    h.value(r.loadPosition);
+    h.value(r.valueStability);
+}
+
+} // namespace
+
+uint64_t
+profileDigest(const WorkloadProfile &p)
+{
+    Fnv1a h;
+    h.str(p.name);
+    h.str(p.suite);
+    h.value(p.seed);
+    h.value(p.baseIterations);
+    h.value(p.minTaskSize);
+    h.value(p.maxTaskSize);
+    h.value(p.taskMispredictRate);
+    h.value(p.fracLoads);
+    h.value(p.fracStores);
+    h.value(p.fracBranches);
+    h.value(p.fracFp);
+    h.value(p.fracComplexInt);
+    h.value<uint64_t>(p.recurrences.size());
+    for (const RecurrenceSpec &r : p.recurrences)
+        mixRecurrence(h, r);
+    h.value(p.pathCount);
+    h.value(p.path0Bias);
+    h.value(p.numGlobalScalars);
+    h.value(p.sharedScalarFrac);
+    h.value(p.scalarStoreScale);
+    h.value(p.scalarSkew);
+    h.value(p.staticPcPool);
+    h.value(p.arrayWorkingSet);
+    h.value(p.addrChainLen);
+    h.value(p.storeEarlyExp);
+    h.value(p.spillsPerTask);
+    h.value(p.spillDistance);
+    h.value(p.spillPcPool);
+    h.value(p.tasksPerIteration);
+    return h.digest();
+}
+
+} // namespace mdp

@@ -162,6 +162,16 @@ struct WorkloadProfile
     uint32_t tasksPerIteration = 1;
 };
 
+/**
+ * Content digest over every generation-relevant profile field (the
+ * trace cache's key material): any change to a profile -- counts,
+ * probabilities, recurrence families -- yields a different digest and
+ * therefore a different cache entry, so stale traces can never be
+ * served for an edited workload.  Documentation-only fields (notes)
+ * are excluded.
+ */
+uint64_t profileDigest(const WorkloadProfile &profile);
+
 } // namespace mdp
 
 #endif // MDP_WORKLOADS_PROFILE_HH

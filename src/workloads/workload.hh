@@ -6,6 +6,7 @@
 #ifndef MDP_WORKLOADS_WORKLOAD_HH
 #define MDP_WORKLOADS_WORKLOAD_HH
 
+#include "trace/cache.hh"
 #include "trace/trace.hh"
 #include "workloads/profile.hh"
 
@@ -37,6 +38,18 @@ class Workload
   private:
     WorkloadProfile prof;
 };
+
+/**
+ * The trace-cache key of a generated workload at @p scale: shared by
+ * the harness (WorkloadContext) and the mdp_trace tool so prebuilt
+ * entries are exactly the ones runs look up.
+ */
+inline TraceCacheKey
+workloadTraceKey(const Workload &w, double scale)
+{
+    return {w.name(), scale, w.profile().seed,
+            profileDigest(w.profile())};
+}
 
 } // namespace mdp
 

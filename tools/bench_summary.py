@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Merge per-bench JSON reports into one timing/verdict summary.
+
+Each bench binary writes one JSON document when MDP_JSON_OUT is set
+(see src/harness/report.hh): tables, shape-check verdicts, and the
+accumulated wall-clock seconds of each internal phase
+(trace_cache_load, trace_generate, oracle_build, task_set_build,
+simulate) under "phase_seconds".
+
+This script merges one or more labeled result directories -- typically
+cold (empty trace cache) and warm (prebuilt trace cache) runs of the
+same bench set -- into a single document for CI artifacts:
+
+    bench_summary.py --out BENCH_pr.json cold=results-cold warm=results-warm
+
+The summary carries, per bench and per label, the shape verdicts and
+phase timings, plus aggregate phase totals and the cold/warm trace
+acquisition speedup (generation seconds versus cache-load seconds),
+which is the number the trace cache exists to improve.
+
+Exits nonzero when a result file is unreadable or any bench reported a
+failed shape check, so the timing job also gates on correctness.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Phases that constitute "getting a trace into memory".
+ACQUIRE_PHASES = ("trace_cache_load", "trace_generate")
+
+
+def load_dir(directory):
+    """Read every *.json bench report in a directory, keyed by bench."""
+    reports = {}
+    paths = sorted(Path(directory).glob("*.json"))
+    if not paths:
+        raise RuntimeError(f"no bench reports in {directory}")
+    for path in paths:
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            raise RuntimeError(f"unreadable bench report {path}: {err}")
+        bench = doc.get("bench")
+        if not bench:
+            raise RuntimeError(f"{path}: missing 'bench' field")
+        reports[bench] = doc
+    return reports
+
+
+def phase_totals(reports):
+    """Sum phase_seconds across one label's reports."""
+    totals = {}
+    for doc in reports.values():
+        for phase, seconds in doc.get("phase_seconds", {}).items():
+            totals[phase] = totals.get(phase, 0.0) + seconds
+    return {k: round(v, 6) for k, v in sorted(totals.items())}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="merge labeled bench-report directories")
+    parser.add_argument("--out", required=True,
+                        help="path of the merged JSON summary")
+    parser.add_argument("runs", nargs="+", metavar="LABEL=DIR",
+                        help="labeled result directory (e.g. cold=...)")
+    args = parser.parse_args()
+
+    labeled = {}
+    for spec in args.runs:
+        label, sep, directory = spec.partition("=")
+        if not sep or not label or not directory:
+            parser.error(f"expected LABEL=DIR, got '{spec}'")
+        labeled[label] = load_dir(directory)
+
+    benches = {}
+    failed = []
+    for label, reports in labeled.items():
+        for bench, doc in reports.items():
+            entry = benches.setdefault(bench, {
+                "reproduces": doc.get("reproduces", ""),
+                "scale": doc.get("scale"),
+                "num_checks": len(doc.get("shape_checks", [])),
+                "all_checks_ok": True,
+                "failed_checks": [],
+                "runs": {},
+            })
+            entry["runs"][label] = {
+                "phase_seconds": doc.get("phase_seconds", {}),
+            }
+            if not doc.get("all_checks_ok", False):
+                entry["all_checks_ok"] = False
+                bad = [c["what"] for c in doc.get("shape_checks", [])
+                       if not c.get("ok")]
+                entry["failed_checks"] = sorted(
+                    set(entry["failed_checks"]) | set(bad))
+                failed.append(f"{label}/{bench}")
+
+    totals = {label: phase_totals(reports)
+              for label, reports in labeled.items()}
+
+    summary = {
+        "generated_by": "tools/bench_summary.py",
+        "labels": sorted(labeled),
+        "benches": dict(sorted(benches.items())),
+        "phase_totals": totals,
+    }
+
+    # The headline number: how much faster a warm cache acquires traces
+    # than cold generation.  Only meaningful when both labels exist.
+    if "cold" in totals and "warm" in totals:
+        cold = sum(totals["cold"].get(p, 0.0) for p in ACQUIRE_PHASES)
+        warm = sum(totals["warm"].get(p, 0.0) for p in ACQUIRE_PHASES)
+        summary["trace_acquire_seconds"] = {
+            "cold": round(cold, 6),
+            "warm": round(warm, 6),
+        }
+        if warm > 0:
+            summary["trace_acquire_speedup"] = round(cold / warm, 2)
+
+    Path(args.out).write_text(json.dumps(summary, indent=2) + "\n")
+
+    print(f"wrote {args.out}: {len(benches)} benches, "
+          f"labels {', '.join(sorted(labeled))}")
+    for label, phases in sorted(totals.items()):
+        line = ", ".join(f"{k}={v:.3f}s" for k, v in phases.items())
+        print(f"  {label}: {line}")
+    if "trace_acquire_speedup" in summary:
+        print(f"  trace acquisition speedup (cold/warm): "
+              f"{summary['trace_acquire_speedup']}x")
+    if failed:
+        print("FAILED shape checks in: " + ", ".join(sorted(failed)),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except RuntimeError as err:
+        print(f"bench_summary: {err}", file=sys.stderr)
+        sys.exit(1)
