@@ -1,3 +1,5 @@
+// mdp-lint: allow(bench-discipline): every row mutates the profile
+// (value locality sweep), so the shared context cache cannot apply.
 /**
  * @file
  * Ablation A6: the section-6 hybrid -- "a data speculation approach
@@ -35,6 +37,7 @@ main()
         for (auto &r : p.recurrences)
             r.valueStability = stability;
         Workload w(std::move(p));
+        // mdp-lint: allow(bench-discipline): custom per-row profile.
         WorkloadContext ctx(w.generate(benchScale()));
 
         auto run = [&](SpecPolicy pol) {

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic drains for unordered associative containers.
+ *
+ * Hash-map iteration order is implementation-defined, so model and
+ * stats code must never let it leak into simulation state, report
+ * rows, or accumulation order (mdp_lint rule `unordered-iter`).
+ * When a hash map is the right structure for the hot path, drain it
+ * through these helpers at the (cold) read-out point: they copy the
+ * elements and sort by key, giving every consumer a reproducible
+ * order.  This header is the one audited place allowed to iterate
+ * unordered containers on the model side.
+ */
+
+#ifndef MDP_BASE_ORDERED_HH
+#define MDP_BASE_ORDERED_HH
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace mdp
+{
+
+/** Copy a map's (key, value) pairs, sorted ascending by key. */
+template <class Map>
+std::vector<std::pair<typename Map::key_type,
+                      typename Map::mapped_type>>
+sortedByKey(const Map &m)
+{
+    std::vector<std::pair<typename Map::key_type,
+                          typename Map::mapped_type>>
+        items;
+    items.reserve(m.size());
+    for (const auto &kv : m)
+        items.emplace_back(kv.first, kv.second);
+    std::sort(items.begin(), items.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    return items;
+}
+
+/** Copy a set's (or map's) keys, sorted ascending. */
+template <class Set>
+std::vector<typename Set::key_type>
+sortedKeys(const Set &s)
+{
+    std::vector<typename Set::key_type> keys;
+    keys.reserve(s.size());
+    for (const auto &item : s) {
+        if constexpr (requires { item.first; })
+            keys.push_back(item.first);
+        else
+            keys.push_back(item);
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+} // namespace mdp
+
+#endif // MDP_BASE_ORDERED_HH

@@ -35,12 +35,14 @@ class ScopedPhase
   public:
     explicit ScopedPhase(std::string phase)
         : name(std::move(phase)),
+          // mdp-lint: allow(nondet-source): report-only wall clock.
           start(std::chrono::steady_clock::now())
     {}
 
     ~ScopedPhase()
     {
         std::chrono::duration<double> dt =
+            // mdp-lint: allow(nondet-source): report-only timing.
             std::chrono::steady_clock::now() - start;
         addPhaseSeconds(name, dt.count());
     }
@@ -50,6 +52,7 @@ class ScopedPhase
 
   private:
     std::string name;
+    // mdp-lint: allow(nondet-source): report-only timing state.
     std::chrono::steady_clock::time_point start;
 };
 

@@ -133,6 +133,7 @@ size_t
 Arb::trackedLoads() const
 {
     size_t n = 0;
+    // mdp-lint: allow(unordered-iter): order-independent size sum.
     for (const auto &[a, v] : loads)
         n += v.size();
     return n;

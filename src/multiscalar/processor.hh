@@ -16,8 +16,8 @@
 #ifndef MDP_MULTISCALAR_PROCESSOR_HH
 #define MDP_MULTISCALAR_PROCESSOR_HH
 
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "mdp/sync_unit.hh"
@@ -147,7 +147,9 @@ class MultiscalarProcessor : public TaskPcSource
     // Blocked-op bookkeeping.
     std::vector<SeqNum> frontierBlocked;  ///< WAIT/NEVER waits
     std::vector<SeqNum> syncBlocked;      ///< MDST waits
-    std::unordered_map<SeqNum, std::vector<SeqNum>> psyncWaiters;
+    // Ordered map: squash recovery walks and erases a SeqNum range,
+    // and iteration order must not depend on the hash layout.
+    std::map<SeqNum, std::vector<SeqNum>> psyncWaiters;
 
     // Sequencer state.
     uint64_t nextTask = 0;

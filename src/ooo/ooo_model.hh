@@ -15,8 +15,8 @@
 #ifndef MDP_OOO_OOO_MODEL_HH
 #define MDP_OOO_OOO_MODEL_HH
 
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "mdp/policy.hh"
@@ -132,7 +132,9 @@ class OooProcessor
 
     std::vector<SeqNum> frontierBlocked;
     std::vector<SeqNum> syncBlocked;
-    std::unordered_map<SeqNum, std::vector<SeqNum>> psyncWaiters;
+    // Ordered map: squash recovery walks and erases a SeqNum range,
+    // and iteration order must not depend on the hash layout.
+    std::map<SeqNum, std::vector<SeqNum>> psyncWaiters;
     std::vector<LoadId> wakeupBuf;
 
     OooResult res;

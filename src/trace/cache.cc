@@ -215,16 +215,17 @@ TraceCache::store(const TraceCacheKey &key, const TraceView &trace) const
     fs::create_directories(cacheDir, ec);
 
     const std::string path = entryPath(key);
+#if MDP_HAVE_MMAP
+    // The pid only salts the temp-file name used for atomic
+    // publication; the entry bytes themselves stay deterministic.
+    // mdp-lint: allow(nondet-source): pid salts tmp-file name only.
+    const uint64_t pid_salt = static_cast<uint64_t>(::getpid());
+#else
+    const uint64_t pid_salt = 0;
+#endif
     const std::string tmp =
         path + ".tmp." + hashHex(traceKeyDigest(key) ^
-                                 gStageSeq.fetch_add(1) ^
-                                 static_cast<uint64_t>(
-#if MDP_HAVE_MMAP
-                                     ::getpid()
-#else
-                                     0
-#endif
-                                     ));
+                                 gStageSeq.fetch_add(1) ^ pid_salt);
     {
         std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
         if (!os || !writeTrace(trace, os))

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "base/ordered.hh"
+
 namespace mdp
 {
 
@@ -41,9 +43,11 @@ WindowModel::study(uint32_t window_size,
     res.staticDeps = edge_counts.size();
 
     // Static edges covering 99.9% of dynamic mis-speculations.
+    // Drain the hash map in key order (base/ordered.hh) so no
+    // implementation-defined iteration order reaches the stats.
     std::vector<uint64_t> counts;
     counts.reserve(edge_counts.size());
-    for (const auto &[k, v] : edge_counts)
+    for (const auto &[k, v] : sortedByKey(edge_counts))
         counts.push_back(v);
     std::sort(counts.begin(), counts.end(), std::greater<>());
     // ceil(0.999 * n): covering "99.9% of mis-speculations" must cover

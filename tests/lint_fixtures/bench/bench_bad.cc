@@ -1,0 +1,23 @@
+// expect: bench-discipline bench-discipline
+// (line 1 carries both whole-file findings: no cachedContext/
+// ExperimentRunner acquisition and no finishBench epilogue)
+#include <cstdio>
+
+namespace mdp
+{
+struct Workload {
+    int generate(double) { return 0; }
+};
+struct WorkloadContext {
+    explicit WorkloadContext(int) {}
+};
+} // namespace mdp
+
+int
+main()
+{
+    mdp::Workload w;
+    mdp::WorkloadContext ctx(w.generate(1.0)); // expect: bench-discipline
+    std::puts("rows...");
+    return 0;
+}

@@ -1,0 +1,13 @@
+// Fixture: google-benchmark microbench suites are exempt from the
+// shape-bench discipline rule (no cachedContext/finishBench needed).
+#include <benchmark/benchmark.h>
+
+static void
+BM_Nothing(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(0);
+}
+BENCHMARK(BM_Nothing);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,10 @@
+// Fixture: include guard not derived from the header's path.
+#ifndef SOME_RANDOM_GUARD_HH // expect: header-guard
+#define SOME_RANDOM_GUARD_HH
+
+namespace mdp
+{
+int fixtureValue();
+} // namespace mdp
+
+#endif // SOME_RANDOM_GUARD_HH

@@ -1,0 +1,7 @@
+// Fixture: pragma once instead of the canonical include guard.
+#pragma once // expect: header-guard
+
+namespace mdp
+{
+int fixtureValue();
+} // namespace mdp

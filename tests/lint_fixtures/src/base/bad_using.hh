@@ -1,0 +1,14 @@
+// Fixture: using namespace in a header.
+#ifndef MDP_BASE_BAD_USING_HH
+#define MDP_BASE_BAD_USING_HH
+
+#include <vector>
+
+using namespace std; // expect: using-namespace-header
+
+namespace mdp
+{
+vector<int> fixtureValues();
+} // namespace mdp
+
+#endif // MDP_BASE_BAD_USING_HH

@@ -1,0 +1,22 @@
+// Fixture: wall-clock reads and process identity in model code.
+#include <chrono>
+#include <ctime>
+#include <unistd.h>
+
+namespace mdp
+{
+
+uint64_t
+badSeed()
+{
+    auto t0 = std::chrono::system_clock::now();     // expect: nondet-source
+    auto t1 = std::chrono::steady_clock::now();     // expect: nondet-source
+    auto t2 =
+        std::chrono::high_resolution_clock::now();  // expect: nondet-source
+    uint64_t pid = ::getpid();                      // expect: nondet-source
+    return t0.time_since_epoch().count() +
+           t1.time_since_epoch().count() +
+           t2.time_since_epoch().count() + pid;
+}
+
+} // namespace mdp

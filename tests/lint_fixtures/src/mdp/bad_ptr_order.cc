@@ -1,0 +1,18 @@
+// Fixture: pointer-keyed ordered containers leak address order.
+#include <functional>
+#include <map>
+#include <set>
+
+namespace mdp
+{
+
+struct Node {
+    int id;
+};
+
+std::map<Node *, int> byNode;            // expect: ptr-order
+std::set<const Node *> seen;             // expect: ptr-order
+std::map<int, Node *> fine;              // values may be pointers
+std::set<int, std::less<Node *>> cmp;    // expect: ptr-order
+
+} // namespace mdp

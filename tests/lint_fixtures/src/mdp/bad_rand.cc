@@ -1,0 +1,23 @@
+// Fixture: every banned randomness source must be flagged.
+#include <cstdlib>
+#include <random>
+
+namespace mdp
+{
+
+unsigned
+drawBad()
+{
+    std::srand(42);                         // expect: nondet-source
+    unsigned a = std::rand();               // expect: nondet-source
+    std::random_device rd;                  // expect: nondet-source
+    std::mt19937 gen(rd());                 // expect: nondet-source
+    std::default_random_engine eng;         // expect: nondet-source
+    return a + gen() + eng() + rd();
+}
+
+// Mentions of rand or random_device in comments must NOT be flagged,
+// and neither must string literals:
+const char *kDoc = "std::rand and random_device are banned";
+
+} // namespace mdp

@@ -1,0 +1,21 @@
+// Fixture: an allow without a justification is itself a finding and
+// suppresses nothing.
+#include <cstdint>
+#include <unordered_map>
+
+namespace mdp
+{
+
+std::unordered_map<uint64_t, uint64_t> hits;
+
+uint64_t
+totalHits()
+{
+    uint64_t n = 0;
+    // mdp-lint: allow(unordered-iter) -- expect: lint-allow
+    for (const auto &[k, v] : hits)   // expect: unordered-iter
+        n += v;
+    return n;
+}
+
+} // namespace mdp

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""tools/bench_summary.py must fail loudly on broken artifacts.
+
+Each case builds a temporary result-directory layout, invokes the
+real script as a subprocess (exactly how CI calls it), and asserts
+the exit status and -- for failures -- that the diagnostic names the
+offending file or bench.  The merge script is the last line of
+defense between a crashed bench and a green CI run, so "garbage in,
+nonzero out" is load-bearing.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SCRIPT = REPO / "tools" / "bench_summary.py"
+
+
+def good_report(bench, ok=True):
+    return {
+        "bench": bench,
+        "reproduces": "Table 1",
+        "scale": 0.1,
+        "all_checks_ok": ok,
+        "shape_checks": [
+            {"what": f"{bench} rows present", "ok": ok},
+        ],
+        "phase_seconds": {"trace_generate": 1.5, "simulate": 2.0},
+    }
+
+
+class BenchSummaryTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = Path(self._tmp.name)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, rel, doc):
+        path = self.root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if isinstance(doc, (dict, list)):
+            path.write_text(json.dumps(doc))
+        else:
+            path.write_text(doc)
+        return path
+
+    def run_summary(self, *runs):
+        out = self.root / "summary.json"
+        return subprocess.run(
+            [sys.executable, str(SCRIPT), "--out", str(out), *runs],
+            capture_output=True, text=True)
+
+    def test_well_formed_reports_merge_cleanly(self):
+        for label in ("cold", "warm"):
+            self.write(f"{label}/a.json", good_report("bench_a"))
+            self.write(f"{label}/b.json", good_report("bench_b"))
+        proc = self.run_summary(f"cold={self.root}/cold",
+                                f"warm={self.root}/warm")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        summary = json.loads((self.root / "summary.json").read_text())
+        self.assertEqual(sorted(summary["benches"]),
+                         ["bench_a", "bench_b"])
+        self.assertIn("trace_acquire_seconds", summary)
+
+    def test_missing_directory_fails(self):
+        proc = self.run_summary(f"cold={self.root}/nonexistent")
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("missing", proc.stderr)
+
+    def test_empty_directory_fails(self):
+        (self.root / "cold").mkdir()
+        proc = self.run_summary(f"cold={self.root}/cold")
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("no bench reports", proc.stderr)
+
+    def test_truncated_json_fails(self):
+        self.write("cold/a.json", '{"bench": "bench_a", "all_')
+        proc = self.run_summary(f"cold={self.root}/cold")
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("a.json", proc.stderr)
+
+    def test_non_object_top_level_fails(self):
+        self.write("cold/a.json", [1, 2, 3])
+        proc = self.run_summary(f"cold={self.root}/cold")
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("not a JSON object", proc.stderr)
+
+    def test_missing_bench_field_fails(self):
+        doc = good_report("bench_a")
+        del doc["bench"]
+        self.write("cold/a.json", doc)
+        proc = self.run_summary(f"cold={self.root}/cold")
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("'bench'", proc.stderr)
+
+    def test_missing_all_checks_ok_fails(self):
+        doc = good_report("bench_a")
+        del doc["all_checks_ok"]
+        self.write("cold/a.json", doc)
+        proc = self.run_summary(f"cold={self.root}/cold")
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("all_checks_ok", proc.stderr)
+
+    def test_non_numeric_phase_seconds_fails(self):
+        doc = good_report("bench_a")
+        doc["phase_seconds"]["simulate"] = "fast"
+        self.write("cold/a.json", doc)
+        proc = self.run_summary(f"cold={self.root}/cold")
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("phase_seconds", proc.stderr)
+
+    def test_malformed_shape_check_entry_fails(self):
+        doc = good_report("bench_a")
+        doc["shape_checks"] = [{"what": "no verdict field"}]
+        self.write("cold/a.json", doc)
+        proc = self.run_summary(f"cold={self.root}/cold")
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("shape_checks", proc.stderr)
+
+    def test_bench_set_mismatch_across_labels_fails(self):
+        # bench_b crashed before writing its warm artifact: the merge
+        # must refuse rather than silently compare a smaller set.
+        self.write("cold/a.json", good_report("bench_a"))
+        self.write("cold/b.json", good_report("bench_b"))
+        self.write("warm/a.json", good_report("bench_a"))
+        proc = self.run_summary(f"cold={self.root}/cold",
+                                f"warm={self.root}/warm")
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("bench_b", proc.stderr)
+        self.assertIn("warm", proc.stderr)
+
+    def test_duplicate_bench_in_one_label_fails(self):
+        self.write("cold/a.json", good_report("bench_a"))
+        self.write("cold/dup.json", good_report("bench_a"))
+        proc = self.run_summary(f"cold={self.root}/cold")
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("duplicate", proc.stderr)
+
+    def test_failed_shape_check_exits_nonzero(self):
+        self.write("cold/a.json", good_report("bench_a", ok=False))
+        proc = self.run_summary(f"cold={self.root}/cold")
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+        self.assertIn("bench_a", proc.stderr)
+        # The summary is still written so CI can archive the evidence.
+        summary = json.loads((self.root / "summary.json").read_text())
+        self.assertFalse(summary["benches"]["bench_a"]["all_checks_ok"])
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -259,8 +261,10 @@ TEST(TraceCacheTest, TwoThreadsRacingOneKeyBothSucceed)
 
     // Both writers stage to distinct temp files and rename onto the
     // same entry; whoever wins, the bytes are identical and valid.
+    // (Atomics, not vector<bool>: bit-packed elements share a word,
+    // which is a data race under concurrent writers.)
     std::vector<std::thread> threads;
-    std::vector<bool> stored(2, false);
+    std::array<std::atomic<bool>, 2> stored = {false, false};
     for (int i = 0; i < 2; ++i)
         threads.emplace_back(
             [&, i] { stored[i] = cache.store(key, t); });

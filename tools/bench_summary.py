@@ -18,8 +18,12 @@ phase timings, plus aggregate phase totals and the cold/warm trace
 acquisition speedup (generation seconds versus cache-load seconds),
 which is the number the trace cache exists to improve.
 
-Exits nonzero when a result file is unreadable or any bench reported a
-failed shape check, so the timing job also gates on correctness.
+Exits nonzero when a result file is unreadable, malformed (wrong
+top-level shape, missing/ill-typed fields), when the labeled
+directories disagree about which benches exist (a bench that crashed
+before writing its artifact must not vanish silently), or when any
+bench reported a failed shape check -- so the timing job gates on
+correctness and cannot green-wash a broken bench.
 """
 
 import argparse
@@ -31,9 +35,39 @@ from pathlib import Path
 ACQUIRE_PHASES = ("trace_cache_load", "trace_generate")
 
 
+def validate_report(path, doc):
+    """Reject a structurally broken bench report loudly."""
+    if not isinstance(doc, dict):
+        raise RuntimeError(f"{path}: top level is not a JSON object")
+    if not doc.get("bench"):
+        raise RuntimeError(f"{path}: missing 'bench' field")
+    if "all_checks_ok" not in doc or \
+            not isinstance(doc["all_checks_ok"], bool):
+        raise RuntimeError(
+            f"{path}: missing/ill-typed 'all_checks_ok'")
+    checks = doc.get("shape_checks", [])
+    if not isinstance(checks, list):
+        raise RuntimeError(f"{path}: 'shape_checks' is not a list")
+    for check in checks:
+        if not isinstance(check, dict) or "ok" not in check \
+                or "what" not in check:
+            raise RuntimeError(
+                f"{path}: malformed shape_checks entry: {check!r}")
+    phases = doc.get("phase_seconds", {})
+    if not isinstance(phases, dict):
+        raise RuntimeError(f"{path}: 'phase_seconds' is not a map")
+    for phase, seconds in phases.items():
+        if not isinstance(seconds, (int, float)) \
+                or isinstance(seconds, bool):
+            raise RuntimeError(
+                f"{path}: phase_seconds[{phase!r}] is not a number")
+
+
 def load_dir(directory):
     """Read every *.json bench report in a directory, keyed by bench."""
     reports = {}
+    if not Path(directory).is_dir():
+        raise RuntimeError(f"result directory {directory} is missing")
     paths = sorted(Path(directory).glob("*.json"))
     if not paths:
         raise RuntimeError(f"no bench reports in {directory}")
@@ -42,9 +76,11 @@ def load_dir(directory):
             doc = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as err:
             raise RuntimeError(f"unreadable bench report {path}: {err}")
-        bench = doc.get("bench")
-        if not bench:
-            raise RuntimeError(f"{path}: missing 'bench' field")
+        validate_report(path, doc)
+        bench = doc["bench"]
+        if bench in reports:
+            raise RuntimeError(
+                f"{path}: duplicate report for bench '{bench}'")
         reports[bench] = doc
     return reports
 
@@ -72,7 +108,22 @@ def main():
         label, sep, directory = spec.partition("=")
         if not sep or not label or not directory:
             parser.error(f"expected LABEL=DIR, got '{spec}'")
+        if label in labeled:
+            parser.error(f"duplicate label '{label}'")
         labeled[label] = load_dir(directory)
+
+    # Every label must cover the same bench set: a bench that crashed
+    # before writing its artifact in one run must fail the merge, not
+    # silently drop out of the comparison.
+    bench_sets = {label: set(reports) for label, reports
+                  in labeled.items()}
+    union = set().union(*bench_sets.values())
+    for label, present in sorted(bench_sets.items()):
+        missing = sorted(union - present)
+        if missing:
+            raise RuntimeError(
+                f"label '{label}' is missing bench reports: "
+                + ", ".join(missing))
 
     benches = {}
     failed = []

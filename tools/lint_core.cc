@@ -1,0 +1,740 @@
+#include "lint_core.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace mdp::lint
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) ==
+               0;
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+/** The rule-scoping path: fixtures emulate the real tree layout. */
+std::string
+scopedPath(const std::string &path)
+{
+    const std::string prefix = "tests/lint_fixtures/";
+    if (startsWith(path, prefix))
+        return path.substr(prefix.size());
+    return path;
+}
+
+std::string
+dirOf(const std::string &path)
+{
+    size_t pos = path.find_last_of('/');
+    return pos == std::string::npos ? "" : path.substr(0, pos);
+}
+
+bool
+isHeaderPath(const std::string &path)
+{
+    return endsWith(path, ".hh") || endsWith(path, ".h");
+}
+
+/** Directories whose containers feed simulation state or stats. */
+bool
+inModelDir(const std::string &scoped)
+{
+    static const char *const kDirs[] = {
+        "src/mdp/",        "src/ooo/",   "src/window/",
+        "src/multiscalar/", "src/trace/", "src/workloads/",
+    };
+    for (const char *d : kDirs)
+        if (startsWith(scoped, d))
+            return true;
+    return false;
+}
+
+bool
+inDeterministicScope(const std::string &scoped)
+{
+    return startsWith(scoped, "src/") || startsWith(scoped, "bench/");
+}
+
+/** 1-based line number of offset `pos` in `text`. */
+int
+lineOf(const std::string &text, size_t pos)
+{
+    return 1 + static_cast<int>(
+                   std::count(text.begin(), text.begin() + pos, '\n'));
+}
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+/** Find `token` at `pos` onward with identifier boundaries. */
+size_t
+findToken(const std::string &code, const std::string &token, size_t pos)
+{
+    while ((pos = code.find(token, pos)) != std::string::npos) {
+        char before = pos > 0 ? code[pos - 1] : ' ';
+        size_t after_idx = pos + token.size();
+        char after = after_idx < code.size() ? code[after_idx] : ' ';
+        bool head_ident = isIdentChar(token.front());
+        bool tail_ident = isIdentChar(token.back());
+        if ((!head_ident || !isIdentChar(before)) &&
+            (!tail_ident || !isIdentChar(after)))
+            return pos;
+        ++pos;
+    }
+    return std::string::npos;
+}
+
+/** Match the '<' at `open` to its closing '>'; npos when unbalanced. */
+size_t
+matchAngle(const std::string &code, size_t open)
+{
+    int depth = 0;
+    for (size_t i = open; i < code.size(); ++i) {
+        if (code[i] == '<') {
+            ++depth;
+        } else if (code[i] == '>') {
+            if (--depth == 0)
+                return i;
+        } else if (code[i] == ';' || code[i] == '{') {
+            return std::string::npos; // not a template argument list
+        }
+    }
+    return std::string::npos;
+}
+
+// ---- suppression comments ------------------------------------------
+
+struct AllowSet {
+    /** (line, rule) pairs the file's comments suppress. */
+    std::set<std::pair<int, std::string>> allowed;
+    std::vector<Diag> malformed;
+
+    bool
+    allows(int line, const std::string &rule) const
+    {
+        return allowed.count({line, rule}) ||
+               allowed.count({line - 1, rule});
+    }
+};
+
+AllowSet
+collectAllows(const std::string &path, const std::string &text)
+{
+    AllowSet out;
+    // Composed so the marker never appears literally in this file
+    // (collectAllows scans raw text, string literals included).
+    const std::string marker = std::string("mdp-lint") + ": allow(";
+    std::vector<std::string> lines = splitLines(text);
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const std::string &line = lines[i];
+        size_t pos = line.find(marker);
+        if (pos == std::string::npos)
+            continue;
+        int lineno = static_cast<int>(i + 1);
+        size_t open = pos + marker.size() - 1;
+        size_t close = line.find(')', open);
+        if (close == std::string::npos) {
+            out.malformed.push_back({path, lineno, "lint-allow",
+                                     "unterminated " + marker +
+                                         "...)"});
+            continue;
+        }
+        std::string rule = trim(line.substr(open + 1,
+                                            close - open - 1));
+        std::string rest = trim(line.substr(close + 1));
+        bool has_why = startsWith(rest, ":") &&
+                       !trim(rest.substr(1)).empty();
+        if (rule.empty() || !has_why) {
+            out.malformed.push_back(
+                {path, lineno, "lint-allow",
+                 "suppression needs a rule and a justification: "
+                 "// " +
+                     marker + "<rule>): <why>"});
+            continue;
+        }
+        out.allowed.insert({lineno, rule});
+    }
+    return out;
+}
+
+// ---- rule: nondet-source -------------------------------------------
+
+const char *const kNondetTokens[] = {
+    "std::rand",
+    "srand",
+    "random_device",
+    "mt19937",
+    "minstd_rand",
+    "default_random_engine",
+    "ranlux24",
+    "ranlux48",
+    "system_clock",
+    "steady_clock",
+    "high_resolution_clock",
+    "gettimeofday",
+    "clock_gettime",
+    "timespec_get",
+    "getpid",
+    "this_thread::get_id",
+};
+
+void
+checkNondet(const SourceFile &src, const std::string &code,
+            std::vector<Diag> &out)
+{
+    for (const char *token : kNondetTokens) {
+        size_t pos = 0;
+        while ((pos = findToken(code, token, pos)) !=
+               std::string::npos) {
+            out.push_back({src.path, lineOf(code, pos),
+                           "nondet-source",
+                           std::string("nondeterminism source '") +
+                               token +
+                               "'; all randomness must flow through "
+                               "a seeded Pcg32 (base/random.hh) and "
+                               "model code may not read wall clocks"});
+            pos += std::string(token).size();
+        }
+    }
+}
+
+// ---- rule: ptr-order -----------------------------------------------
+
+void
+checkPtrOrder(const SourceFile &src, const std::string &code,
+              std::vector<Diag> &out)
+{
+    static const char *const kOrdered[] = {
+        "map", "multimap", "set", "multiset", "less", "greater",
+    };
+    for (const char *name : kOrdered) {
+        std::string token = std::string(name) + "<";
+        size_t pos = 0;
+        while ((pos = code.find(token, pos)) != std::string::npos) {
+            char before = pos > 0 ? code[pos - 1] : ' ';
+            if (isIdentChar(before)) { // unordered_map, bitset, ...
+                pos += token.size();
+                continue;
+            }
+            size_t open = pos + token.size() - 1;
+            size_t close = matchAngle(code, open);
+            if (close == std::string::npos) {
+                pos += token.size();
+                continue;
+            }
+            // First top-level template argument.
+            int depth = 0;
+            size_t arg_end = close;
+            for (size_t i = open + 1; i < close; ++i) {
+                if (code[i] == '<')
+                    ++depth;
+                else if (code[i] == '>')
+                    --depth;
+                else if (code[i] == ',' && depth == 0) {
+                    arg_end = i;
+                    break;
+                }
+            }
+            std::string arg =
+                trim(code.substr(open + 1, arg_end - open - 1));
+            if (!arg.empty() && arg.back() == '*')
+                out.push_back(
+                    {src.path, lineOf(code, pos), "ptr-order",
+                     "'" + std::string(name) + "<" + arg +
+                         ", ...>' orders by pointer value, which "
+                         "varies run to run; key on a stable id"});
+            pos = close;
+        }
+    }
+}
+
+// ---- rule: unordered-iter ------------------------------------------
+
+/** Names declared as unordered containers, per scoped directory. */
+using DeclMap = std::map<std::string, std::set<std::string>>;
+
+void
+collectUnorderedDecls(const SourceFile &src, const std::string &code,
+                      DeclMap &decls)
+{
+    static const char *const kKinds[] = {"unordered_map<",
+                                         "unordered_set<"};
+    std::string dir = dirOf(scopedPath(src.path));
+    for (const char *kind : kKinds) {
+        size_t pos = 0;
+        while ((pos = code.find(kind, pos)) != std::string::npos) {
+            char before = pos > 0 ? code[pos - 1] : ' ';
+            if (isIdentChar(before)) {
+                pos += std::string(kind).size();
+                continue;
+            }
+            size_t open = pos + std::string(kind).size() - 1;
+            size_t close = matchAngle(code, open);
+            pos = open + 1;
+            if (close == std::string::npos)
+                continue;
+            // Skip type-only uses: `...>::iterator`, casts, etc.
+            size_t i = close + 1;
+            while (i < code.size() &&
+                   (std::isspace(static_cast<unsigned char>(code[i])) ||
+                    code[i] == '&' || code[i] == '*'))
+                ++i;
+            size_t name_begin = i;
+            while (i < code.size() && isIdentChar(code[i]))
+                ++i;
+            if (i == name_begin)
+                continue;
+            if (i + 1 < code.size() && code[i] == ':' &&
+                code[i + 1] == ':')
+                continue;
+            decls[dir].insert(
+                code.substr(name_begin, i - name_begin));
+        }
+    }
+}
+
+/** Final identifier of an expression like `this->x.y`; "" if none. */
+std::string
+lastComponent(const std::string &expr)
+{
+    std::string e = trim(expr);
+    if (e.empty() || e.find('(') != std::string::npos ||
+        e.find('[') != std::string::npos)
+        return "";
+    size_t pos = e.find_last_of(".>"); // member access or ->
+    std::string tail =
+        pos == std::string::npos ? e : e.substr(pos + 1);
+    tail = trim(tail);
+    if (tail.empty())
+        return "";
+    for (char c : tail)
+        if (!isIdentChar(c))
+            return "";
+    return tail;
+}
+
+void
+checkUnorderedIter(const SourceFile &src, const std::string &code,
+                   const DeclMap &decls, std::vector<Diag> &out)
+{
+    auto it = decls.find(dirOf(scopedPath(src.path)));
+    if (it == decls.end())
+        return;
+    const std::set<std::string> &names = it->second;
+
+    // Range-for over a declared unordered container.
+    size_t pos = 0;
+    while ((pos = findToken(code, "for", pos)) != std::string::npos) {
+        size_t open = code.find_first_not_of(" \t\n", pos + 3);
+        pos += 3;
+        if (open == std::string::npos || code[open] != '(')
+            continue;
+        int depth = 0;
+        size_t colon = std::string::npos, close = std::string::npos;
+        for (size_t i = open; i < code.size(); ++i) {
+            if (code[i] == '(') {
+                ++depth;
+            } else if (code[i] == ')') {
+                if (--depth == 0) {
+                    close = i;
+                    break;
+                }
+            } else if (code[i] == ':' && depth == 1 &&
+                       colon == std::string::npos) {
+                bool dbl = (i > 0 && code[i - 1] == ':') ||
+                           (i + 1 < code.size() && code[i + 1] == ':');
+                if (!dbl)
+                    colon = i;
+            } else if (code[i] == ';' && depth == 1) {
+                break; // classic for(;;)
+            }
+        }
+        if (colon == std::string::npos || close == std::string::npos)
+            continue;
+        std::string name = lastComponent(
+            code.substr(colon + 1, close - colon - 1));
+        if (!name.empty() && names.count(name))
+            out.push_back(
+                {src.path, lineOf(code, colon), "unordered-iter",
+                 "range-for over unordered container '" + name +
+                     "': iteration order is implementation-defined; "
+                     "use an ordered container or a sorted drain "
+                     "(base/ordered.hh)"});
+    }
+
+    // Explicit iterator loops: NAME.begin() / NAME.cbegin().
+    for (const std::string &name : names) {
+        for (const char *method : {".begin", ".cbegin"}) {
+            std::string token = name + method;
+            size_t p = 0;
+            while ((p = findToken(code, token, p)) !=
+                   std::string::npos) {
+                size_t paren =
+                    code.find_first_not_of(" \t\n",
+                                           p + token.size());
+                if (paren != std::string::npos &&
+                    code[paren] == '(')
+                    out.push_back(
+                        {src.path, lineOf(code, p),
+                         "unordered-iter",
+                         "iterator walk over unordered container '" +
+                             name +
+                             "': iteration order is implementation-"
+                             "defined; use an ordered container or a "
+                             "sorted drain (base/ordered.hh)"});
+                p += token.size();
+            }
+        }
+    }
+}
+
+// ---- rules: header-guard, using-namespace-header -------------------
+
+void
+checkHeader(const SourceFile &src, const std::string &code,
+            std::vector<Diag> &out)
+{
+    std::string expected = expectedGuard(scopedPath(src.path));
+
+    size_t pragma = findToken(code, "#pragma once", 0);
+    if (pragma == std::string::npos) {
+        // Tolerate space between '#' and the directive.
+        size_t h = code.find("pragma once");
+        if (h != std::string::npos &&
+            code.find_last_of('#', h) != std::string::npos)
+            pragma = h;
+    }
+    if (pragma != std::string::npos)
+        out.push_back({src.path, lineOf(code, pragma), "header-guard",
+                       "#pragma once; repo convention is an include "
+                       "guard named " +
+                           expected});
+
+    std::vector<std::string> lines = splitLines(code);
+    int guard_line = 0;
+    std::string guard;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        std::istringstream in(lines[i]);
+        std::string hash, word;
+        in >> hash;
+        if (hash == "#ifndef") {
+            in >> guard;
+        } else if (hash == "#") {
+            in >> word;
+            if (word == "ifndef")
+                in >> guard;
+        }
+        if (!guard.empty()) {
+            guard_line = static_cast<int>(i + 1);
+            break;
+        }
+    }
+    if (guard.empty()) {
+        if (pragma == std::string::npos)
+            out.push_back({src.path, 1, "header-guard",
+                           "missing include guard " + expected});
+    } else if (guard != expected) {
+        out.push_back({src.path, guard_line, "header-guard",
+                       "include guard '" + guard +
+                           "' should be " + expected});
+    } else if (findToken(code, "#define " + expected, 0) ==
+               std::string::npos) {
+        out.push_back({src.path, guard_line, "header-guard",
+                       "#ifndef " + expected +
+                           " has no matching #define"});
+    }
+
+    size_t ns = findToken(code, "using namespace", 0);
+    if (ns != std::string::npos)
+        out.push_back({src.path, lineOf(code, ns),
+                       "using-namespace-header",
+                       "'using namespace' in a header leaks into "
+                       "every includer; qualify names instead"});
+}
+
+// ---- rule: bench-discipline ----------------------------------------
+
+void
+checkBench(const SourceFile &src, const std::string &code,
+           std::vector<Diag> &out)
+{
+    if (src.text.find("benchmark/benchmark.h") != std::string::npos)
+        return; // google-benchmark microbench suite, not a shape bench
+
+    bool cached = findToken(code, "cachedContext", 0) !=
+                  std::string::npos;
+    bool runner = findToken(code, "ExperimentRunner", 0) !=
+                  std::string::npos;
+    if (!cached && !runner)
+        out.push_back({src.path, 1, "bench-discipline",
+                       "bench acquires no workload via "
+                       "cachedContext()/ExperimentRunner; shape "
+                       "benches must share the process-wide context "
+                       "cache"});
+    if (findToken(code, "finishBench", 0) == std::string::npos)
+        out.push_back({src.path, 1, "bench-discipline",
+                       "bench never calls finishBench(); shape "
+                       "verdicts and JSON artifacts would be lost"});
+
+    // Direct context construction bypasses the trace cache.
+    size_t pos = 0;
+    while ((pos = findToken(code, "WorkloadContext", pos)) !=
+           std::string::npos) {
+        size_t i = pos + std::string("WorkloadContext").size();
+        while (i < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[i])))
+            ++i;
+        size_t name_begin = i;
+        while (i < code.size() && isIdentChar(code[i]))
+            ++i;
+        bool named = i > name_begin;
+        while (i < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[i])))
+            ++i;
+        if (named && i < code.size() && code[i] == '(')
+            out.push_back(
+                {src.path, lineOf(code, pos), "bench-discipline",
+                 "direct WorkloadContext construction bypasses the "
+                 "trace cache; use cachedContext()/ExperimentRunner "
+                 "or justify with an allow"});
+        pos = i;
+    }
+}
+
+} // namespace
+
+// ---- public API -----------------------------------------------------
+
+std::vector<std::string>
+ruleNames()
+{
+    return {"bench-discipline", "header-guard",  "lint-allow",
+            "nondet-source",    "ptr-order",     "unordered-iter",
+            "using-namespace-header"};
+}
+
+std::string
+expectedGuard(const std::string &rel_path)
+{
+    std::string p = rel_path;
+    if (startsWith(p, "src/"))
+        p = p.substr(4);
+    std::string guard = "MDP_";
+    for (char c : p) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            guard += static_cast<char>(
+                std::toupper(static_cast<unsigned char>(c)));
+        else
+            guard += '_';
+    }
+    return guard;
+}
+
+std::string
+codeView(const std::string &text)
+{
+    std::string out = text;
+    enum class St { Code, Line, Block, Str, Chr };
+    St st = St::Code;
+    for (size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        char n = i + 1 < text.size() ? text[i + 1] : '\0';
+        switch (st) {
+        case St::Code:
+            if (c == '/' && n == '/') {
+                st = St::Line;
+                out[i] = out[i + 1] = ' ';
+                ++i;
+            } else if (c == '/' && n == '*') {
+                st = St::Block;
+                out[i] = out[i + 1] = ' ';
+                ++i;
+            } else if (c == '"') {
+                st = St::Str;
+            } else if (c == '\'') {
+                st = St::Chr;
+            }
+            break;
+        case St::Line:
+            if (c == '\n')
+                st = St::Code;
+            else
+                out[i] = ' ';
+            break;
+        case St::Block:
+            if (c == '*' && n == '/') {
+                st = St::Code;
+                out[i] = out[i + 1] = ' ';
+                ++i;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+        case St::Str:
+            if (c == '\\' && n != '\0') {
+                out[i] = out[i + 1] = ' ';
+                ++i;
+            } else if (c == '"') {
+                st = St::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+        case St::Chr:
+            if (c == '\\' && n != '\0') {
+                out[i] = out[i + 1] = ' ';
+                ++i;
+            } else if (c == '\'') {
+                st = St::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+std::vector<Diag>
+lintSources(const std::vector<SourceFile> &sources)
+{
+    DeclMap decls;
+    std::vector<std::string> views;
+    views.reserve(sources.size());
+    for (const SourceFile &src : sources) {
+        views.push_back(codeView(src.text));
+        collectUnorderedDecls(src, views.back(), decls);
+    }
+
+    std::vector<Diag> all;
+    for (size_t i = 0; i < sources.size(); ++i) {
+        const SourceFile &src = sources[i];
+        const std::string &code = views[i];
+        std::string scoped = scopedPath(src.path);
+
+        std::vector<Diag> file_diags;
+        if (inDeterministicScope(scoped)) {
+            checkNondet(src, code, file_diags);
+            checkPtrOrder(src, code, file_diags);
+        }
+        if (inModelDir(scoped))
+            checkUnorderedIter(src, code, decls, file_diags);
+        if (isHeaderPath(scoped))
+            checkHeader(src, code, file_diags);
+        std::string base =
+            scoped.substr(scoped.find_last_of('/') + 1);
+        if (startsWith(scoped, "bench/") &&
+            startsWith(base, "bench_") && endsWith(base, ".cc"))
+            checkBench(src, code, file_diags);
+
+        AllowSet allows = collectAllows(src.path, src.text);
+        for (Diag &d : file_diags)
+            if (!allows.allows(d.line, d.rule))
+                all.push_back(std::move(d));
+        for (Diag &d : allows.malformed)
+            all.push_back(std::move(d));
+    }
+
+    std::sort(all.begin(), all.end(),
+              [](const Diag &a, const Diag &b) {
+                  return std::tie(a.file, a.line, a.rule, a.msg) <
+                         std::tie(b.file, b.line, b.rule, b.msg);
+              });
+    return all;
+}
+
+std::vector<std::string>
+discoverFiles(const std::string &root)
+{
+    static const char *const kDirs[] = {"src", "bench", "tools",
+                                        "tests", "examples"};
+    static const char *const kExts[] = {".cc", ".hh", ".h", ".cpp"};
+    std::vector<std::string> out;
+    for (const char *dir : kDirs) {
+        fs::path base = fs::path(root) / dir;
+        if (!fs::exists(base))
+            continue;
+        for (const auto &entry :
+             fs::recursive_directory_iterator(base)) {
+            if (!entry.is_regular_file())
+                continue;
+            std::string rel =
+                fs::relative(entry.path(), root).generic_string();
+            if (rel.find("lint_fixtures") != std::string::npos)
+                continue;
+            if (rel.find("/build") != std::string::npos ||
+                startsWith(rel, "build"))
+                continue;
+            bool keep = false;
+            for (const char *ext : kExts)
+                keep = keep || endsWith(rel, ext);
+            if (keep)
+                out.push_back(rel);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<Diag>
+lintPaths(const std::string &root,
+          const std::vector<std::string> &rel_paths)
+{
+    std::vector<SourceFile> sources;
+    sources.reserve(rel_paths.size());
+    for (const std::string &rel : rel_paths) {
+        std::ifstream in(fs::path(root) / rel, std::ios::binary);
+        if (!in) {
+            return {{rel, 0, "lint-allow",
+                     "cannot read file (bad path?)"}};
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        sources.push_back({rel, buf.str()});
+    }
+    return lintSources(sources);
+}
+
+} // namespace mdp::lint

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Core of mdp_lint, the repo-specific determinism and hygiene linter.
+ *
+ * The linter is deliberately token-level (no full C++ parse): every
+ * rule it enforces is a *repo convention* chosen to be mechanically
+ * recognizable, so the implementation stays small enough to audit and
+ * fast enough to gate CI.  Rules:
+ *
+ *   nondet-source          Banned nondeterminism sources (std::rand,
+ *                          random_device, <random> engines, wall-clock
+ *                          reads, getpid, thread ids) in src/ and
+ *                          bench/.  All randomness must flow through
+ *                          base/random.hh with an explicit seed.
+ *   ptr-order              Ordered containers or comparators keyed on
+ *                          pointer values (std::map<T *, ...>,
+ *                          std::less<T *>) in src/ and bench/:
+ *                          pointer order varies run to run.
+ *   unordered-iter         Iteration (range-for or .begin()) over a
+ *                          std::unordered_{map,set} in the model
+ *                          directories src/{mdp,ooo,window,
+ *                          multiscalar,trace,workloads}.  Iteration
+ *                          order is implementation-defined and leaks
+ *                          into state, stats, and reports; use an
+ *                          ordered container or a sorted drain
+ *                          (base/ordered.hh).
+ *   header-guard           Headers must carry the canonical include
+ *                          guard MDP_<PATH>_HH (no #pragma once).
+ *   using-namespace-header No `using namespace` in headers.
+ *   bench-discipline       Every bench/bench_*.cc (except
+ *                          google-benchmark suites) must acquire
+ *                          workloads via cachedContext()/
+ *                          ExperimentRunner and finish through
+ *                          finishBench().
+ *   lint-allow             A malformed suppression comment (missing
+ *                          rule or justification).
+ *
+ * Suppression: `// mdp-lint: allow(<rule>): <justification>` silences
+ * <rule> on its own line and the following line.  The justification
+ * is mandatory; an allow without one is itself a diagnostic.
+ *
+ * Paths under tests/lint_fixtures/ are scoped as if that prefix were
+ * absent, so fixtures exercise path-scoped rules (e.g. a fixture at
+ * tests/lint_fixtures/src/mdp/x.cc is linted as src/mdp/x.cc).
+ */
+
+#ifndef MDP_TOOLS_LINT_CORE_HH
+#define MDP_TOOLS_LINT_CORE_HH
+
+#include <string>
+#include <vector>
+
+namespace mdp::lint
+{
+
+/** One finding: file, 1-based line, rule id, human message. */
+struct Diag {
+    std::string file;
+    int line = 0;
+    std::string rule;
+    std::string msg;
+};
+
+/** An in-memory source file (path is root-relative, '/'-separated). */
+struct SourceFile {
+    std::string path;
+    std::string text;
+};
+
+/** The rule ids the linter can emit (sorted). */
+std::vector<std::string> ruleNames();
+
+/** Canonical include guard for a root-relative header path. */
+std::string expectedGuard(const std::string &rel_path);
+
+/**
+ * Blank out comments and string/character literals, preserving the
+ * line structure, so token scans cannot match prose or literals.
+ */
+std::string codeView(const std::string &text);
+
+/**
+ * Lint a set of sources as one unit.  Unordered-container
+ * declarations are collected per directory across the whole set, so
+ * a member declared in foo.hh is recognized when foo.cc iterates it.
+ * Diagnostics come back sorted by (file, line, rule).
+ */
+std::vector<Diag> lintSources(const std::vector<SourceFile> &sources);
+
+/**
+ * Discover the default lint set under a repo root: every .cc/.hh/.h/
+ * .cpp file in src/, bench/, tools/, tests/, and examples/, skipping
+ * tests/lint_fixtures (deliberate violations) and build trees.
+ * Returned paths are root-relative and sorted.
+ */
+std::vector<std::string> discoverFiles(const std::string &root);
+
+/** Read the given root-relative paths and lint them. */
+std::vector<Diag> lintPaths(const std::string &root,
+                            const std::vector<std::string> &rel_paths);
+
+} // namespace mdp::lint
+
+#endif // MDP_TOOLS_LINT_CORE_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * mdp_lint -- the repo's determinism and hygiene gate.
+ *
+ * Usage:
+ *   mdp_lint [--root DIR] [file...]
+ *
+ * With no files, lints the default set (src/, bench/, tools/,
+ * tests/, examples/ minus tests/lint_fixtures).  Paths are
+ * interpreted relative to --root (default: current directory).
+ * Exits 0 when clean, 1 when any diagnostic fires, 2 on usage or
+ * I/O errors.  See tools/lint_core.hh for the rule set and the
+ * `// mdp-lint: allow(<rule>): <why>` suppression syntax.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lint_core.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+            root = argv[++i];
+        } else if (std::strcmp(argv[i], "--list-rules") == 0) {
+            for (const std::string &r : mdp::lint::ruleNames())
+                std::printf("%s\n", r.c_str());
+            return 0;
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            std::printf("usage: mdp_lint [--root DIR] "
+                        "[--list-rules] [file...]\n");
+            return 0;
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr, "mdp_lint: unknown option %s\n",
+                         argv[i]);
+            return 2;
+        } else {
+            std::string f = argv[i];
+            // Accept paths given with the root prefix attached.
+            if (f.rfind(root + "/", 0) == 0)
+                f = f.substr(root.size() + 1);
+            files.push_back(f);
+        }
+    }
+
+    if (files.empty())
+        files = mdp::lint::discoverFiles(root);
+    if (files.empty()) {
+        std::fprintf(stderr,
+                     "mdp_lint: no lintable files under %s\n",
+                     root.c_str());
+        return 2;
+    }
+
+    std::vector<mdp::lint::Diag> diags =
+        mdp::lint::lintPaths(root, files);
+    for (const mdp::lint::Diag &d : diags)
+        std::printf("%s:%d: [%s] %s\n", d.file.c_str(), d.line,
+                    d.rule.c_str(), d.msg.c_str());
+    if (diags.empty()) {
+        std::printf("mdp_lint: %zu files clean\n", files.size());
+        return 0;
+    }
+    std::fprintf(stderr, "mdp_lint: %zu diagnostic(s) in %zu files\n",
+                 diags.size(), files.size());
+    return 1;
+}
