@@ -29,8 +29,19 @@ mdp_add_bench(bench_ablation_distributed)
 mdp_add_bench(bench_ablation_vsync)
 mdp_add_bench(bench_ablation_warmstart)
 
-add_executable(bench_micro_structures ${MDP_BENCH_DIR}/bench_micro_structures.cc)
-target_link_libraries(bench_micro_structures
-    PRIVATE mdp_harness benchmark::benchmark)
-set_target_properties(bench_micro_structures PROPERTIES
-    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+# Microbenchmarks: deterministic kernels over the hot structures and
+# cycle loops, reporting per-kernel wall time as micro_* phases in the
+# standard JSON artifact (tools/bench_summary.py --micro / --compare).
+# The micro_ prefix keeps them out of the bench_* shape-check globs.
+function(mdp_add_micro name)
+    add_executable(${name} ${MDP_BENCH_DIR}/micro/${name}.cc)
+    target_link_libraries(${name} PRIVATE mdp_harness)
+    target_include_directories(${name} PRIVATE ${MDP_BENCH_DIR})
+    set_target_properties(${name} PROPERTIES
+        RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+mdp_add_micro(micro_mdpt)
+mdp_add_micro(micro_mdst)
+mdp_add_micro(micro_oracle)
+mdp_add_micro(micro_model_cycle)

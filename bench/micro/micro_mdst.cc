@@ -1,0 +1,110 @@
+/**
+ * @file
+ * MDST pool kernels: allocate/free cycling, allocation under pressure
+ * (every slot full -> the indexed full-entry scavenge replaces what
+ * used to be a linear scan per allocation), and the waiting-load probe
+ * the release path performs.
+ */
+
+#include <vector>
+
+#include "mdp/mdst.hh"
+#include "micro_common.hh"
+
+using namespace mdp;
+
+namespace
+{
+
+uint64_t
+allocFreeKernel()
+{
+    Mdst m(64);
+    LoadId displaced;
+    uint64_t sum = 0;
+    for (uint64_t it = 0; it < 400000; ++it) {
+        const uint32_t idx = m.allocate(
+            0x10 + (it & 31), 0x20 + (it & 31), it,
+            static_cast<LoadId>(it & 0xFFFF), it, false, displaced);
+        sum = mixChecksum(sum, idx);
+        sum = mixChecksum(sum, displaced);
+        m.free(idx);
+    }
+    return mixChecksum(sum, m.stats().allocations);
+}
+
+uint64_t
+forcedEvictKernel(size_t pool)
+{
+    // Keep the pool full of waiting entries: every allocation must
+    // steal the LRU one (the last-resort victim of section 4.4.2),
+    // which used to be a stamp scan of the whole pool per allocation.
+    Mdst m(pool);
+    LoadId displaced;
+    uint64_t sum = 0;
+    for (uint64_t it = 0; it < 200000; ++it) {
+        const uint32_t idx = m.allocate(
+            0x10 + it, 0x20 + it, it, static_cast<LoadId>(it & 0xFFFF),
+            it, false, displaced);
+        sum = mixChecksum(sum, idx);
+        sum = mixChecksum(sum, displaced);
+    }
+    return mixChecksum(sum, m.stats().forcedEvictions);
+}
+
+uint64_t
+fullScavengeKernel()
+{
+    Mdst m(64);
+    LoadId displaced;
+    uint64_t sum = 0;
+    // Allocate full entries only: once the pool fills, every further
+    // allocation must reclaim a full entry (section 4.4.2's preferred
+    // victim), exercising the scavenge index on each iteration.
+    for (uint64_t it = 0; it < 400000; ++it) {
+        const uint32_t idx =
+            m.allocate(0x10 + (it & 127), 0x20 + (it & 127), it,
+                       kNoLoad, it, true, displaced);
+        sum = mixChecksum(sum, idx);
+        sum = mixChecksum(sum, displaced);
+    }
+    return mixChecksum(sum, m.stats().fullScavenges);
+}
+
+uint64_t
+waitingForKernel()
+{
+    Mdst m(64);
+    LoadId displaced;
+    for (uint64_t i = 0; i < 64; ++i)
+        m.allocate(0x10 + i, 0x20 + i, i, static_cast<LoadId>(i & 7),
+                   i, false, displaced);
+    uint64_t sum = 0;
+    std::vector<uint32_t> out;
+    for (uint64_t it = 0; it < 400000; ++it) {
+        out.clear();
+        m.waitingFor(static_cast<LoadId>(it & 7), out);
+        sum = mixChecksum(sum, out.size());
+        for (uint32_t idx : out)
+            sum = mixChecksum(sum, idx);
+    }
+    return sum;
+}
+
+} // namespace
+
+int
+main()
+{
+    MicroSuite suite("micro_mdst",
+                     "MDST pool replacement and probe paths "
+                     "(Moshovos et al., ISCA'97, section 4.4.2)");
+
+    suite.kernel("mdst_alloc_free", allocFreeKernel);
+    suite.kernel("mdst_forced_evict_1024",
+                 [] { return forcedEvictKernel(1024); });
+    suite.kernel("mdst_full_scavenge", fullScavengeKernel);
+    suite.kernel("mdst_waiting_for", waitingForKernel);
+
+    return suite.finish();
+}

@@ -1,9 +1,16 @@
 /**
  * @file
  * LRU ordering for fully-associative or set-associative table
- * replacement.  Tracks a recency stamp per entry; victim selection is
- * O(n) over a set, which is fine for the small structures (tens to a
- * few thousand entries) modelled here.
+ * replacement.  Tracks a recency stamp per entry plus an intrusive
+ * doubly-linked recency list, so whole-pool victim selection is O(1)
+ * (the MDPT/MDST allocate on every recorded mis-speculation, which
+ * makes the old O(n) scan a measured hot spot at large table sizes).
+ *
+ * The list reproduces the stamp scan's choice exactly: entries start
+ * in index order (so never-touched entries win lowest-index-first,
+ * like the first-minimal-stamp scan), and each touch moves an entry
+ * to the most-recent end.  Stamps are retained because some owners
+ * (the MDST full-entry scavenge) order subsets of the pool by recency.
  */
 
 #ifndef MDP_BASE_LRU_HH
@@ -24,14 +31,20 @@ class LruState
 {
   public:
     explicit LruState(size_t num_entries = 0)
-        : stamps(num_entries, 0)
-    {}
+    {
+        resize(num_entries);
+    }
 
     void
     resize(size_t num_entries)
     {
         stamps.assign(num_entries, 0);
         tick = 0;
+        prev.assign(num_entries, kNil);
+        next.assign(num_entries, kNil);
+        head = tail = kNil;
+        for (size_t i = 0; i < num_entries; ++i)
+            linkBack(i);
     }
 
     size_t size() const { return stamps.size(); }
@@ -42,6 +55,10 @@ class LruState
     {
         mdp_assert(index < stamps.size(), "LruState::touch out of range");
         stamps[index] = ++tick;
+        if (index != tail) {
+            unlink(index);
+            linkBack(index);
+        }
     }
 
     /**
@@ -53,6 +70,8 @@ class LruState
     {
         mdp_assert(begin < end && end <= stamps.size(),
                    "LruState::victim bad range [%zu, %zu)", begin, end);
+        if (begin == 0 && end == stamps.size())
+            return head;
         size_t best = begin;
         uint64_t best_stamp = stamps[begin];
         for (size_t i = begin + 1; i < end; ++i) {
@@ -64,13 +83,51 @@ class LruState
         return best;
     }
 
-    /** Victim over the whole pool. */
-    size_t victim() const { return victim(0, stamps.size()); }
+    /** Victim over the whole pool: the recency-list head, O(1). */
+    size_t
+    victim() const
+    {
+        mdp_assert(head != kNil, "LruState::victim on empty pool");
+        return head;
+    }
 
     uint64_t stamp(size_t index) const { return stamps[index]; }
 
   private:
+    static constexpr size_t kNil = static_cast<size_t>(-1);
+
+    void
+    linkBack(size_t index)
+    {
+        prev[index] = tail;
+        next[index] = kNil;
+        if (tail != kNil)
+            next[tail] = index;
+        else
+            head = index;
+        tail = index;
+    }
+
+    void
+    unlink(size_t index)
+    {
+        size_t p = prev[index];
+        size_t n = next[index];
+        if (p != kNil)
+            next[p] = n;
+        else
+            head = n;
+        if (n != kNil)
+            prev[n] = p;
+        else
+            tail = p;
+    }
+
     std::vector<uint64_t> stamps;
+    std::vector<size_t> prev;
+    std::vector<size_t> next;
+    size_t head = kNil;
+    size_t tail = kNil;
     uint64_t tick = 0;
 };
 

@@ -40,6 +40,21 @@ phaseSeconds()
     return {phaseMap().begin(), phaseMap().end()};
 }
 
+std::vector<std::pair<std::string, double>>
+phaseSecondsSince(
+    const std::vector<std::pair<std::string, double>> &snapshot)
+{
+    std::map<std::string, double> base(snapshot.begin(), snapshot.end());
+    std::vector<std::pair<std::string, double>> out;
+    for (const auto &[phase, seconds] : phaseSeconds()) {
+        auto it = base.find(phase);
+        double delta = seconds - (it == base.end() ? 0.0 : it->second);
+        if (delta > 0.0)
+            out.emplace_back(phase, delta);
+    }
+    return out;
+}
+
 void
 resetPhaseSeconds()
 {

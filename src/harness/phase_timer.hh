@@ -23,10 +23,28 @@ namespace mdp
 /** Add @p seconds to @p phase's total.  Thread-safe. */
 void addPhaseSeconds(const std::string &phase, double seconds);
 
-/** All accumulated (phase, seconds), sorted by phase name. */
+/**
+ * All accumulated (phase, seconds), sorted by phase name.
+ *
+ * Accumulation contract: totals are process-wide and monotone -- they
+ * are NEVER reset implicitly, not even when an ExperimentRunner is
+ * constructed or reused.  A process that runs several experiments and
+ * calls finishBench() once therefore reports the union of all its
+ * phases, which is exactly what the bench artifacts want.  Callers
+ * that need per-section deltas must take a snapshot before the section
+ * and subtract via phaseSecondsSince(); only tests (or a process
+ * re-reporting from scratch) may call resetPhaseSeconds().
+ */
 std::vector<std::pair<std::string, double>> phaseSeconds();
 
-/** Reset all totals (tests). */
+/**
+ * Per-phase seconds accumulated since @p snapshot (an earlier
+ * phaseSeconds() result).  Phases whose delta is zero are omitted.
+ */
+std::vector<std::pair<std::string, double>> phaseSecondsSince(
+    const std::vector<std::pair<std::string, double>> &snapshot);
+
+/** Reset all totals (tests and fresh re-reports only; see above). */
 void resetPhaseSeconds();
 
 /** RAII: accumulates the enclosed scope's wall time into a phase. */

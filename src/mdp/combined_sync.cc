@@ -1,5 +1,7 @@
 #include "mdp/combined_sync.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 #include "base/random.hh"
 
@@ -9,7 +11,8 @@ namespace mdp
 CombinedSyncUnit::CombinedSyncUnit(const SyncUnitConfig &config)
     : cfg(config), mdpt(config),
       slots(config.numEntries,
-            std::vector<Slot>(config.slotsPerEntry))
+            std::vector<Slot>(config.slotsPerEntry)),
+      rowValid(config.numEntries, 0)
 {
     mdp_assert(config.slotsPerEntry > 0,
                "combined organization needs at least one slot per entry");
@@ -78,7 +81,7 @@ CombinedSyncUnit::allocSlot(uint32_t entry_idx)
             stale = &s;
     }
     if (stale) {
-        *stale = Slot{};
+        invalidateSlot(entry_idx, *stale);
         return *stale;
     }
     // Steal the first waiting slot; its load must be released.
@@ -88,8 +91,17 @@ CombinedSyncUnit::allocSlot(uint32_t entry_idx)
         ++st.evictionReleases;
         detach(victim);
     }
-    victim = Slot{};
+    invalidateSlot(entry_idx, victim);
     return victim;
+}
+
+void
+CombinedSyncUnit::attach(uint32_t entry_idx, Slot &slot, LoadId ldid)
+{
+    slot.ldid = ldid;
+    Pending &p = pending[ldid];
+    ++p.count;
+    p.entries.push_back(entry_idx);
 }
 
 void
@@ -99,12 +111,20 @@ CombinedSyncUnit::detach(Slot &slot)
         return;
     auto it = pending.find(slot.ldid);
     if (it != pending.end()) {
-        if (it->second <= 1)
+        if (it->second.count <= 1)
             pending.erase(it);
         else
-            --it->second;
+            --it->second.count;
     }
     slot.ldid = kNoLoad;
+}
+
+void
+CombinedSyncUnit::invalidateSlot(uint32_t entry_idx, Slot &slot)
+{
+    if (slot.valid)
+        --rowValid[entry_idx];
+    slot = Slot{};
 }
 
 void
@@ -116,7 +136,7 @@ CombinedSyncUnit::clearSlots(uint32_t entry_idx)
             ++st.evictionReleases;
             detach(s);
         }
-        s = Slot{};
+        invalidateSlot(entry_idx, s);
     }
 }
 
@@ -160,19 +180,17 @@ CombinedSyncUnit::loadReady(Addr ldpc, Addr addr, uint64_t instance,
             // re-attach the current load.
             if (s->ldid != ldid)
                 detach(*s);
-            if (s->ldid == kNoLoad) {
-                s->ldid = ldid;
-                ++pending[ldid];
-            }
+            if (s->ldid == kNoLoad)
+                attach(idx, *s, ldid);
             res.wait = true;
         } else {
             Slot &ns = allocSlot(idx);
             ns.valid = true;
+            ++rowValid[idx];
             ns.full = false;
             ns.tag = tag;
-            ns.ldid = ldid;
             ns.storeId = 0;
-            ++pending[ldid];
+            attach(idx, ns, ldid);
             res.wait = true;
         }
     }
@@ -223,6 +241,7 @@ CombinedSyncUnit::storeReady(Addr stpc, Addr addr, uint64_t instance,
             // figure 4 parts (e)/(f)).
             Slot &ns = allocSlot(idx);
             ns.valid = true;
+            ++rowValid[idx];
             ns.full = true;
             ns.tag = tag;
             ns.ldid = kNoLoad;
@@ -251,7 +270,13 @@ CombinedSyncUnit::frontierRelease(LoadId ldid)
     auto it = pending.find(ldid);
     if (it == pending.end())
         return;
-    for (uint32_t e = 0; e < slots.size(); ++e) {
+    // Visit only the entries this load ever attached to, ascending and
+    // deduplicated -- the same order the full-table scan released in.
+    entryBuf = std::move(it->second.entries);
+    std::sort(entryBuf.begin(), entryBuf.end());
+    entryBuf.erase(std::unique(entryBuf.begin(), entryBuf.end()),
+                   entryBuf.end());
+    for (uint32_t e : entryBuf) {
         for (Slot &s : slots[e]) {
             if (s.valid && !s.full && s.ldid == ldid) {
                 // The predicted store never came: false dependence.
@@ -262,31 +287,34 @@ CombinedSyncUnit::frontierRelease(LoadId ldid)
                     }
                 }
                 detach(s);
-                s = Slot{};
+                invalidateSlot(e, s);
                 ++st.frontierReleases;
             }
         }
     }
+    entryBuf.clear();
     pending.erase(ldid);
 }
 
 void
 CombinedSyncUnit::squash(LoadId min_ldid, uint64_t min_store_id)
 {
-    for (auto &row : slots) {
-        for (Slot &s : row) {
+    for (uint32_t e = 0; e < slots.size(); ++e) {
+        if (rowValid[e] == 0)
+            continue;
+        for (Slot &s : slots[e]) {
             if (!s.valid)
                 continue;
             if (!s.full && s.ldid != kNoLoad && s.ldid >= min_ldid) {
                 detach(s);
-                s = Slot{};
+                invalidateSlot(e, s);
                 ++st.squashFrees;
             } else if (s.full && s.storeId >= min_store_id) {
                 // Only signals from stores that were themselves
                 // squashed are dropped; those stores re-execute and
                 // re-signal.  Signals from surviving stores must be
                 // kept, or the re-executed loads would starve.
-                s = Slot{};
+                invalidateSlot(e, s);
                 ++st.squashFrees;
             }
         }
@@ -307,6 +335,7 @@ CombinedSyncUnit::reset()
     for (auto &row : slots)
         for (Slot &s : row)
             s = Slot{};
+    std::fill(rowValid.begin(), rowValid.end(), 0);
     pending.clear();
     releasedQueue.clear();
     st = SyncStats{};

@@ -79,13 +79,28 @@ class CombinedSyncUnit : public DepSynchronizer
     bool pathMatches(const Mdpt::Entry &e, uint64_t load_instance,
                      const TaskPcSource *tps) const;
 
+    /** Per waiting load: slot count plus the entries holding them.
+     *  `entries` may carry stale or duplicate indices (detach does not
+     *  prune it); frontierRelease sorts, dedupes and re-checks. */
+    struct Pending
+    {
+        uint32_t count = 0;
+        std::vector<uint32_t> entries;
+    };
+
     Slot *findSlot(uint32_t entry_idx, uint64_t tag);
 
     /** Get a free slot in the entry, scavenging per section 4.4.2. */
     Slot &allocSlot(uint32_t entry_idx);
 
+    /** Bind a load to a slot, tracking it for frontierRelease. */
+    void attach(uint32_t entry_idx, Slot &slot, LoadId ldid);
+
     /** Detach a waiting load from a slot (no wakeup bookkeeping). */
     void detach(Slot &slot);
+
+    /** Invalidate a slot, keeping the row's valid count coherent. */
+    void invalidateSlot(uint32_t entry_idx, Slot &slot);
 
     /** Free every slot of an entry, releasing waiting loads. */
     void clearSlots(uint32_t entry_idx);
@@ -93,9 +108,11 @@ class CombinedSyncUnit : public DepSynchronizer
     SyncUnitConfig cfg;
     Mdpt mdpt;
     std::vector<std::vector<Slot>> slots;   ///< parallel to MDPT entries
-    std::unordered_map<LoadId, uint32_t> pending; ///< ldid -> #slots
+    std::vector<uint32_t> rowValid;         ///< valid slots per entry
+    std::unordered_map<LoadId, Pending> pending;
     std::vector<LoadId> releasedQueue;
     std::vector<uint32_t> matchBuf;
+    std::vector<uint32_t> entryBuf;
     SyncStats st;
 };
 

@@ -20,6 +20,11 @@ Mdpt::Mdpt(const SyncUnitConfig &config)
     : cfg(config), entries(config.numEntries), lru(config.numEntries)
 {
     mdp_assert(config.numEntries > 0, "MDPT must have at least one entry");
+    // byLoad/byStore are deliberately NOT pre-sized: their bucket
+    // history feeds equal_range order, which feeds the match order the
+    // sync units touch/weaken entries in.  byPair's layout is never
+    // observed, so its capacity hint is free.
+    byPair.reserve(config.numEntries);
     for (auto &e : entries) {
         e.counter = SatCounter(cfg.counterBits);
         e.pathStable = SatCounter(2);
@@ -83,11 +88,10 @@ Mdpt::recordMisSpeculation(Addr ldpc, Addr stpc, uint32_t dist,
 {
     AllocResult res;
 
-    auto it = byPair.find(pairKey(ldpc, stpc));
-    if (it != byPair.end() && entries[it->second].valid &&
-        entries[it->second].ldpc == ldpc &&
-        entries[it->second].stpc == stpc) {
-        uint32_t idx = it->second;
+    const uint32_t *hit = byPair.find(pairKey(ldpc, stpc));
+    if (hit && entries[*hit].valid && entries[*hit].ldpc == ldpc &&
+        entries[*hit].stpc == stpc) {
+        uint32_t idx = *hit;
         Entry &e = entries[idx];
         // The dynamic behavior of the edge may have changed; adopt a
         // new distance only once the old one has lost confidence.

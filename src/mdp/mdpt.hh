@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/flat_hash.hh"
 #include "base/lru.hh"
 #include "base/sat_counter.hh"
 #include "mdp/config.hh"
@@ -144,7 +145,9 @@ class Mdpt
     LruState lru;
     std::unordered_multimap<Addr, uint32_t> byLoad;
     std::unordered_multimap<Addr, uint32_t> byStore;
-    std::unordered_map<uint64_t, uint32_t> byPair;
+    /** (ldpc, stpc) -> entry; never iterated, so flat open addressing
+     *  is safe and saves a node allocation per tracked edge. */
+    FlatHashMap<uint64_t, uint32_t> byPair;
     MdptStats st;
 };
 

@@ -1,5 +1,7 @@
 #include "mdp/mdst.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 #include "base/random.hh"
 
@@ -7,9 +9,11 @@ namespace mdp
 {
 
 Mdst::Mdst(size_t num_entries)
-    : entries(num_entries), lru(num_entries)
+    : entries(num_entries), nextWaiting(num_entries, kNoIndex),
+      lru(num_entries)
 {
     mdp_assert(num_entries > 0, "MDST must have at least one entry");
+    freeSet.assign(num_entries);
 }
 
 uint64_t
@@ -21,14 +25,38 @@ Mdst::key(Addr ldpc, Addr stpc, uint64_t instance)
 int
 Mdst::find(Addr ldpc, Addr stpc, uint64_t instance) const
 {
-    auto it = index.find(key(ldpc, stpc, instance));
-    if (it == index.end())
+    const uint32_t *idx = index.find(key(ldpc, stpc, instance));
+    if (!idx)
         return -1;
-    const Entry &e = entries[it->second];
+    const Entry &e = entries[*idx];
     // Guard against (unlikely) key collisions.
     if (e.ldpc == ldpc && e.stpc == stpc && e.instance == instance)
-        return static_cast<int>(it->second);
+        return static_cast<int>(*idx);
     return -1;
+}
+
+void
+Mdst::untrack(uint32_t idx)
+{
+    const Entry &e = entries[idx];
+    if (e.full) {
+        fullSet.erase({lru.stamp(idx), idx});
+    } else if (e.ldid != kNoLoad) {
+        uint32_t *head = waitHead.find(e.ldid);
+        mdp_assert(head, "waiting entry missing from its load chain");
+        if (*head == idx) {
+            if (nextWaiting[idx] == kNoIndex)
+                waitHead.erase(e.ldid);
+            else
+                *head = nextWaiting[idx];
+        } else {
+            uint32_t prev = *head;
+            while (nextWaiting[prev] != idx)
+                prev = nextWaiting[prev];
+            nextWaiting[prev] = nextWaiting[idx];
+        }
+        nextWaiting[idx] = kNoIndex;
+    }
 }
 
 uint32_t
@@ -37,43 +65,28 @@ Mdst::allocate(Addr ldpc, Addr stpc, uint64_t instance, LoadId ldid,
 {
     displaced_load = kNoLoad;
 
-    // Prefer an invalid entry.
-    int victim = -1;
-    if (index.size() < entries.size()) {
-        for (uint32_t i = 0; i < entries.size(); ++i) {
-            if (!entries[i].valid) {
-                victim = static_cast<int>(i);
-                break;
-            }
-        }
-    }
-
-    // Else scavenge the LRU full entry (its sync already completed
-    // from the store side and may never be consumed).
-    if (victim < 0) {
-        uint64_t best_stamp = UINT64_MAX;
-        for (uint32_t i = 0; i < entries.size(); ++i) {
-            if (entries[i].valid && entries[i].full &&
-                lru.stamp(i) < best_stamp) {
-                best_stamp = lru.stamp(i);
-                victim = static_cast<int>(i);
-            }
-        }
-        if (victim >= 0)
-            ++st.fullScavenges;
-    }
-
-    // Last resort: steal the LRU waiting entry; the owner must release
-    // its load (incomplete synchronization, section 4.4.2).
-    if (victim < 0) {
-        victim = static_cast<int>(lru.victim());
+    // Prefer an invalid entry (lowest index first, as the scan did).
+    uint32_t victim;
+    if (!freeSet.empty()) {
+        victim = freeSet.popLowest();
+    } else if (!fullSet.empty()) {
+        // Else scavenge the LRU full entry (its sync already completed
+        // from the store side and may never be consumed).
+        victim = fullSet.begin()->second;
+        ++st.fullScavenges;
+    } else {
+        // Last resort: steal the LRU waiting entry; the owner must
+        // release its load (incomplete synchronization, section 4.4.2).
+        victim = static_cast<uint32_t>(lru.victim());
         displaced_load = entries[victim].ldid;
         ++st.forcedEvictions;
     }
 
     Entry &e = entries[victim];
-    if (e.valid)
+    if (e.valid) {
+        untrack(victim);
         index.erase(key(e.ldpc, e.stpc, e.instance));
+    }
     e.ldpc = ldpc;
     e.stpc = stpc;
     e.instance = instance;
@@ -81,10 +94,51 @@ Mdst::allocate(Addr ldpc, Addr stpc, uint64_t instance, LoadId ldid,
     e.stid = stid;
     e.full = full;
     e.valid = true;
-    index[key(ldpc, stpc, instance)] = static_cast<uint32_t>(victim);
-    lru.touch(static_cast<size_t>(victim));
+    index[key(ldpc, stpc, instance)] = victim;
+    lru.touch(victim);
+    if (full)
+        fullSet.insert({lru.stamp(victim), victim});
+    else if (ldid != kNoLoad)
+        trackWaiting(victim, ldid);
     ++st.allocations;
-    return static_cast<uint32_t>(victim);
+    return victim;
+}
+
+void
+Mdst::trackWaiting(uint32_t idx, LoadId ldid)
+{
+    const uint32_t *head = waitHead.find(ldid);
+    nextWaiting[idx] = head ? *head : kNoIndex;
+    waitHead[ldid] = idx;
+}
+
+void
+Mdst::setLdid(uint32_t idx, LoadId ldid)
+{
+    Entry &e = entries[idx];
+    if (e.ldid == ldid)
+        return;
+    bool tracked = e.valid && !e.full;
+    if (tracked)
+        untrack(idx);
+    e.ldid = ldid;
+    if (tracked && ldid != kNoLoad)
+        trackWaiting(idx, ldid);
+}
+
+void
+Mdst::signal(uint32_t idx)
+{
+    Entry &e = entries[idx];
+    if (e.full)
+        return;
+    if (e.valid) {
+        untrack(idx);
+        e.full = true;
+        fullSet.insert({lru.stamp(idx), idx});
+    } else {
+        e.full = true;
+    }
 }
 
 void
@@ -93,21 +147,26 @@ Mdst::free(uint32_t idx)
     Entry &e = entries[idx];
     if (!e.valid)
         return;
+    untrack(idx);
     index.erase(key(e.ldpc, e.stpc, e.instance));
     e.valid = false;
     e.full = false;
     e.ldid = kNoLoad;
+    freeSet.insert(idx);
     ++st.frees;
 }
 
 void
 Mdst::waitingFor(LoadId ldid, std::vector<uint32_t> &out) const
 {
-    for (uint32_t i = 0; i < entries.size(); ++i) {
-        const Entry &e = entries[i];
-        if (e.valid && !e.full && e.ldid == ldid)
-            out.push_back(i);
-    }
+    size_t first = out.size();
+    const uint32_t *head = waitHead.find(ldid);
+    for (uint32_t i = head ? *head : kNoIndex; i != kNoIndex;
+         i = nextWaiting[i])
+        out.push_back(i);
+    // The chain replaces an ascending scan of the pool; preserve its
+    // output order (owners free/weaken in this order).
+    std::sort(out.begin() + first, out.end());
 }
 
 void
@@ -116,6 +175,10 @@ Mdst::reset()
     for (auto &e : entries)
         e = Entry{};
     index.clear();
+    freeSet.assign(entries.size());
+    fullSet.clear();
+    waitHead.clear();
+    nextWaiting.assign(entries.size(), kNoIndex);
     lru.resize(entries.size());
     st = MdstStats{};
 }

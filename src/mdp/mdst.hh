@@ -13,9 +13,12 @@
 #define MDP_MDP_MDST_HH
 
 #include <cstdint>
-#include <unordered_map>
+#include <set>
+#include <utility>
 #include <vector>
 
+#include "base/flat_hash.hh"
+#include "base/free_list.hh"
 #include "base/lru.hh"
 #include "mdp/config.hh"
 #include "trace/microop.hh"
@@ -44,6 +47,11 @@ struct MdstStats
  * entry, then scavenge an entry whose full/empty flag is already full
  * (its synchronization will never be consumed), and only then steal the
  * LRU waiting entry (whose load the owner must release).
+ *
+ * Each of those choices used to be a linear scan of the pool per
+ * allocation; they are now indexed (an ordered free list, a
+ * recency-ordered set of full entries, and the O(1) LRU list), chosen
+ * to reproduce the scans' picks exactly -- see tests/test_struct_equiv.
  */
 class Mdst
 {
@@ -74,14 +82,17 @@ class Mdst
                       LoadId &displaced_load);
 
     const Entry &entry(uint32_t idx) const { return entries[idx]; }
-    Entry &entry(uint32_t idx) { return entries[idx]; }
+
+    /** Attach/detach the waiting load of an entry (kNoLoad detaches).
+     *  Mutation goes through the table so the waiting-load index stays
+     *  coherent; entries are otherwise read-only to owners. */
+    void setLdid(uint32_t idx, LoadId ldid);
+
+    /** Record the signalling store of an entry. */
+    void setStid(uint32_t idx, uint64_t stid) { entries[idx].stid = stid; }
 
     /** Set the full/empty flag of an entry to full. */
-    void
-    signal(uint32_t idx)
-    {
-        entries[idx].full = true;
-    }
+    void signal(uint32_t idx);
 
     void free(uint32_t idx);
 
@@ -106,10 +117,33 @@ class Mdst
     void reset();
 
   private:
+    /** Chain terminator / not-linked marker for nextWaiting. */
+    static constexpr uint32_t kNoIndex = UINT32_MAX;
+
     static uint64_t key(Addr ldpc, Addr stpc, uint64_t instance);
 
+    /** Drop entry @p idx from whichever side index tracks it. */
+    void untrack(uint32_t idx);
+
+    /** Link entry @p idx into the waiting chain of @p ldid. */
+    void trackWaiting(uint32_t idx, LoadId ldid);
+
     std::vector<Entry> entries;
-    std::unordered_map<uint64_t, uint32_t> index;
+    FlatHashMap<uint64_t, uint32_t> index;
+    /** Invalid entries; allocation prefers the lowest index, matching
+     *  the ascending invalid-entry scan it replaces.  A bitmap rather
+     *  than an ordered set: the common allocate/free cycle flips one
+     *  bit instead of rebalancing a tree. */
+    FreeIndexSet freeSet;
+    /** Valid full entries keyed (recency stamp, index): begin() is the
+     *  LRU full entry the scavenge pass used to scan for. */
+    std::set<std::pair<uint64_t, uint32_t>> fullSet;
+    /** Waiting (valid, empty, ldid != kNoLoad) entries by load: an
+     *  intrusive singly-linked chain per load threaded through
+     *  nextWaiting, so tracking an entry never allocates.  Chain order
+     *  is immaterial -- waitingFor() sorts its output. */
+    FlatHashMap<LoadId, uint32_t> waitHead;
+    std::vector<uint32_t> nextWaiting;
     LruState lru;
     MdstStats st;
 };

@@ -87,11 +87,11 @@ SplitSyncUnit::loadReady(Addr ldpc, Addr addr, uint64_t instance,
             else if (cfg.strengthenOnFullBypass)
                 mdpt.strengthen(idx);
         } else if (slot >= 0) {
-            Mdst::Entry &se = mdst.entry(slot);
+            const Mdst::Entry &se = mdst.entry(slot);
             if (se.ldid != ldid) {
                 if (se.ldid != kNoLoad)
                     unpend(se.ldid);
-                se.ldid = ldid;
+                mdst.setLdid(slot, ldid);
                 ++pending[ldid];
             }
             res.wait = true;
@@ -139,10 +139,9 @@ SplitSyncUnit::storeReady(Addr stpc, Addr addr, uint64_t instance,
             // Deliver the signal but keep the entry full (see the
             // combined organization): a squashed-and-reexecuted load
             // must still find the condition variable set.
-            Mdst::Entry &se = mdst.entry(slot);
-            LoadId waiting = se.ldid;
-            se.ldid = kNoLoad;
-            se.stid = store_id;
+            LoadId waiting = mdst.entry(slot).ldid;
+            mdst.setLdid(slot, kNoLoad);
+            mdst.setStid(slot, store_id);
             mdst.signal(slot);
             ++st.signalsDelivered;
             if (cfg.strengthenOnSyncSuccess)
@@ -153,7 +152,7 @@ SplitSyncUnit::storeReady(Addr stpc, Addr addr, uint64_t instance,
                     wakeups.push_back(waiting);
             }
         } else if (slot >= 0) {
-            mdst.entry(slot).stid = store_id;
+            mdst.setStid(slot, store_id);
         } else {
             LoadId displaced = kNoLoad;
             mdst.allocate(e.ldpc, e.stpc, tag, kNoLoad, store_id,

@@ -9,19 +9,18 @@ SeqNum
 Arb::loadExecuted(Addr addr, SeqNum load, uint32_t load_task)
 {
     SeqNum version = kNoSeq;
-    auto cit = committedVersion.find(addr);
-    if (cit != committedVersion.end())
-        version = cit->second;
+    if (const SeqNum *cv = committedVersion.find(addr))
+        version = *cv;
 
-    auto sit = inflightStores.find(addr);
-    if (sit != inflightStores.end()) {
-        for (SeqNum ss : sit->second) {
+    if (const auto *stores = inflightStores.find(addr)) {
+        for (SeqNum ss : *stores) {
             if (ss < load && (version == kNoSeq || ss > version))
                 version = ss;
         }
     }
 
     loads[addr].push_back({load, version, load_task});
+    ++numTrackedLoads;
     return version;
 }
 
@@ -29,9 +28,8 @@ SeqNum
 Arb::findViolator(Addr addr, SeqNum store, uint32_t store_task) const
 {
     SeqNum violator = kNoSeq;
-    auto lit = loads.find(addr);
-    if (lit != loads.end()) {
-        for (const LoadEntry &le : lit->second) {
+    if (const auto *les = loads.find(addr)) {
+        for (const LoadEntry &le : *les) {
             if (le.seq > store && le.task > store_task &&
                 (le.version == kNoSeq || le.version < store)) {
                 if (violator == kNoSeq || le.seq < violator)
@@ -53,10 +51,10 @@ Arb::storeExecuted(Addr addr, SeqNum store, uint32_t store_task)
 void
 Arb::refreshLoadVersion(Addr addr, SeqNum load, SeqNum version)
 {
-    auto lit = loads.find(addr);
-    if (lit == loads.end())
+    auto *les = loads.find(addr);
+    if (!les)
         return;
-    for (LoadEntry &le : lit->second) {
+    for (LoadEntry &le : *les) {
         if (le.seq == load &&
             (le.version == kNoSeq || le.version < version)) {
             le.version = version;
@@ -79,29 +77,27 @@ eraseIf(std::vector<T> &v, Pred pred)
 void
 Arb::commitLoad(Addr addr, SeqNum load)
 {
-    auto it = loads.find(addr);
-    if (it == loads.end())
+    auto *les = loads.find(addr);
+    if (!les)
         return;
-    eraseIf(it->second,
-            [load](const LoadEntry &le) { return le.seq == load; });
-    if (it->second.empty())
-        loads.erase(it);
+    size_t before = les->size();
+    eraseIf(*les, [load](const LoadEntry &le) { return le.seq == load; });
+    numTrackedLoads -= before - les->size();
+    if (les->empty())
+        loads.erase(addr);
 }
 
 void
 Arb::commitStore(Addr addr, SeqNum store)
 {
-    auto it = inflightStores.find(addr);
-    if (it != inflightStores.end()) {
-        eraseIf(it->second, [store](SeqNum s) { return s == store; });
-        if (it->second.empty())
-            inflightStores.erase(it);
+    if (auto *stores = inflightStores.find(addr)) {
+        eraseIf(*stores, [store](SeqNum s) { return s == store; });
+        if (stores->empty())
+            inflightStores.erase(addr);
     }
-    auto cit = committedVersion.find(addr);
-    if (cit == committedVersion.end() || cit->second == kNoSeq ||
-        cit->second < store) {
+    const SeqNum *cv = committedVersion.find(addr);
+    if (!cv || *cv == kNoSeq || *cv < store)
         committedVersion[addr] = store;
-    }
 }
 
 void
@@ -113,12 +109,12 @@ Arb::removeLoad(Addr addr, SeqNum load)
 void
 Arb::removeStore(Addr addr, SeqNum store)
 {
-    auto it = inflightStores.find(addr);
-    if (it == inflightStores.end())
+    auto *stores = inflightStores.find(addr);
+    if (!stores)
         return;
-    eraseIf(it->second, [store](SeqNum s) { return s == store; });
-    if (it->second.empty())
-        inflightStores.erase(it);
+    eraseIf(*stores, [store](SeqNum s) { return s == store; });
+    if (stores->empty())
+        inflightStores.erase(addr);
 }
 
 void
@@ -127,16 +123,7 @@ Arb::reset()
     loads.clear();
     inflightStores.clear();
     committedVersion.clear();
-}
-
-size_t
-Arb::trackedLoads() const
-{
-    size_t n = 0;
-    // mdp-lint: allow(unordered-iter): order-independent size sum.
-    for (const auto &[a, v] : loads)
-        n += v.size();
-    return n;
+    numTrackedLoads = 0;
 }
 
 } // namespace mdp

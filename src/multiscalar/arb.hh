@@ -11,9 +11,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "base/flat_hash.hh"
 #include "trace/microop.hh"
 
 namespace mdp
@@ -73,7 +73,7 @@ class Arb
     void reset();
 
     /** In-flight tracked loads (for tests / invariant checks). */
-    size_t trackedLoads() const;
+    size_t trackedLoads() const { return numTrackedLoads; }
 
   private:
     struct LoadEntry
@@ -83,9 +83,14 @@ class Arb
         uint32_t task;
     };
 
-    std::unordered_map<Addr, std::vector<LoadEntry>> loads;
-    std::unordered_map<Addr, std::vector<SeqNum>> inflightStores;
-    std::unordered_map<Addr, SeqNum> committedVersion;
+    // The committedVersion lookup alone is ~10% of a fig5 sweep's
+    // profile; none of these maps is ever iterated, so the flat
+    // open-addressed table is safe (and FlatHashMap could not leak
+    // an order anyway -- it has no iteration API).
+    FlatHashMap<Addr, std::vector<LoadEntry>> loads;
+    FlatHashMap<Addr, std::vector<SeqNum>> inflightStores;
+    FlatHashMap<Addr, SeqNum> committedVersion;
+    size_t numTrackedLoads = 0;
 };
 
 } // namespace mdp

@@ -14,7 +14,7 @@ MemorySystem::MemorySystem(const MultiscalarConfig &config)
     mdp_assert(cfg.blockBytes > 0 && cfg.bankBytes >= cfg.blockBytes,
                "bad cache geometry");
     linesPerBank = cfg.bankBytes / cfg.blockBytes;
-    tags.assign(cfg.numBanks(), std::vector<uint64_t>(linesPerBank, 0));
+    tags.assign(static_cast<size_t>(cfg.numBanks()) * linesPerBank, 0);
     bankFree.assign(cfg.numBanks(), 0);
 }
 
@@ -39,7 +39,8 @@ MemorySystem::access(Addr addr, uint64_t now, bool is_store)
 
     uint64_t start = std::max(now, bankFree[bank]);
     // Tag marker: line number + 1 so 0 stays "invalid".
-    bool hit = tags[bank][set] == line + 1;
+    uint64_t &tag = tags[static_cast<size_t>(bank) * linesPerBank + set];
+    bool hit = tag == line + 1;
 
     uint64_t done;
     if (hit) {
@@ -48,7 +49,7 @@ MemorySystem::access(Addr addr, uint64_t now, bool is_store)
         done = start + (is_store ? 1 : cfg.bankHitLatency);
     } else {
         ++numMisses;
-        tags[bank][set] = line + 1;
+        tag = line + 1;
         uint64_t bus_start = std::max(start, busFree);
         busFree = bus_start + cfg.busBusyPerMiss;
         bankFree[bank] = start + 2;
@@ -62,8 +63,7 @@ MemorySystem::access(Addr addr, uint64_t now, bool is_store)
 void
 MemorySystem::reset()
 {
-    for (auto &bank : tags)
-        std::fill(bank.begin(), bank.end(), 0);
+    std::fill(tags.begin(), tags.end(), 0);
     std::fill(bankFree.begin(), bankFree.end(), 0);
     busFree = 0;
     numHits = numMisses = 0;

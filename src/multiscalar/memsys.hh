@@ -48,8 +48,10 @@ class MemorySystem
 
     MultiscalarConfig cfg;
     unsigned linesPerBank;
-    /** Tag arrays, one direct-mapped array per bank (0 = invalid). */
-    std::vector<std::vector<uint64_t>> tags;
+    /** Direct-mapped tag arrays, flattened to one allocation indexed
+     *  bank * linesPerBank + set (0 = invalid): every access touches a
+     *  tag, and the flat layout avoids a second pointer chase. */
+    std::vector<uint64_t> tags;
     /** Next cycle each bank can accept an access. */
     std::vector<uint64_t> bankFree;
     uint64_t busFree = 0;

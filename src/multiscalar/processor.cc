@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "base/ordered.hh"
 #include "base/random.hh"
 
 namespace mdp
@@ -16,6 +17,15 @@ MultiscalarProcessor::MultiscalarProcessor(const TraceView &trace,
       state(trace.size()), taskRun(task_set.numTasks()),
       stages(config.numStages), memsys(config)
 {
+    // A wakeup or blocked list can never exceed the in-flight window
+    // (numStages stage windows); pre-sizing keeps the per-cycle loops
+    // allocation-free after warmup.
+    size_t window_cap =
+        static_cast<size_t>(cfg.numStages) * cfg.stageWindow;
+    wakeupBuf.reserve(window_cap);
+    frontierBlocked.reserve(window_cap);
+    syncBlocked.reserve(window_cap);
+
     if (usesPredictor(cfg.policy)) {
         SyncUnitConfig sc = cfg.sync;
         sc.predictor = cfg.policy == SpecPolicy::ESync ||
@@ -145,7 +155,7 @@ MultiscalarProcessor::srcReady(SeqNum src, uint32_t consumer_task) const
     const OpState &ps = state[src];
     if (!(ps.flags & kIssued))
         return false;
-    uint32_t ptask = trc[src].taskId;
+    uint32_t ptask = trc.taskId(src);
     uint64_t ready = ps.doneCycle;
     if (ptask != consumer_task)
         ready += static_cast<uint64_t>(consumer_task - ptask) *
@@ -156,8 +166,8 @@ MultiscalarProcessor::srcReady(SeqNum src, uint32_t consumer_task) const
 bool
 MultiscalarProcessor::srcsReady(SeqNum seq) const
 {
-    const MicroOp op = trc[seq];
-    return srcReady(op.src1, op.taskId) && srcReady(op.src2, op.taskId);
+    uint32_t t = trc.taskId(seq);
+    return srcReady(trc.src1(seq), t) && srcReady(trc.src2(seq), t);
 }
 
 void
@@ -173,11 +183,10 @@ MultiscalarProcessor::classify(SeqNum load, bool predicted, bool actual)
 bool
 MultiscalarProcessor::tryIssueMem(SeqNum seq, unsigned &mem_ports)
 {
-    const MicroOp op = trc[seq];
     OpState &os = state[seq];
-    uint32_t t = op.taskId;
+    uint32_t t = trc.taskId(seq);
 
-    if (op.isStore()) {
+    if (trc.isStore(seq)) {
         if (mem_ports == 0)
             return false;
         --mem_ports;
@@ -210,8 +219,8 @@ MultiscalarProcessor::tryIssueMem(SeqNum seq, unsigned &mem_ports)
         // dependence within the active window, but there is no
         // synchronization -- it waits for every older store.
         SeqNum p = oracle.producer(seq);
-        if (p != kNoSeq && trc[p].taskId != t &&
-            trc[p].taskId >= committedTasks &&
+        if (p != kNoSeq && trc.taskId(p) != t &&
+            trc.taskId(p) >= committedTasks &&
             !allStoresDoneBefore(seq)) {
             os.flags |= kBlockedFrontier;
             frontierBlocked.push_back(seq);
@@ -225,8 +234,8 @@ MultiscalarProcessor::tryIssueMem(SeqNum seq, unsigned &mem_ports)
         // Ideal: wait exactly for the producing store, if it has not
         // executed yet.
         SeqNum p = oracle.producer(seq);
-        if (p != kNoSeq && trc[p].taskId != t &&
-            trc[p].taskId >= committedTasks &&
+        if (p != kNoSeq && trc.taskId(p) != t &&
+            trc.taskId(p) >= committedTasks &&
             !(state[p].flags & kIssued)) {
             os.flags |= kBlockedPsync;
             psyncWaiters[p].push_back(seq);
@@ -241,19 +250,21 @@ MultiscalarProcessor::tryIssueMem(SeqNum seq, unsigned &mem_ports)
       case SpecPolicy::VSync: {
         if (os.flags & kSyncDone)
             break;   // synchronization already satisfied once
+        const Addr pc = trc.pc(seq);
         if (cfg.policy == SpecPolicy::VSync &&
-            vpred.confident(op.pc)) {
+            vpred.confident(pc)) {
             // Hybrid: consume the predicted value instead of
             // synchronizing; validated when the producer executes.
             os.flags |= kValuePred;
             ++res.valuePredUses;
             break;
         }
-        LoadCheck r = sync->loadReady(op.pc, op.addr, t, seq, this);
+        LoadCheck r = sync->loadReady(pc, trc.addr(seq), t, seq, this);
         if (r.wait) {
             os.flags |= kBlockedSync | kPredPendingY;
             os.doneCycle = cycle;   // stash the block time
             syncBlocked.push_back(seq);
+            syncPushed = true;
             ++res.loadsBlockedSync;
             return true;
         }
@@ -279,13 +290,14 @@ MultiscalarProcessor::tryIssueMem(SeqNum seq, unsigned &mem_ports)
 void
 MultiscalarProcessor::executeLoad(SeqNum seq)
 {
-    const MicroOp op = trc[seq];
+    const Addr addr = trc.addr(seq);
+    const uint32_t t = trc.taskId(seq);
     OpState &os = state[seq];
-    os.doneCycle = memsys.access(op.addr, cycle, false);
+    os.doneCycle = memsys.access(addr, cycle, false);
     os.flags |= kIssued;
-    arb.loadExecuted(op.addr, seq, op.taskId);
+    arb.loadExecuted(addr, seq, t);
 
-    TaskRun &tr = taskRun[op.taskId];
+    TaskRun &tr = taskRun[t];
     ++tr.issuedOps;
     tr.lastDone = std::max(tr.lastDone, os.doneCycle);
 }
@@ -293,21 +305,22 @@ MultiscalarProcessor::executeLoad(SeqNum seq)
 void
 MultiscalarProcessor::executeStore(SeqNum seq)
 {
-    const MicroOp op = trc[seq];
+    const Addr addr = trc.addr(seq);
+    const uint32_t t = trc.taskId(seq);
     OpState &os = state[seq];
-    os.doneCycle = memsys.access(op.addr, cycle, true);
+    os.doneCycle = memsys.access(addr, cycle, true);
     os.flags |= kIssued;
 
-    TaskRun &tr = taskRun[op.taskId];
+    TaskRun &tr = taskRun[t];
     ++tr.issuedOps;
     tr.lastDone = std::max(tr.lastDone, os.doneCycle);
 
     // Violation check: did a younger load from a later task already
     // read this location?  Benignly absorbed (value-predicted)
     // violations re-scan in case an unpredicted load also raced.
-    SeqNum violator = arb.storeExecuted(op.addr, seq, op.taskId);
+    SeqNum violator = arb.storeExecuted(addr, seq, t);
     while (violator != kNoSeq && handleViolation(violator, seq))
-        violator = arb.findViolator(op.addr, seq, op.taskId);
+        violator = arb.findViolator(addr, seq, t);
 
     // Wake ideal-sync waiters.
     auto wit = psyncWaiters.find(seq);
@@ -322,7 +335,8 @@ MultiscalarProcessor::executeStore(SeqNum seq)
     // Signal the synchronization table.
     if (sync) {
         wakeupBuf.clear();
-        sync->storeReady(op.pc, op.addr, op.taskId, seq, wakeupBuf);
+        sync->storeReady(trc.pc(seq), addr, t, seq, wakeupBuf);
+        const bool repeats = trc.valueRepeats(seq);
         for (LoadId l : wakeupBuf) {
             OpState &ls = state[l];
             if (ls.flags & kBlockedSync) {
@@ -332,7 +346,7 @@ MultiscalarProcessor::executeStore(SeqNum seq)
                 // observation: had the value repeated, the wait was
                 // avoidable (section-6 hybrid training).
                 if (cfg.policy == SpecPolicy::VSync)
-                    vpred.train(trc[l].pc, op.valueRepeats);
+                    vpred.train(trc.pc(l), repeats);
                 res.syncWaitCycles += cycle - ls.doneCycle;
                 res.signalWaitCycles += cycle - ls.doneCycle;
                 ls.doneCycle = 0;
@@ -364,12 +378,31 @@ MultiscalarProcessor::taskStoresDoneBefore(uint32_t t, SeqNum seq)
 bool
 MultiscalarProcessor::allStoresDoneBefore(SeqNum seq)
 {
-    uint32_t lt = trc[seq].taskId;
+    uint32_t lt = trc.taskId(seq);
     for (uint64_t t = committedTasks; t <= lt; ++t) {
         if (!taskStoresDoneBefore(static_cast<uint32_t>(t), seq))
             return false;
     }
     return true;
+}
+
+uint64_t
+MultiscalarProcessor::storeFrontierBound()
+{
+    uint64_t bound = UINT64_MAX;
+    for (uint64_t t = committedTasks; t < nextTask; ++t) {
+        uint32_t tt = static_cast<uint32_t>(t);
+        const std::vector<SeqNum> &stores = tasks.stores(tt);
+        TaskRun &tr = taskRun[tt];
+        while (tr.storePtr < stores.size() &&
+               (state[stores[tr.storePtr]].flags & kIssued)) {
+            ++tr.storePtr;
+        }
+        if (tr.storePtr < stores.size())
+            bound = std::min(bound,
+                             static_cast<uint64_t>(stores[tr.storePtr]));
+    }
+    return bound;
 }
 
 // ---------------------------------------------------------------------
@@ -414,8 +447,8 @@ MultiscalarProcessor::stageStep(Stage &stage)
         if (!srcsReady(seq))
             continue;
 
-        const MicroOp op = trc[seq];
-        if (op.isMemOp()) {
+        const OpKind kind = trc.kind(seq);
+        if (isMem(kind)) {
             if (!tryIssueMem(seq, mem_ports))
                 continue;
             // Either issued or transitioned to blocked; blocked ops do
@@ -424,7 +457,7 @@ MultiscalarProcessor::stageStep(Stage &stage)
                 continue;
         } else {
             unsigned *fu = nullptr;
-            switch (op.kind) {
+            switch (kind) {
               case OpKind::IntAlu:
                 fu = &simple_fu;
                 break;
@@ -447,7 +480,7 @@ MultiscalarProcessor::stageStep(Stage &stage)
             if (*fu == 0)
                 continue;
             --*fu;
-            os.doneCycle = cycle + opLatency(op.kind);
+            os.doneCycle = cycle + opLatency(kind);
             os.flags |= kIssued;
             TaskRun &tr = taskRun[t];
             ++tr.issuedOps;
@@ -471,45 +504,61 @@ MultiscalarProcessor::stageStep(Stage &stage)
 void
 MultiscalarProcessor::frontierScan()
 {
-    auto keep_frontier = [this](SeqNum seq) {
-        OpState &os = state[seq];
-        if (!(os.flags & kBlockedFrontier))
-            return false;   // squashed or already released
-        if (allStoresDoneBefore(seq)) {
-            os.flags &= ~kBlockedFrontier;
-            return false;
-        }
-        return true;
-    };
-    std::erase_if(frontierBlocked,
-                  [&](SeqNum s) { return !keep_frontier(s); });
-
-    if (!sync)
+    // The bound cannot move during a scan (releases never set kIssued),
+    // so it is computed once; and when it has not moved since the last
+    // scan, the class-invariant comment on lastFrontierBound shows no
+    // blocked op can become releasable, so the linear rescans are
+    // skipped entirely.
+    uint64_t bound = storeFrontierBound();
+    bool moved = bound != lastFrontierBound || frontierDirty;
+    if (!moved && !syncPushed)
         return;
 
-    auto keep_sync = [this](SeqNum seq) {
-        OpState &os = state[seq];
-        if (!(os.flags & kBlockedSync))
-            return false;
-        if (allStoresDoneBefore(seq)) {
-            // Incomplete synchronization: the predicted store never
-            // signalled, but the load is provably safe now.
-            sync->frontierRelease(seq);
-            os.flags &= ~kBlockedSync;
-            os.flags |= kSyncDone;
-            res.syncWaitCycles += cycle - os.doneCycle;
-            res.frontierWaitCycles += cycle - os.doneCycle;
-            os.doneCycle = 0;
-            if (os.flags & kPredPendingY) {
-                os.flags &= ~kPredPendingY;
-                classify(seq, true, false);
+    if (moved) {
+        auto keep_frontier = [&](SeqNum seq) {
+            OpState &os = state[seq];
+            if (!(os.flags & kBlockedFrontier))
+                return false;   // squashed or already released
+            if (bound >= seq) {
+                os.flags &= ~kBlockedFrontier;
+                return false;
             }
-            ++res.frontierReleases;
-            return false;
-        }
-        return true;
-    };
-    std::erase_if(syncBlocked, [&](SeqNum s) { return !keep_sync(s); });
+            return true;
+        };
+        std::erase_if(frontierBlocked,
+                      [&](SeqNum s) { return !keep_frontier(s); });
+    }
+
+    if (sync) {
+        auto keep_sync = [&](SeqNum seq) {
+            OpState &os = state[seq];
+            if (!(os.flags & kBlockedSync))
+                return false;
+            if (bound >= seq) {
+                // Incomplete synchronization: the predicted store never
+                // signalled, but the load is provably safe now.
+                sync->frontierRelease(seq);
+                os.flags &= ~kBlockedSync;
+                os.flags |= kSyncDone;
+                res.syncWaitCycles += cycle - os.doneCycle;
+                res.frontierWaitCycles += cycle - os.doneCycle;
+                os.doneCycle = 0;
+                if (os.flags & kPredPendingY) {
+                    os.flags &= ~kPredPendingY;
+                    classify(seq, true, false);
+                }
+                ++res.frontierReleases;
+                return false;
+            }
+            return true;
+        };
+        std::erase_if(syncBlocked,
+                      [&](SeqNum s) { return !keep_sync(s); });
+    }
+
+    lastFrontierBound = bound;
+    frontierDirty = false;
+    syncPushed = false;
 }
 
 void
@@ -539,16 +588,17 @@ MultiscalarProcessor::drainSyncReleases()
 bool
 MultiscalarProcessor::handleViolation(SeqNum load, SeqNum store)
 {
-    const MicroOp lop = trc[load];
-    const MicroOp sop = trc[store];
+    const Addr lpc = trc.pc(load);
+    const Addr spc = trc.pc(store);
+    const bool repeats = trc.valueRepeats(store);
 
     if (cfg.policy == SpecPolicy::VSync) {
         // Train value-prediction confidence on every examined
         // violation; absorb it when the prediction was right.
-        vpred.train(lop.pc, sop.valueRepeats);
-        if ((state[load].flags & kValuePred) && sop.valueRepeats) {
+        vpred.train(lpc, repeats);
+        if ((state[load].flags & kValuePred) && repeats) {
             ++res.valuePredHits;
-            arb.refreshLoadVersion(lop.addr, load, store);
+            arb.refreshLoadVersion(trc.addr(load), load, store);
             return true;
         }
         if (state[load].flags & kValuePred)
@@ -557,7 +607,7 @@ MultiscalarProcessor::handleViolation(SeqNum load, SeqNum store)
 
     ++res.misSpeculations;
     if (cfg.logMisSpeculations)
-        res.misspecLog.emplace_back(lop.pc, sop.pc);
+        res.misspecLog.emplace_back(lpc, spc);
 
     // Table 8: a mis-speculated load was a predicted-N / actual-Y.
     if (state[load].flags & kPredPendingN) {
@@ -566,9 +616,9 @@ MultiscalarProcessor::handleViolation(SeqNum load, SeqNum store)
     }
 
     if (sync) {
-        uint32_t dist = lop.taskId - sop.taskId;
-        sync->misSpeculation(lop.pc, sop.pc, dist,
-                             tasks.taskPc(sop.taskId));
+        uint32_t stask = trc.taskId(store);
+        uint32_t dist = trc.taskId(load) - stask;
+        sync->misSpeculation(lpc, spc, dist, tasks.taskPc(stask));
     }
 
     squashFrom(load);
@@ -578,7 +628,7 @@ MultiscalarProcessor::handleViolation(SeqNum load, SeqNum store)
 void
 MultiscalarProcessor::squashFrom(SeqNum squash_start)
 {
-    uint32_t task0 = trc[squash_start].taskId;
+    uint32_t task0 = trc.taskId(squash_start);
 
     // Reset every op from the squash point to the youngest assigned
     // instruction.  Work older than the offending load survives, as in
@@ -592,11 +642,10 @@ MultiscalarProcessor::squashFrom(SeqNum squash_start)
             OpState &os = state[s];
             if (os.flags & kIssued) {
                 ++res.squashedOps;
-                const MicroOp op = trc[s];
-                if (op.isLoad())
-                    arb.removeLoad(op.addr, s);
-                else if (op.isStore())
-                    arb.removeStore(op.addr, s);
+                if (trc.isLoad(s))
+                    arb.removeLoad(trc.addr(s), s);
+                else if (trc.isStore(s))
+                    arb.removeStore(trc.addr(s), s);
             }
             os = OpState{};
         }
@@ -637,14 +686,16 @@ MultiscalarProcessor::squashFrom(SeqNum squash_start)
                   [&](SeqNum s) { return s >= squash_start; });
     std::erase_if(syncBlocked,
                   [&](SeqNum s) { return s >= squash_start; });
-    for (auto it = psyncWaiters.begin(); it != psyncWaiters.end();) {
+    for (SeqNum p : sortedKeys(psyncWaiters)) {
+        auto it = psyncWaiters.find(p);
         std::erase_if(it->second,
                       [&](SeqNum s) { return s >= squash_start; });
-        if (it->second.empty() || it->first >= squash_start)
-            it = psyncWaiters.erase(it);
-        else
-            ++it;
+        if (it->second.empty() || p >= squash_start)
+            psyncWaiters.erase(it);
     }
+
+    // The storePtr rewinds above can move the frontier bound backwards.
+    frontierDirty = true;
 
     if (sync)
         sync->squash(squash_start, squash_start);
@@ -671,14 +722,14 @@ MultiscalarProcessor::commitStep()
 
     // Retire memory state and finish prediction accounting.
     for (SeqNum l : tasks.loads(t)) {
-        arb.commitLoad(trc[l].addr, l);
+        arb.commitLoad(trc.addr(l), l);
         if (state[l].flags & kPredPendingN) {
             state[l].flags &= ~kPredPendingN;
             classify(l, false, false);
         }
     }
     for (SeqNum s : tasks.stores(t))
-        arb.commitStore(trc[s].addr, s);
+        arb.commitStore(trc.addr(s), s);
 
     res.committedOps += size;
     res.committedLoads += tasks.loads(t).size();

@@ -16,8 +16,8 @@
 #ifndef MDP_MULTISCALAR_PROCESSOR_HH
 #define MDP_MULTISCALAR_PROCESSOR_HH
 
-#include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "mdp/sync_unit.hh"
@@ -115,6 +115,16 @@ class MultiscalarProcessor : public TaskPcSource
     /** All stores older than @p seq in every active task executed. */
     bool allStoresDoneBefore(SeqNum seq);
 
+    /**
+     * Sequence number of the oldest unexecuted store across all
+     * in-flight tasks (UINT64_MAX when none).  A blocked op @c seq is
+     * frontier-releasable iff the bound is >= seq: tasks younger than
+     * the op's own contribute only stores past its task's end, so the
+     * global minimum decides exactly like the per-task walk in
+     * allStoresDoneBefore().
+     */
+    uint64_t storeFrontierBound();
+
     // --- recovery -----------------------------------------------------
     /** @return true when the violation was absorbed benignly by a
      *  correct value prediction (no squash happened). */
@@ -147,9 +157,25 @@ class MultiscalarProcessor : public TaskPcSource
     // Blocked-op bookkeeping.
     std::vector<SeqNum> frontierBlocked;  ///< WAIT/NEVER waits
     std::vector<SeqNum> syncBlocked;      ///< MDST waits
-    // Ordered map: squash recovery walks and erases a SeqNum range,
-    // and iteration order must not depend on the hash layout.
-    std::map<SeqNum, std::vector<SeqNum>> psyncWaiters;
+
+    /**
+     * Frontier-scan gating (same argument as the OoO model's): every
+     * frontierBlocked entry has seq > lastFrontierBound, and the bound
+     * only moves backwards across a squash (frontierDirty) -- task
+     * assignment can drop it from "no unexecuted store" to a finite
+     * value, but only when every blocked list is already empty, and the
+     * bound comparison catches that case by itself.  syncBlocked ops
+     * never checked the frontier at push time, so a push since the last
+     * scan (syncPushed) forces a scan of that list.
+     */
+    uint64_t lastFrontierBound = 0;
+    bool frontierDirty = true;
+    bool syncPushed = false;
+
+    // Hash map plus sorted drain: squash recovery visits keys in
+    // SeqNum order via sortedKeys() so the walk never depends on the
+    // hash layout; all other accesses are point lookups.
+    std::unordered_map<SeqNum, std::vector<SeqNum>> psyncWaiters;
 
     // Sequencer state.
     uint64_t nextTask = 0;

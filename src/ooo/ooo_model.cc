@@ -1,9 +1,10 @@
 #include "ooo/ooo_model.hh"
 
 #include <algorithm>
-#include <unordered_map>
 
+#include "base/flat_hash.hh"
 #include "base/logging.hh"
+#include "base/ordered.hh"
 #include "base/random.hh"
 
 namespace mdp
@@ -15,13 +16,20 @@ OooProcessor::OooProcessor(const TraceView &trace,
     : trc(trace), oracle(dep_oracle), cfg(config), state(trace.size()),
       instanceOf(trace.size(), 0)
 {
+    // Blocked/wakeup lists are bounded by the instruction window;
+    // pre-sizing keeps the cycle loop allocation-free after warmup.
+    wakeupBuf.reserve(cfg.windowSize);
+    frontierBlocked.reserve(cfg.windowSize);
+    syncBlocked.reserve(cfg.windowSize);
+
     // Number dynamic instances per static PC (paper footnote 2).  A
     // precomputed numbering behaves like checkpointed counters: squash
     // and re-execution see the same instance number.
-    std::unordered_map<Addr, uint32_t> counters;
+    FlatHashMap<Addr, uint32_t> counters;
+    counters.reserve(1 + (oracle.loads().size() + oracle.stores().size()) / 8);
     for (SeqNum s = 0; s < trc.size(); ++s) {
-        if (trc[s].isMemOp())
-            instanceOf[s] = counters[trc[s].pc]++;
+        if (trc.isMemOp(s))
+            instanceOf[s] = counters[trc.pc(s)]++;
     }
 
     if (usesPredictor(cfg.policy)) {
@@ -56,29 +64,33 @@ OooProcessor::srcReady(SeqNum src) const
 bool
 OooProcessor::srcsReady(SeqNum seq) const
 {
-    const MicroOp op = trc[seq];
-    return srcReady(op.src1) && srcReady(op.src2);
+    return srcReady(trc.src1(seq)) && srcReady(trc.src2(seq));
 }
 
-bool
-OooProcessor::allStoresDoneBefore(SeqNum seq)
+uint64_t
+OooProcessor::storeFrontierBound()
 {
     const std::vector<SeqNum> &stores = oracle.stores();
     while (storeFrontier < stores.size() &&
            (state[stores[storeFrontier]].flags & kIssued)) {
         ++storeFrontier;
     }
-    return storeFrontier >= stores.size() ||
-           stores[storeFrontier] >= seq;
+    return storeFrontier >= stores.size() ? UINT64_MAX
+                                          : stores[storeFrontier];
+}
+
+bool
+OooProcessor::allStoresDoneBefore(SeqNum seq)
+{
+    return storeFrontierBound() >= seq;
 }
 
 bool
 OooProcessor::tryIssueMem(SeqNum seq, unsigned &mem_ports)
 {
-    const MicroOp op = trc[seq];
     OpState &os = state[seq];
 
-    if (op.isStore()) {
+    if (trc.isStore(seq)) {
         if (mem_ports == 0)
             return false;
         --mem_ports;
@@ -132,11 +144,12 @@ OooProcessor::tryIssueMem(SeqNum seq, unsigned &mem_ports)
         if (os.flags & kSyncDone)
             break;
         LoadCheck r =
-            sync->loadReady(op.pc, op.addr, instanceOf[seq], seq,
-                            nullptr);
+            sync->loadReady(trc.pc(seq), trc.addr(seq), instanceOf[seq],
+                            seq, nullptr);
         if (r.wait) {
             os.flags |= kBlockedSync;
             syncBlocked.push_back(seq);
+            syncPushed = true;
             ++res.loadsBlocked;
             return true;
         }
@@ -152,23 +165,22 @@ OooProcessor::tryIssueMem(SeqNum seq, unsigned &mem_ports)
 void
 OooProcessor::executeLoad(SeqNum seq)
 {
-    const MicroOp op = trc[seq];
     OpState &os = state[seq];
     os.doneCycle = cycle + memLatency(seq);
     os.flags |= kIssued;
-    arb.loadExecuted(op.addr, seq, /*load_task=*/seq);
+    arb.loadExecuted(trc.addr(seq), seq, /*load_task=*/seq);
 }
 
 void
 OooProcessor::executeStore(SeqNum seq)
 {
-    const MicroOp op = trc[seq];
+    const Addr addr = trc.addr(seq);
     OpState &os = state[seq];
     os.doneCycle = cycle + 1;
     os.flags |= kIssued;
 
     // Per-op "tasks" make every inter-op violation visible.
-    SeqNum violator = arb.storeExecuted(op.addr, seq, /*store_task=*/seq);
+    SeqNum violator = arb.storeExecuted(addr, seq, /*store_task=*/seq);
     if (violator != kNoSeq)
         handleViolation(violator);
 
@@ -181,7 +193,8 @@ OooProcessor::executeStore(SeqNum seq)
 
     if (sync) {
         wakeupBuf.clear();
-        sync->storeReady(op.pc, op.addr, instanceOf[seq], seq, wakeupBuf);
+        sync->storeReady(trc.pc(seq), addr, instanceOf[seq], seq,
+                         wakeupBuf);
         for (LoadId l : wakeupBuf) {
             // Signal wake: the kept full flag is consumed when the
             // load re-checks at issue, so no bypass flag is needed.
@@ -203,7 +216,7 @@ OooProcessor::handleViolation(SeqNum load)
             uint32_t dist = instanceOf[load] >= instanceOf[p]
                 ? instanceOf[load] - instanceOf[p]
                 : 0;
-            sync->misSpeculation(trc[load].pc, trc[p].pc, dist, 0);
+            sync->misSpeculation(trc.pc(load), trc.pc(p), dist, 0);
         }
     }
 
@@ -212,11 +225,10 @@ OooProcessor::handleViolation(SeqNum load)
         OpState &os = state[s];
         if (os.flags & kIssued) {
             ++res.squashedOps;
-            const MicroOp op = trc[s];
-            if (op.isLoad())
-                arb.removeLoad(op.addr, s);
-            else if (op.isStore())
-                arb.removeStore(op.addr, s);
+            if (trc.isLoad(s))
+                arb.removeLoad(trc.addr(s), s);
+            else if (trc.isStore(s))
+                arb.removeStore(trc.addr(s), s);
         }
         os = OpState{};
     }
@@ -225,19 +237,21 @@ OooProcessor::handleViolation(SeqNum load)
 
     std::erase_if(frontierBlocked, [&](SeqNum s) { return s >= load; });
     std::erase_if(syncBlocked, [&](SeqNum s) { return s >= load; });
-    for (auto it = psyncWaiters.begin(); it != psyncWaiters.end();) {
+    for (SeqNum p : sortedKeys(psyncWaiters)) {
+        auto it = psyncWaiters.find(p);
         std::erase_if(it->second, [&](SeqNum s) { return s >= load; });
-        if (it->second.empty() || it->first >= load)
-            it = psyncWaiters.erase(it);
-        else
-            ++it;
+        if (it->second.empty() || p >= load)
+            psyncWaiters.erase(it);
     }
 
-    // Rewind the store frontier past the squash point.
+    // Rewind the store frontier past the squash point.  This can move
+    // the frontier *backwards*, breaking the monotonicity the gated
+    // frontier scan relies on.
     const std::vector<SeqNum> &stores = oracle.stores();
     size_t lb = std::lower_bound(stores.begin(), stores.end(), load) -
                 stores.begin();
     storeFrontier = std::min(storeFrontier, lb);
+    frontierDirty = true;
 
     if (sync)
         sync->squash(load, load);
@@ -246,34 +260,50 @@ OooProcessor::handleViolation(SeqNum load)
 void
 OooProcessor::frontierScan()
 {
-    auto release_frontier = [this](SeqNum seq) {
-        OpState &os = state[seq];
-        if (!(os.flags & kBlockedFrontier))
-            return true;
-        if (allStoresDoneBefore(seq)) {
-            os.flags &= ~kBlockedFrontier;
-            return true;
-        }
-        return false;
-    };
-    std::erase_if(frontierBlocked, release_frontier);
-
-    if (!sync)
+    // The bound cannot move during a scan (releases never set kIssued
+    // on a store), so it is computed once; and when it has not moved
+    // since the last scan, the class-invariant comment on
+    // lastFrontierBound shows no blocked op can become releasable, so
+    // the linear rescans are skipped entirely.
+    uint64_t bound = storeFrontierBound();
+    bool moved = bound != lastFrontierBound || frontierDirty;
+    if (!moved && !syncPushed)
         return;
-    auto release_sync = [this](SeqNum seq) {
-        OpState &os = state[seq];
-        if (!(os.flags & kBlockedSync))
-            return true;
-        if (allStoresDoneBefore(seq)) {
-            sync->frontierRelease(seq);
-            os.flags &= ~kBlockedSync;
-            os.flags |= kSyncDone;
-            ++res.frontierReleases;
-            return true;
-        }
-        return false;
-    };
-    std::erase_if(syncBlocked, release_sync);
+
+    if (moved) {
+        auto release_frontier = [&](SeqNum seq) {
+            OpState &os = state[seq];
+            if (!(os.flags & kBlockedFrontier))
+                return true;
+            if (bound >= seq) {
+                os.flags &= ~kBlockedFrontier;
+                return true;
+            }
+            return false;
+        };
+        std::erase_if(frontierBlocked, release_frontier);
+    }
+
+    if (sync) {
+        auto release_sync = [&](SeqNum seq) {
+            OpState &os = state[seq];
+            if (!(os.flags & kBlockedSync))
+                return true;
+            if (bound >= seq) {
+                sync->frontierRelease(seq);
+                os.flags &= ~kBlockedSync;
+                os.flags |= kSyncDone;
+                ++res.frontierReleases;
+                return true;
+            }
+            return false;
+        };
+        std::erase_if(syncBlocked, release_sync);
+    }
+
+    lastFrontierBound = bound;
+    frontierDirty = false;
+    syncPushed = false;
 }
 
 OooResult
@@ -323,8 +353,8 @@ OooProcessor::run()
             if (!srcsReady(s))
                 continue;
 
-            const MicroOp op = trc[s];
-            if (op.isMemOp()) {
+            const OpKind kind = trc.kind(s);
+            if (isMem(kind)) {
                 if (!tryIssueMem(s, mem_ports))
                     continue;
                 if (state[s].flags & kIssued)
@@ -333,7 +363,7 @@ OooProcessor::run()
             }
 
             unsigned *fu = nullptr;
-            switch (op.kind) {
+            switch (kind) {
               case OpKind::IntAlu:
                 fu = &simple_fu;
                 break;
@@ -356,7 +386,7 @@ OooProcessor::run()
             if (*fu == 0)
                 continue;
             --*fu;
-            os.doneCycle = cycle + opLatency(op.kind);
+            os.doneCycle = cycle + opLatency(kind);
             os.flags |= kIssued;
             ++issued;
         }
@@ -379,12 +409,11 @@ OooProcessor::run()
             OpState &os = state[head];
             if (!(os.flags & kIssued) || os.doneCycle > cycle)
                 break;
-            const MicroOp op = trc[head];
-            if (op.isLoad()) {
-                arb.commitLoad(op.addr, head);
+            if (trc.isLoad(head)) {
+                arb.commitLoad(trc.addr(head), head);
                 ++res.committedLoads;
-            } else if (op.isStore()) {
-                arb.commitStore(op.addr, head);
+            } else if (trc.isStore(head)) {
+                arb.commitStore(trc.addr(head), head);
             }
             ++res.committedOps;
             ++head;

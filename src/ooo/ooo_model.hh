@@ -15,8 +15,8 @@
 #ifndef MDP_OOO_OOO_MODEL_HH
 #define MDP_OOO_OOO_MODEL_HH
 
-#include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "mdp/policy.hh"
@@ -104,6 +104,10 @@ class OooProcessor
     void executeLoad(SeqNum seq);
     void executeStore(SeqNum seq);
     bool allStoresDoneBefore(SeqNum seq);
+    /** Advance the store frontier and return the sequence number of the
+     *  first unexecuted store (UINT64_MAX when none remain).  A blocked
+     *  op @c seq is releasable iff the bound is >= seq. */
+    uint64_t storeFrontierBound();
     void handleViolation(SeqNum load);
     void frontierScan();
 
@@ -132,9 +136,27 @@ class OooProcessor
 
     std::vector<SeqNum> frontierBlocked;
     std::vector<SeqNum> syncBlocked;
-    // Ordered map: squash recovery walks and erases a SeqNum range,
-    // and iteration order must not depend on the hash layout.
-    std::map<SeqNum, std::vector<SeqNum>> psyncWaiters;
+
+    /**
+     * Frontier-scan gating.  Every entry in frontierBlocked has
+     * seq > lastFrontierBound (it failed the frontier check at push
+     * time, and survivors of a scan failed it against the scan's
+     * bound), and the bound is monotonically non-decreasing except
+     * across a violation rewind (which sets frontierDirty).  So when
+     * the bound has not moved since the last scan and no rewind
+     * happened, no blocked op can be releasable and the scan is
+     * skipped.  syncBlocked ops are pushed *without* a frontier check
+     * (the wait comes from the predictor), so a push since the last
+     * scan (syncPushed) forces a scan of that list as well.
+     */
+    uint64_t lastFrontierBound = 0;
+    bool frontierDirty = true;
+    bool syncPushed = false;
+
+    // Hash map plus sorted drain: squash recovery visits keys in
+    // SeqNum order via sortedKeys() so the walk never depends on the
+    // hash layout; all other accesses are point lookups.
+    std::unordered_map<SeqNum, std::vector<SeqNum>> psyncWaiters;
     std::vector<LoadId> wakeupBuf;
 
     OooResult res;

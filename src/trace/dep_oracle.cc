@@ -1,6 +1,6 @@
 #include "trace/dep_oracle.hh"
 
-#include <unordered_map>
+#include "base/flat_hash.hh"
 
 namespace mdp
 {
@@ -8,17 +8,21 @@ namespace mdp
 DepOracle::DepOracle(const TraceView &trace)
     : trc(trace), producers(trace.size(), kNoSeq)
 {
-    std::unordered_map<Addr, SeqNum> last_store;
+    // last_store is a point-lookup map that is never iterated, so the
+    // flat open-addressed table is safe.  Sized by the same
+    // distinct-address heuristic the node-based map used; an exact
+    // store count would need an extra pass over the trace that costs
+    // more than the rehashes it avoids.
+    FlatHashMap<Addr, SeqNum> last_store;
     last_store.reserve(trace.size() / 8 + 16);
     for (SeqNum s = 0; s < trace.size(); ++s) {
-        const MicroOp op = trace[s];
-        if (op.isStore()) {
-            last_store[op.addr] = s;
+        const OpKind k = trace.kind(s);
+        if (k == OpKind::Store) {
+            last_store[trace.addr(s)] = s;
             storeSeqs.push_back(s);
-        } else if (op.isLoad()) {
-            auto it = last_store.find(op.addr);
-            if (it != last_store.end())
-                producers[s] = it->second;
+        } else if (k == OpKind::Load) {
+            if (const SeqNum *p = last_store.find(trace.addr(s)))
+                producers[s] = *p;
             loadSeqs.push_back(s);
         }
     }
@@ -28,7 +32,7 @@ bool
 DepOracle::interTask(SeqNum load_seq) const
 {
     SeqNum p = producers[load_seq];
-    return p != kNoSeq && trc[p].taskId != trc[load_seq].taskId;
+    return p != kNoSeq && trc.taskId(p) != trc.taskId(load_seq);
 }
 
 uint32_t
@@ -37,7 +41,7 @@ DepOracle::taskDistance(SeqNum load_seq) const
     SeqNum p = producers[load_seq];
     if (p == kNoSeq)
         return 0;
-    return trc[load_seq].taskId - trc[p].taskId;
+    return trc.taskId(load_seq) - trc.taskId(p);
 }
 
 } // namespace mdp

@@ -92,6 +92,33 @@ class TraceView
         return op;
     }
 
+    /**
+     * Single-field accessors for hot loops.  The timing models' inner
+     * loops usually need one or two fields of an op (a dependence
+     * check reads src1/src2, a squash walk reads kind and addr); the
+     * full operator[] gather of all eight fields is a measured hot
+     * spot there, so these read exactly one column.
+     */
+    Addr pc(SeqNum s) const { return at<Addr>(fPc, s); }
+    Addr addr(SeqNum s) const { return at<Addr>(fAddr, s); }
+    Addr taskPc(SeqNum s) const { return at<Addr>(fTaskPc, s); }
+    SeqNum src1(SeqNum s) const { return at<SeqNum>(fSrc1, s); }
+    SeqNum src2(SeqNum s) const { return at<SeqNum>(fSrc2, s); }
+    uint32_t taskId(SeqNum s) const { return at<uint32_t>(fTaskId, s); }
+    OpKind
+    kind(SeqNum s) const
+    {
+        return static_cast<OpKind>(at<uint8_t>(fKind, s));
+    }
+    bool
+    valueRepeats(SeqNum s) const
+    {
+        return at<uint8_t>(fValueRepeats, s) != 0;
+    }
+    bool isLoad(SeqNum s) const { return kind(s) == OpKind::Load; }
+    bool isStore(SeqNum s) const { return kind(s) == OpKind::Store; }
+    bool isMemOp(SeqNum s) const { return isMem(kind(s)); }
+
     /** Number of tasks (max taskId + 1, or 0 for empty traces). */
     uint32_t numTasks() const;
 

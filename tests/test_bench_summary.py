@@ -142,6 +142,124 @@ class BenchSummaryTest(unittest.TestCase):
         self.assertNotEqual(proc.returncode, 0)
         self.assertIn("duplicate", proc.stderr)
 
+    def micro_report(self, bench, kernel, seconds, ok=True):
+        doc = good_report(bench, ok=ok)
+        doc["phase_seconds"] = {f"micro_{kernel}": seconds,
+                                "simulate": 0.5}
+        return doc
+
+    def test_micro_group_is_independent_of_main_labels(self):
+        # Main labels cover bench_a; the micro group covers a disjoint
+        # set.  The cross-label equality check must not compare the
+        # two groups against each other.
+        self.write("cold/a.json", good_report("bench_a"))
+        self.write("micro/m.json",
+                   self.micro_report("micro_x", "k", 0.1))
+        proc = self.run_summary(f"cold={self.root}/cold",
+                                f"--micro=pr={self.root}/micro")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        summary = json.loads((self.root / "summary.json").read_text())
+        self.assertEqual(list(summary["benches"]), ["bench_a"])
+        self.assertEqual(list(summary["micro"]["benches"]), ["micro_x"])
+        self.assertAlmostEqual(
+            summary["micro"]["phase_totals"]["pr"]["micro_k"], 0.1)
+
+    def test_micro_set_mismatch_within_group_fails(self):
+        self.write("a/m.json", self.micro_report("micro_x", "k", 0.1))
+        self.write("b/other.json",
+                   self.micro_report("micro_y", "k", 0.1))
+        proc = self.run_summary(f"--micro=a={self.root}/a",
+                                f"--micro=b={self.root}/b")
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("missing bench reports", proc.stderr)
+
+    def test_micro_failed_shape_check_exits_nonzero(self):
+        self.write("micro/m.json",
+                   self.micro_report("micro_x", "k", 0.1, ok=False))
+        proc = self.run_summary(f"--micro=pr={self.root}/micro")
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+        self.assertIn("micro_x", proc.stderr)
+
+    def run_compare(self, baseline, threshold=None):
+        extra = ["--compare", str(baseline)]
+        if threshold is not None:
+            extra += ["--threshold", str(threshold)]
+        return self.run_summary(f"--micro=pr={self.root}/micro", *extra)
+
+    def write_baseline(self, kernel="k", seconds=0.1):
+        self.write("base/m.json",
+                   self.micro_report("micro_x", kernel, seconds))
+        out = self.root / "baseline.json"
+        proc = subprocess.run(
+            [sys.executable, str(SCRIPT), "--out", str(out),
+             f"--micro=base={self.root}/base"],
+            capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stderr
+        return out
+
+    def test_compare_within_threshold_passes(self):
+        baseline = self.write_baseline(seconds=0.1)
+        self.write("micro/m.json",
+                   self.micro_report("micro_x", "k", 0.15))
+        proc = self.run_compare(baseline)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        summary = json.loads((self.root / "summary.json").read_text())
+        self.assertAlmostEqual(
+            summary["micro_compare"]["ratios"]["micro_k"], 1.5)
+
+    def test_compare_regression_fails(self):
+        baseline = self.write_baseline(seconds=0.1)
+        self.write("micro/m.json",
+                   self.micro_report("micro_x", "k", 0.5))
+        proc = self.run_compare(baseline, threshold=2.0)
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+        self.assertIn("micro_k", proc.stderr)
+        self.assertIn("REGRESSION", proc.stderr)
+        # The summary is still written so CI can archive the evidence.
+        summary = json.loads((self.root / "summary.json").read_text())
+        self.assertTrue(summary["micro_compare"]["regressions"])
+
+    def test_compare_ignores_sub_floor_baselines(self):
+        # A 0.1 ms kernel tripling is timer noise, not a regression.
+        baseline = self.write_baseline(seconds=0.0001)
+        self.write("micro/m.json",
+                   self.micro_report("micro_x", "k", 0.0003))
+        proc = self.run_compare(baseline, threshold=2.0)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_compare_vanished_kernel_fails(self):
+        baseline = self.write_baseline(kernel="gone")
+        self.write("micro/m.json",
+                   self.micro_report("micro_x", "k", 0.1))
+        proc = self.run_compare(baseline)
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+        self.assertIn("micro_gone", proc.stderr)
+
+    def test_compare_baseline_without_micro_fails(self):
+        self.write("cold/a.json", good_report("bench_a"))
+        out = self.root / "plain.json"
+        proc = subprocess.run(
+            [sys.executable, str(SCRIPT), "--out", str(out),
+             f"cold={self.root}/cold"],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.write("micro/m.json",
+                   self.micro_report("micro_x", "k", 0.1))
+        proc = self.run_compare(out)
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("micro", proc.stderr)
+
+    def test_compare_without_micro_dirs_is_an_error(self):
+        self.write("cold/a.json", good_report("bench_a"))
+        proc = self.run_summary(f"cold={self.root}/cold",
+                                "--compare", "whatever.json")
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("--micro", proc.stderr)
+
+    def test_no_directories_at_all_is_an_error(self):
+        proc = self.run_summary()
+        self.assertNotEqual(proc.returncode, 0)
+
     def test_failed_shape_check_exits_nonzero(self):
         self.write("cold/a.json", good_report("bench_a", ok=False))
         proc = self.run_summary(f"cold={self.root}/cold")

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * FlatHashMap correctness: deterministic unit cases plus a seeded
+ * randomized fuzz against std::unordered_map as the reference.  The
+ * flat map backs hot never-iterated lookups (ARB address maps, MDPT
+ * byPair, DepOracle last-store), so any divergence from reference
+ * semantics would silently corrupt simulation results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/flat_hash.hh"
+
+namespace mdp
+{
+namespace
+{
+
+TEST(FlatHashMap, InsertFindErase)
+{
+    FlatHashMap<uint64_t, int> m;
+    EXPECT_TRUE(m.empty());
+    m[5] = 50;
+    m[9] = 90;
+    EXPECT_EQ(m.size(), 2u);
+    ASSERT_NE(m.find(5), nullptr);
+    EXPECT_EQ(*m.find(5), 50);
+    EXPECT_EQ(m.find(7), nullptr);
+    EXPECT_TRUE(m.erase(5));
+    EXPECT_FALSE(m.erase(5));
+    EXPECT_EQ(m.find(5), nullptr);
+    ASSERT_NE(m.find(9), nullptr);
+    EXPECT_EQ(*m.find(9), 90);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatHashMap, OperatorIndexDefaultConstructs)
+{
+    FlatHashMap<uint64_t, std::vector<int>> m;
+    EXPECT_TRUE(m[3].empty());
+    m[3].push_back(7);
+    ASSERT_NE(m.find(3), nullptr);
+    EXPECT_EQ(m.find(3)->size(), 1u);
+}
+
+TEST(FlatHashMap, GrowsThroughManyInserts)
+{
+    FlatHashMap<uint64_t, uint64_t> m;
+    for (uint64_t i = 0; i < 10000; ++i)
+        m[i * 0x9e3779b97f4a7c15ULL] = i;
+    EXPECT_EQ(m.size(), 10000u);
+    for (uint64_t i = 0; i < 10000; ++i) {
+        const uint64_t *v = m.find(i * 0x9e3779b97f4a7c15ULL);
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(*v, i);
+    }
+}
+
+TEST(FlatHashMap, ClearAndReserve)
+{
+    FlatHashMap<uint64_t, int> m;
+    m.reserve(1000);
+    for (uint64_t i = 0; i < 100; ++i)
+        m[i] = static_cast<int>(i);
+    m.clear();
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.find(5), nullptr);
+    m[5] = 1;
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatHashMap, AdjacentKeysSurviveBackshiftErase)
+{
+    // Sequential keys force probe chains; interleaved erases exercise
+    // the backward-shift deletion that must not orphan any key.
+    FlatHashMap<uint64_t, uint64_t> m;
+    for (uint64_t i = 0; i < 64; ++i)
+        m[i] = i * 10;
+    for (uint64_t i = 0; i < 64; i += 2)
+        EXPECT_TRUE(m.erase(i));
+    for (uint64_t i = 0; i < 64; ++i) {
+        const uint64_t *v = m.find(i);
+        if (i % 2) {
+            ASSERT_NE(v, nullptr) << "lost key " << i;
+            EXPECT_EQ(*v, i * 10);
+        } else {
+            EXPECT_EQ(v, nullptr) << "zombie key " << i;
+        }
+    }
+}
+
+TEST(FlatHashMap, FuzzAgainstUnorderedMap)
+{
+    // Small key space so inserts, overwrites, hits, misses and erases
+    // all occur frequently; several seeds for different interleavings.
+    for (uint64_t seed : {1u, 7u, 42u}) {
+        std::mt19937_64 rng(seed);
+        FlatHashMap<uint64_t, uint64_t> flat;
+        std::unordered_map<uint64_t, uint64_t> ref;
+        for (int op = 0; op < 200000; ++op) {
+            const uint64_t key = rng() % 512;
+            switch (rng() % 4) {
+              case 0:
+              case 1: {   // insert/overwrite
+                  const uint64_t val = rng();
+                  flat[key] = val;
+                  ref[key] = val;
+                  break;
+              }
+              case 2: {   // erase
+                  EXPECT_EQ(flat.erase(key), ref.erase(key) > 0);
+                  break;
+              }
+              default: {  // lookup
+                  const uint64_t *v = flat.find(key);
+                  auto it = ref.find(key);
+                  if (it == ref.end()) {
+                      EXPECT_EQ(v, nullptr);
+                  } else {
+                      ASSERT_NE(v, nullptr);
+                      EXPECT_EQ(*v, it->second);
+                  }
+                  break;
+              }
+            }
+            EXPECT_EQ(flat.size(), ref.size());
+            EXPECT_EQ(flat.contains(key), ref.count(key) > 0);
+        }
+        // Final sweep: every reference key present, nothing extra.
+        for (const auto &[key, val] : ref) {
+            const uint64_t *v = flat.find(key);
+            ASSERT_NE(v, nullptr);
+            EXPECT_EQ(*v, val);
+        }
+        for (uint64_t key = 0; key < 512; ++key)
+            EXPECT_EQ(flat.contains(key), ref.count(key) > 0);
+    }
+}
+
+} // namespace
+} // namespace mdp

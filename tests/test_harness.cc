@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "harness/experiment.hh"
+#include "harness/phase_timer.hh"
 #include "harness/runner.hh"
 #include "trace/builder.hh"
 #include "workloads/suites.hh"
@@ -13,6 +15,48 @@ namespace mdp
 {
 namespace
 {
+
+TEST(Harness, PhaseTimerAccumulationContract)
+{
+    // The contract (see phase_timer.hh): totals are process-wide and
+    // monotone.  Constructing or reusing an ExperimentRunner must NOT
+    // reset them -- a bench that runs several grids and reports once
+    // wants the union -- so per-section deltas go through snapshots.
+    resetPhaseSeconds();
+    addPhaseSeconds("contract_a", 1.0);
+    addPhaseSeconds("contract_b", 2.0);
+
+    const auto snapshot = phaseSeconds();
+    ASSERT_EQ(snapshot.size(), 2u);
+
+    // Runner construction and reuse leave the totals untouched.
+    ExperimentRunner first(1);
+    first.runAll();
+    ExperimentRunner second(1);
+    second.runAll();
+    second.runAll();
+    EXPECT_EQ(phaseSeconds(), snapshot);
+
+    // Accumulation, not replacement.
+    addPhaseSeconds("contract_a", 0.5);
+    addPhaseSeconds("contract_c", 3.0);
+    const auto totals = phaseSeconds();
+    ASSERT_EQ(totals.size(), 3u);
+    EXPECT_EQ(totals[0].first, "contract_a");
+    EXPECT_DOUBLE_EQ(totals[0].second, 1.5);
+
+    // Deltas: only phases that advanced since the snapshot, by the
+    // advanced amount.
+    const auto since = phaseSecondsSince(snapshot);
+    ASSERT_EQ(since.size(), 2u);
+    EXPECT_EQ(since[0].first, "contract_a");
+    EXPECT_DOUBLE_EQ(since[0].second, 0.5);
+    EXPECT_EQ(since[1].first, "contract_c");
+    EXPECT_DOUBLE_EQ(since[1].second, 3.0);
+
+    resetPhaseSeconds();
+    EXPECT_TRUE(phaseSeconds().empty());
+}
 
 TEST(Harness, ContextFromWorkloadName)
 {

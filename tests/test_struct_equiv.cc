@@ -1,0 +1,405 @@
+/**
+ * @file
+ * The indexed MDPT/MDST/LRU replacement paths must make bit-identical
+ * choices to the linear scans they replaced.  Each reference model
+ * here IS the old scan, kept verbatim; seeded randomized workloads
+ * drive the real structure and the reference in lockstep and compare
+ * every observable after every operation.  Runs under ASan/TSan via
+ * the regular test matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "base/lru.hh"
+#include "mdp/config.hh"
+#include "mdp/mdpt.hh"
+#include "mdp/mdst.hh"
+
+namespace mdp
+{
+namespace
+{
+
+// --------------------------------------------------------------------
+// Reference models: the pre-index linear scans.
+// --------------------------------------------------------------------
+
+/** Recency stamps only; victim() is the first-minimal-stamp scan. */
+class RefLru
+{
+  public:
+    explicit RefLru(size_t n) : stamps(n, 0) {}
+
+    void touch(size_t i) { stamps[i] = ++tick; }
+
+    size_t
+    victim() const
+    {
+        size_t best = 0;
+        for (size_t i = 1; i < stamps.size(); ++i)
+            if (stamps[i] < stamps[best])
+                best = i;
+        return best;
+    }
+
+    uint64_t stamp(size_t i) const { return stamps[i]; }
+
+  private:
+    std::vector<uint64_t> stamps;
+    uint64_t tick = 0;
+};
+
+/** MDPT allocation with a linear pair-match scan and stamp-scan LRU. */
+class RefMdpt
+{
+  public:
+    struct Entry
+    {
+        Addr ldpc = 0;
+        Addr stpc = 0;
+        uint32_t dist = 0;
+        Addr storeTaskPc = 0;
+        SatCounter counter;
+        SatCounter pathStable;
+        SatCounter distStable;
+        bool valid = false;
+    };
+
+    explicit RefMdpt(const SyncUnitConfig &config)
+        : cfg(config), entries(config.numEntries),
+          lru(config.numEntries)
+    {
+        for (auto &e : entries) {
+            e.counter = SatCounter(cfg.counterBits);
+            e.pathStable = SatCounter(2);
+            e.distStable = SatCounter(2);
+        }
+    }
+
+    Mdpt::AllocResult
+    recordMisSpeculation(Addr ldpc, Addr stpc, uint32_t dist,
+                         Addr store_task_pc)
+    {
+        Mdpt::AllocResult res;
+        // Linear scan for the existing edge (at most one matches).
+        for (uint32_t i = 0; i < entries.size(); ++i) {
+            Entry &e = entries[i];
+            if (!e.valid || e.ldpc != ldpc || e.stpc != stpc)
+                continue;
+            if (dist == e.dist) {
+                e.distStable.increment();
+            } else {
+                e.distStable.decrement();
+                if (e.distStable.value() == 0) {
+                    e.dist = dist;
+                    e.distStable = SatCounter(2, 2);
+                }
+            }
+            if (e.storeTaskPc == store_task_pc)
+                e.pathStable.increment();
+            else
+                e.pathStable.decrement();
+            e.storeTaskPc = store_task_pc;
+            if (cfg.saturateOnMisspec)
+                e.counter.saturate();
+            else
+                e.counter.increment();
+            lru.touch(i);
+            res.index = i;
+            return res;
+        }
+        const uint32_t victim = static_cast<uint32_t>(lru.victim());
+        Entry &e = entries[victim];
+        res.evictedValid = e.valid;
+        e.valid = true;
+        e.ldpc = ldpc;
+        e.stpc = stpc;
+        e.dist = dist;
+        e.storeTaskPc = store_task_pc;
+        e.counter = SatCounter(cfg.counterBits, cfg.initialCount);
+        e.pathStable = SatCounter(2, 3);
+        e.distStable = SatCounter(2, 2);
+        lru.touch(victim);
+        res.index = victim;
+        return res;
+    }
+
+    void touch(uint32_t idx) { lru.touch(idx); }
+    const Entry &entry(uint32_t idx) const { return entries[idx]; }
+    size_t size() const { return entries.size(); }
+
+  private:
+    SyncUnitConfig cfg;
+    std::vector<Entry> entries;
+    RefLru lru;
+};
+
+/** MDST allocation via the three victim scans of section 4.4.2. */
+class RefMdst
+{
+  public:
+    struct Entry
+    {
+        Addr ldpc = 0;
+        Addr stpc = 0;
+        uint64_t instance = 0;
+        LoadId ldid = kNoLoad;
+        bool full = false;
+        bool valid = false;
+    };
+
+    explicit RefMdst(size_t n) : entries(n), lru(n) {}
+
+    uint32_t
+    allocate(Addr ldpc, Addr stpc, uint64_t instance, LoadId ldid,
+             bool full, LoadId &displaced_load)
+    {
+        displaced_load = kNoLoad;
+        uint32_t victim = UINT32_MAX;
+        // 1. Lowest-index invalid entry.
+        for (uint32_t i = 0; i < entries.size(); ++i) {
+            if (!entries[i].valid) {
+                victim = i;
+                break;
+            }
+        }
+        // 2. Least-recently-used full entry.
+        if (victim == UINT32_MAX) {
+            uint64_t best_stamp = UINT64_MAX;
+            for (uint32_t i = 0; i < entries.size(); ++i) {
+                if (entries[i].full && lru.stamp(i) < best_stamp) {
+                    victim = i;
+                    best_stamp = lru.stamp(i);
+                }
+            }
+        }
+        // 3. Least-recently-used waiting entry (owner releases load).
+        if (victim == UINT32_MAX) {
+            victim = static_cast<uint32_t>(lru.victim());
+            displaced_load = entries[victim].ldid;
+        }
+        Entry &e = entries[victim];
+        e.ldpc = ldpc;
+        e.stpc = stpc;
+        e.instance = instance;
+        e.ldid = ldid;
+        e.full = full;
+        e.valid = true;
+        lru.touch(victim);
+        return victim;
+    }
+
+    int
+    find(Addr ldpc, Addr stpc, uint64_t instance) const
+    {
+        for (uint32_t i = 0; i < entries.size(); ++i) {
+            const Entry &e = entries[i];
+            if (e.valid && e.ldpc == ldpc && e.stpc == stpc &&
+                e.instance == instance)
+                return static_cast<int>(i);
+        }
+        return -1;
+    }
+
+    void
+    signal(uint32_t idx)
+    {
+        entries[idx].full = true;
+    }
+
+    void
+    free(uint32_t idx)
+    {
+        entries[idx].valid = false;
+        entries[idx].full = false;
+        entries[idx].ldid = kNoLoad;
+    }
+
+    void
+    setLdid(uint32_t idx, LoadId ldid)
+    {
+        entries[idx].ldid = ldid;
+    }
+
+    /** Ascending scan for valid, empty entries waiting on @p ldid. */
+    std::vector<uint32_t>
+    waitingFor(LoadId ldid) const
+    {
+        std::vector<uint32_t> out;
+        for (uint32_t i = 0; i < entries.size(); ++i) {
+            const Entry &e = entries[i];
+            if (e.valid && !e.full && e.ldid == ldid)
+                out.push_back(i);
+        }
+        return out;
+    }
+
+    const Entry &entry(uint32_t idx) const { return entries[idx]; }
+    size_t size() const { return entries.size(); }
+
+  private:
+    std::vector<Entry> entries;
+    RefLru lru;
+};
+
+// --------------------------------------------------------------------
+// Lockstep drivers
+// --------------------------------------------------------------------
+
+TEST(StructEquiv, LruVictimMatchesStampScan)
+{
+    for (uint64_t seed : {3u, 11u, 99u}) {
+        std::mt19937_64 rng(seed);
+        constexpr size_t kPool = 16;
+        LruState real(kPool);
+        RefLru ref(kPool);
+        for (int op = 0; op < 20000; ++op) {
+            if (rng() % 3 == 0) {
+                ASSERT_EQ(real.victim(), ref.victim())
+                    << "seed " << seed << " op " << op;
+            } else {
+                const size_t i = rng() % kPool;
+                real.touch(i);
+                ref.touch(i);
+                ASSERT_EQ(real.stamp(i), ref.stamp(i));
+            }
+        }
+    }
+}
+
+TEST(StructEquiv, MdptAllocationMatchesLinearScans)
+{
+    SyncUnitConfig cfg;
+    cfg.numEntries = 8;   // small: constant eviction pressure
+    for (uint64_t seed : {5u, 23u, 77u}) {
+        std::mt19937_64 rng(seed);
+        Mdpt real(cfg);
+        RefMdpt ref(cfg);
+        for (int op = 0; op < 20000; ++op) {
+            // 12 loads x 12 stores >> 8 entries.
+            const Addr ldpc = 0x1000 + (rng() % 12) * 4;
+            const Addr stpc = 0x2000 + (rng() % 12) * 4;
+            const uint32_t dist = static_cast<uint32_t>(rng() % 4);
+            const Addr taskpc = 0x3000 + (rng() % 3) * 8;
+            if (rng() % 8 == 0) {
+                // Interleave plain recency refreshes (the sync units
+                // touch on every match) so LRU order diverges from
+                // allocation order.
+                const uint32_t idx =
+                    static_cast<uint32_t>(rng() % cfg.numEntries);
+                real.touch(idx);
+                ref.touch(idx);
+                continue;
+            }
+            const Mdpt::AllocResult got =
+                real.recordMisSpeculation(ldpc, stpc, dist, taskpc);
+            const Mdpt::AllocResult want =
+                ref.recordMisSpeculation(ldpc, stpc, dist, taskpc);
+            ASSERT_EQ(got.index, want.index)
+                << "seed " << seed << " op " << op;
+            ASSERT_EQ(got.evictedValid, want.evictedValid);
+            for (uint32_t i = 0; i < cfg.numEntries; ++i) {
+                const Mdpt::Entry &a = real.entry(i);
+                const RefMdpt::Entry &b = ref.entry(i);
+                ASSERT_EQ(a.valid, b.valid) << "entry " << i;
+                if (!a.valid)
+                    continue;
+                ASSERT_EQ(a.ldpc, b.ldpc) << "entry " << i;
+                ASSERT_EQ(a.stpc, b.stpc) << "entry " << i;
+                ASSERT_EQ(a.dist, b.dist) << "entry " << i;
+                ASSERT_EQ(a.storeTaskPc, b.storeTaskPc);
+                ASSERT_EQ(a.counter.value(), b.counter.value());
+            }
+        }
+    }
+}
+
+TEST(StructEquiv, MdstAllocationMatchesVictimScans)
+{
+    constexpr size_t kPool = 8;
+    for (uint64_t seed : {9u, 31u, 101u}) {
+        std::mt19937_64 rng(seed);
+        Mdst real(kPool);
+        RefMdst ref(kPool);
+        uint64_t stid = 0;
+        for (int op = 0; op < 20000; ++op) {
+            const Addr ldpc = 0x1000 + (rng() % 6) * 4;
+            const Addr stpc = 0x2000 + (rng() % 6) * 4;
+            const uint64_t instance = rng() % 5;
+            switch (rng() % 6) {
+              case 0:
+              case 1: {   // allocate (waiting or full)
+                  // Owners always probe before allocating; a second
+                  // live entry for the same (ldpc, stpc, instance)
+                  // never exists (it would shadow the first in the
+                  // key index), so the driver respects the protocol.
+                  if (ref.find(ldpc, stpc, instance) >= 0)
+                      break;
+                  const bool full = rng() % 2 == 0;
+                  const LoadId ldid =
+                      full ? kNoLoad
+                           : static_cast<LoadId>(rng() % 16);
+                  LoadId got_disp, want_disp;
+                  const uint32_t got = real.allocate(
+                      ldpc, stpc, instance, ldid, stid++, full,
+                      got_disp);
+                  const uint32_t want = ref.allocate(
+                      ldpc, stpc, instance, ldid, full, want_disp);
+                  ASSERT_EQ(got, want)
+                      << "seed " << seed << " op " << op;
+                  ASSERT_EQ(got_disp, want_disp);
+                  break;
+              }
+              case 2: {   // find
+                  ASSERT_EQ(real.find(ldpc, stpc, instance),
+                            ref.find(ldpc, stpc, instance))
+                      << "seed " << seed << " op " << op;
+                  break;
+              }
+              case 3: {   // signal a valid entry, if any matches
+                  const int idx = ref.find(ldpc, stpc, instance);
+                  if (idx >= 0) {
+                      real.signal(static_cast<uint32_t>(idx));
+                      ref.signal(static_cast<uint32_t>(idx));
+                  }
+                  break;
+              }
+              case 4: {   // free a valid entry, if any matches
+                  const int idx = ref.find(ldpc, stpc, instance);
+                  if (idx >= 0) {
+                      real.free(static_cast<uint32_t>(idx));
+                      ref.free(static_cast<uint32_t>(idx));
+                  }
+                  break;
+              }
+              default: {  // waitingFor probe
+                  const LoadId ldid = static_cast<LoadId>(rng() % 16);
+                  std::vector<uint32_t> got;
+                  real.waitingFor(ldid, got);
+                  ASSERT_EQ(got, ref.waitingFor(ldid))
+                      << "seed " << seed << " op " << op;
+                  break;
+              }
+            }
+            for (uint32_t i = 0; i < kPool; ++i) {
+                const Mdst::Entry &a = real.entry(i);
+                const RefMdst::Entry &b = ref.entry(i);
+                ASSERT_EQ(a.valid, b.valid) << "entry " << i;
+                if (!a.valid)
+                    continue;
+                ASSERT_EQ(a.ldpc, b.ldpc) << "entry " << i;
+                ASSERT_EQ(a.stpc, b.stpc) << "entry " << i;
+                ASSERT_EQ(a.instance, b.instance) << "entry " << i;
+                ASSERT_EQ(a.full, b.full) << "entry " << i;
+                ASSERT_EQ(a.ldid, b.ldid) << "entry " << i;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace mdp

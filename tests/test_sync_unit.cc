@@ -351,6 +351,46 @@ TEST(CombinedSync, EvictionReleasesWaitingLoads)
     EXPECT_EQ(u.numWaitingLoads(), 0u);
 }
 
+TEST(CombinedSync, LruEvictionWithLiveSyncStateReleasesItsLoad)
+{
+    // Regression test for the indexed MDPT victim choice: with the
+    // table full, a new edge must steal the least-recently-used entry
+    // even when that entry holds live synchronization state, and the
+    // owner must get the parked load back (the owner-release path).
+    // The old linear victim scan picked the same entry; the O(1) LRU
+    // list must not change that.
+    SyncUnitConfig cfg = baseConfig();
+    cfg.numEntries = 4;
+    CombinedSyncUnit u(cfg);
+    for (uint64_t i = 0; i < 4; ++i)
+        u.misSpeculation(kLd + 16 * i, kSt + 16 * i, 1, 0);
+
+    // Park a load on edge 0 -- its entry now carries a waiting slot.
+    LoadCheck r = u.loadReady(kLd, kA, 3, 30, nullptr);
+    ASSERT_TRUE(r.wait);
+    EXPECT_EQ(u.numWaitingLoads(), 1u);
+
+    // Re-touch edges 1..3 so edge 0, despite being busy, is coldest.
+    for (uint64_t i = 1; i < 4; ++i)
+        u.misSpeculation(kLd + 16 * i, kSt + 16 * i, 1, 0);
+
+    // A fifth edge must evict edge 0, not any of the warm entries.
+    u.misSpeculation(kLd + 64, kSt + 64, 1, 0);
+    EXPECT_FALSE(u.matchesStore(kSt));
+    for (uint64_t i = 1; i < 4; ++i)
+        EXPECT_TRUE(u.matchesStore(kSt + 16 * i));
+    EXPECT_TRUE(u.matchesStore(kSt + 64));
+
+    // The displaced entry's parked load comes back via the release
+    // queue, and the event is accounted as an eviction release.
+    std::vector<LoadId> released;
+    u.drainReleasedLoads(released);
+    ASSERT_EQ(released.size(), 1u);
+    EXPECT_EQ(released[0], 30u);
+    EXPECT_EQ(u.numWaitingLoads(), 0u);
+    EXPECT_EQ(u.stats().evictionReleases, 1u);
+}
+
 TEST(CombinedSync, SlotPressureScavengesStalestFull)
 {
     SyncUnitConfig cfg = baseConfig();

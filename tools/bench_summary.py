@@ -5,7 +5,8 @@ Each bench binary writes one JSON document when MDP_JSON_OUT is set
 (see src/harness/report.hh): tables, shape-check verdicts, and the
 accumulated wall-clock seconds of each internal phase
 (trace_cache_load, trace_generate, oracle_build, task_set_build,
-simulate) under "phase_seconds".
+simulate, and the per-kernel micro_* phases of bench/micro/)
+under "phase_seconds".
 
 This script merges one or more labeled result directories -- typically
 cold (empty trace cache) and warm (prebuilt trace cache) runs of the
@@ -18,12 +19,29 @@ phase timings, plus aggregate phase totals and the cold/warm trace
 acquisition speedup (generation seconds versus cache-load seconds),
 which is the number the trace cache exists to improve.
 
+Microbenchmark reports are merged through their own labeled group:
+
+    bench_summary.py --out ... --micro pr=results-micro [runs...]
+
+The micro group's bench set must agree across its own labels but is
+independent of the main labels (the table/figure benches and the
+micro kernels are disjoint sets by design).  With --compare, the
+micro_* per-kernel phase totals are gated against a previous summary:
+
+    bench_summary.py --out ... --micro pr=... \
+        --compare BENCH_base.json --threshold 2.0
+
+fails when any kernel present in the baseline got more than
+--threshold times slower (or disappeared), and records the per-kernel
+current/baseline ratios under "micro_compare" either way.
+
 Exits nonzero when a result file is unreadable, malformed (wrong
 top-level shape, missing/ill-typed fields), when the labeled
 directories disagree about which benches exist (a bench that crashed
-before writing its artifact must not vanish silently), or when any
-bench reported a failed shape check -- so the timing job gates on
-correctness and cannot green-wash a broken bench.
+before writing its artifact must not vanish silently), when any bench
+reported a failed shape check, or when --compare finds a kernel
+regression -- so the timing job gates on correctness and cannot
+green-wash a broken bench.
 """
 
 import argparse
@@ -33,6 +51,10 @@ from pathlib import Path
 
 # Phases that constitute "getting a trace into memory".
 ACQUIRE_PHASES = ("trace_cache_load", "trace_generate")
+
+# Baselines shorter than this are timer noise, not kernels; --compare
+# does not gate on them (their ratios are still recorded).
+MICRO_COMPARE_FLOOR_SECONDS = 1e-3
 
 
 def validate_report(path, doc):
@@ -85,36 +107,23 @@ def load_dir(directory):
     return reports
 
 
-def phase_totals(reports):
-    """Sum phase_seconds across one label's reports."""
-    totals = {}
-    for doc in reports.values():
-        for phase, seconds in doc.get("phase_seconds", {}).items():
-            totals[phase] = totals.get(phase, 0.0) + seconds
-    return {k: round(v, 6) for k, v in sorted(totals.items())}
-
-
-def main():
-    parser = argparse.ArgumentParser(
-        description="merge labeled bench-report directories")
-    parser.add_argument("--out", required=True,
-                        help="path of the merged JSON summary")
-    parser.add_argument("runs", nargs="+", metavar="LABEL=DIR",
-                        help="labeled result directory (e.g. cold=...)")
-    args = parser.parse_args()
-
+def parse_labeled(specs, parser, taken=()):
+    """Parse LABEL=DIR args into {label: reports}."""
     labeled = {}
-    for spec in args.runs:
+    for spec in specs:
         label, sep, directory = spec.partition("=")
         if not sep or not label or not directory:
             parser.error(f"expected LABEL=DIR, got '{spec}'")
-        if label in labeled:
+        if label in labeled or label in taken:
             parser.error(f"duplicate label '{label}'")
         labeled[label] = load_dir(directory)
+    return labeled
 
-    # Every label must cover the same bench set: a bench that crashed
-    # before writing its artifact in one run must fail the merge, not
-    # silently drop out of the comparison.
+
+def check_same_bench_set(labeled):
+    """Every label must cover the same bench set: a bench that crashed
+    before writing its artifact in one run must fail the merge, not
+    silently drop out of the comparison."""
     bench_sets = {label: set(reports) for label, reports
                   in labeled.items()}
     union = set().union(*bench_sets.values())
@@ -125,8 +134,11 @@ def main():
                 f"label '{label}' is missing bench reports: "
                 + ", ".join(missing))
 
+
+def merge_labeled(labeled, failed):
+    """Fold {label: reports} into per-bench summary entries; append
+    'label/bench' to failed for every failed shape check."""
     benches = {}
-    failed = []
     for label, reports in labeled.items():
         for bench, doc in reports.items():
             entry = benches.setdefault(bench, {
@@ -147,16 +159,129 @@ def main():
                 entry["failed_checks"] = sorted(
                     set(entry["failed_checks"]) | set(bad))
                 failed.append(f"{label}/{bench}")
+    return dict(sorted(benches.items()))
 
-    totals = {label: phase_totals(reports)
-              for label, reports in labeled.items()}
 
+def phase_totals(reports):
+    """Sum phase_seconds across one label's reports."""
+    totals = {}
+    for doc in reports.values():
+        for phase, seconds in doc.get("phase_seconds", {}).items():
+            totals[phase] = totals.get(phase, 0.0) + seconds
+    return {k: round(v, 6) for k, v in sorted(totals.items())}
+
+
+def aggregate_micro_phases(totals_by_label):
+    """Sum the micro_* phases of a {label: {phase: seconds}} map."""
+    agg = {}
+    for phases in totals_by_label.values():
+        for phase, seconds in phases.items():
+            if phase.startswith("micro_"):
+                agg[phase] = agg.get(phase, 0.0) + seconds
+    return agg
+
+
+def compare_micro(baseline_path, micro_totals, threshold):
+    """Gate current micro kernel times against a previous summary.
+
+    Returns (compare_doc, regression_messages).  A kernel present in
+    the baseline but absent now is a regression (a renamed or dropped
+    kernel must update the baseline explicitly, not pass silently).
+    """
+    try:
+        base = json.loads(Path(baseline_path).read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        raise RuntimeError(f"unreadable baseline {baseline_path}: {err}")
+    if not isinstance(base, dict) or "micro" not in base:
+        raise RuntimeError(
+            f"baseline {baseline_path} has no 'micro' section")
+    base_agg = aggregate_micro_phases(
+        base["micro"].get("phase_totals", {}))
+    if not base_agg:
+        raise RuntimeError(
+            f"baseline {baseline_path} has no micro_* phases")
+    cur_agg = aggregate_micro_phases(micro_totals)
+
+    ratios = {}
+    regressions = []
+    for phase, base_secs in sorted(base_agg.items()):
+        if phase not in cur_agg:
+            regressions.append(
+                f"{phase}: present in baseline but not in this run")
+            continue
+        cur_secs = cur_agg[phase]
+        if base_secs > 0:
+            ratio = cur_secs / base_secs
+        else:
+            ratio = 1.0 if cur_secs == 0 else float("inf")
+        ratios[phase] = round(ratio, 3)
+        if base_secs >= MICRO_COMPARE_FLOOR_SECONDS \
+                and ratio > threshold:
+            regressions.append(
+                f"{phase}: {base_secs:.4f}s -> {cur_secs:.4f}s "
+                f"({ratio:.2f}x > {threshold:.2f}x)")
+    return {
+        "baseline": str(baseline_path),
+        "threshold": threshold,
+        "ratios": ratios,
+        "regressions": regressions,
+    }, regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="merge labeled bench-report directories")
+    parser.add_argument("--out", required=True,
+                        help="path of the merged JSON summary")
+    parser.add_argument("--micro", action="append", default=[],
+                        metavar="LABEL=DIR",
+                        help="labeled microbenchmark result directory")
+    parser.add_argument("--compare", metavar="BASELINE.json",
+                        help="gate micro kernels against a previous "
+                             "summary written by this script")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="maximum tolerated micro slowdown ratio "
+                             "(default 2.0)")
+    parser.add_argument("runs", nargs="*", metavar="LABEL=DIR",
+                        help="labeled result directory (e.g. cold=...)")
+    args = parser.parse_args()
+
+    if not args.runs and not args.micro:
+        parser.error("need at least one LABEL=DIR (positional or "
+                     "--micro)")
+    if args.compare and not args.micro:
+        parser.error("--compare requires --micro directories to "
+                     "compare")
+
+    labeled = parse_labeled(args.runs, parser)
+    micro_labeled = parse_labeled(args.micro, parser, taken=labeled)
+
+    # Bench sets must agree within each group; the two groups are
+    # disjoint by design (table/figure benches vs. micro kernels), so
+    # they are not compared against each other.
+    failed = []
     summary = {
         "generated_by": "tools/bench_summary.py",
         "labels": sorted(labeled),
-        "benches": dict(sorted(benches.items())),
-        "phase_totals": totals,
     }
+    totals = {}
+    if labeled:
+        check_same_bench_set(labeled)
+        summary["benches"] = merge_labeled(labeled, failed)
+        totals = {label: phase_totals(reports)
+                  for label, reports in labeled.items()}
+        summary["phase_totals"] = totals
+
+    micro_totals = {}
+    if micro_labeled:
+        check_same_bench_set(micro_labeled)
+        micro_totals = {label: phase_totals(reports)
+                        for label, reports in micro_labeled.items()}
+        summary["micro"] = {
+            "labels": sorted(micro_labeled),
+            "benches": merge_labeled(micro_labeled, failed),
+            "phase_totals": micro_totals,
+        }
 
     # The headline number: how much faster a warm cache acquires traces
     # than cold generation.  Only meaningful when both labels exist.
@@ -170,21 +295,41 @@ def main():
         if warm > 0:
             summary["trace_acquire_speedup"] = round(cold / warm, 2)
 
+    regressions = []
+    if args.compare:
+        compare_doc, regressions = compare_micro(
+            args.compare, micro_totals, args.threshold)
+        summary["micro_compare"] = compare_doc
+
     Path(args.out).write_text(json.dumps(summary, indent=2) + "\n")
 
-    print(f"wrote {args.out}: {len(benches)} benches, "
-          f"labels {', '.join(sorted(labeled))}")
-    for label, phases in sorted(totals.items()):
+    nbench = len(summary.get("benches", {}))
+    nmicro = len(summary.get("micro", {}).get("benches", {}))
+    all_labels = sorted(labeled) + sorted(micro_labeled)
+    print(f"wrote {args.out}: {nbench} benches, {nmicro} micro, "
+          f"labels {', '.join(all_labels)}")
+    for label, phases in sorted({**totals, **micro_totals}.items()):
         line = ", ".join(f"{k}={v:.3f}s" for k, v in phases.items())
         print(f"  {label}: {line}")
     if "trace_acquire_speedup" in summary:
         print(f"  trace acquisition speedup (cold/warm): "
               f"{summary['trace_acquire_speedup']}x")
+    if args.compare:
+        ratios = summary["micro_compare"]["ratios"]
+        line = ", ".join(f"{k.removeprefix('micro_')}={v:.2f}x"
+                         for k, v in sorted(ratios.items()))
+        print(f"  micro vs baseline (current/baseline): {line}")
+
+    status = 0
     if failed:
         print("FAILED shape checks in: " + ", ".join(sorted(failed)),
               file=sys.stderr)
-        return 1
-    return 0
+        status = 1
+    if regressions:
+        print("MICRO REGRESSIONS (vs " + str(args.compare) + "):\n  "
+              + "\n  ".join(regressions), file=sys.stderr)
+        status = 1
+    return status
 
 
 if __name__ == "__main__":
