@@ -45,3 +45,4 @@ mdp_add_micro(micro_mdpt)
 mdp_add_micro(micro_mdst)
 mdp_add_micro(micro_oracle)
 mdp_add_micro(micro_model_cycle)
+mdp_add_micro(micro_cycle_skip)

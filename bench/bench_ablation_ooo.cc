@@ -34,8 +34,7 @@ main()
                 OooConfig cfg;
                 cfg.windowSize = w;
                 cfg.policy = p;
-                OooProcessor proc(ctx.trace(), ctx.oracle(), cfg);
-                return proc.run();
+                return runOoo(ctx, cfg);
             };
             OooResult never = run(SpecPolicy::Never);
             OooResult always = run(SpecPolicy::Always);

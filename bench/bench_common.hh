@@ -26,6 +26,7 @@
 
 #include "base/env.hh"
 #include "base/table.hh"
+#include "harness/cycle_stats.hh"
 #include "harness/experiment.hh"
 #include "harness/phase_timer.hh"
 #include "harness/report.hh"
@@ -104,6 +105,9 @@ finishBench(const std::string &bench_name, const std::string &paper_ref,
         report.addCheck(check_ok, what);
     for (const auto &[phase, seconds] : phaseSeconds())
         report.addTiming(phase, seconds);
+    CycleStats cs = cycleStats();
+    if (cs.total())
+        report.setCycleCounts(cs.cyclesSimulated, cs.cyclesSkipped);
     if (!report.writeEnv())
         return 1;
     return ok ? 0 : 1;

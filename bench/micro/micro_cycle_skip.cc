@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Microbenchmark of the event-driven fast-forward in the two cycle
+ * loops (OoO and Multiscalar), on a synthetic trace built to be
+ * idle-heavy: every load misses with a long penalty and register
+ * dependences span several tasks, so almost all cycles are dead time
+ * waiting for completions to land.  Each model runs once with
+ * fast-forward (the default) and once in tick-every-cycle reference
+ * mode, so the JSON artifact carries both wall times and
+ * bench_summary.py --compare gates each against the merge base.
+ *
+ * Checksums fold in the skip counters (cyclesSimulated/cyclesSkipped)
+ * on top of the semantic results, so a nondeterministic skip target
+ * fails the cross-repetition shape check, not just the equivalence
+ * test suite.
+ */
+
+#include "micro_common.hh"
+
+#include "trace/builder.hh"
+
+using namespace mdp;
+
+namespace
+{
+
+/**
+ * A long chain of small tasks: load (always a miss), a serial divide
+ * chain, and a store whose value feeds the load three tasks later.
+ * The three-task register distance keeps only a few chains in flight,
+ * so both models spend most cycles waiting.
+ */
+Trace
+idleTrace(unsigned num_tasks, unsigned divs_per_task)
+{
+    TraceBuilder b("cycle_skip_idle");
+    std::vector<SeqNum> tails;
+    tails.reserve(num_tasks);
+    for (unsigned t = 0; t < num_tasks; ++t) {
+        b.beginTask(0x1000 + (t % 7) * 0x100);
+        SeqNum far = t >= 3 ? tails[t - 3] : kNoSeq;
+        SeqNum x = b.load(0x2000, 0x100000 + t * 64ULL, far);
+        for (unsigned i = 0; i < divs_per_task; ++i)
+            x = b.op(OpKind::IntDiv, 0x3000 + i * 8, x);
+        tails.push_back(b.store(0x4000, 0x200000 + t * 64ULL, kNoSeq, x));
+    }
+    return b.take();
+}
+
+uint64_t
+oooSkipKernel(const WorkloadContext &ctx, bool fast_forward)
+{
+    OooConfig cfg;
+    cfg.missRate = 1.0;       // every load misses ...
+    cfg.missPenalty = 300;    // ... expensively
+    cfg.fastForward = fast_forward;
+    cfg.maxCycles = static_cast<uint64_t>(ctx.trace().size()) * 600;
+    const OooResult r = runOoo(ctx, cfg);
+    uint64_t sum = mixChecksum(r.cycles, r.committedOps);
+    sum = mixChecksum(sum, r.misSpeculations);
+    sum = mixChecksum(sum, r.cyclesSimulated);
+    return mixChecksum(sum, r.cyclesSkipped);
+}
+
+uint64_t
+msSkipKernel(const WorkloadContext &ctx, bool fast_forward)
+{
+    MultiscalarConfig cfg;
+    cfg.bankBytes = 64;       // one block per bank: constant misses
+    cfg.missPenalty = 200;
+    cfg.ringHopLatency = 8;   // wide register distances hurt
+    cfg.fastForward = fast_forward;
+    cfg.maxCycles = static_cast<uint64_t>(ctx.trace().size()) * 600;
+    const SimResult r = runMultiscalar(ctx, cfg);
+    uint64_t sum = mixChecksum(r.cycles, r.committedOps);
+    sum = mixChecksum(sum, r.misSpeculations);
+    sum = mixChecksum(sum, r.cyclesSimulated);
+    return mixChecksum(sum, r.cyclesSkipped);
+}
+
+} // namespace
+
+int
+main()
+{
+    MicroSuite suite("micro_cycle_skip",
+                     "event-driven fast-forward vs. the tick-loop "
+                     "reference on an idle-heavy trace");
+
+    const double scale = envDouble("MDP_MICRO_SCALE", 0.05);
+    const unsigned tasks =
+        static_cast<unsigned>(8000 * (scale / 0.05) + 0.5);
+    const WorkloadContext ctx(idleTrace(tasks, 6));
+
+    suite.kernel("ooo_skip_ff",
+                 [&] { return oooSkipKernel(ctx, true); });
+    suite.kernel("ooo_skip_reference",
+                 [&] { return oooSkipKernel(ctx, false); });
+    suite.kernel("ms_skip_ff",
+                 [&] { return msSkipKernel(ctx, true); });
+    suite.kernel("ms_skip_reference",
+                 [&] { return msSkipKernel(ctx, false); });
+
+    return suite.finish();
+}

@@ -23,8 +23,7 @@ oooKernel(const WorkloadContext &ctx, SpecPolicy policy)
 {
     OooConfig cfg;
     cfg.policy = policy;
-    OooProcessor proc(ctx.trace(), ctx.oracle(), cfg);
-    const OooResult r = proc.run();
+    const OooResult r = runOoo(ctx, cfg);
     uint64_t sum = mixChecksum(r.cycles, r.committedOps);
     sum = mixChecksum(sum, r.misSpeculations);
     sum = mixChecksum(sum, r.loadsBlocked);

@@ -41,4 +41,11 @@ traceScale()
     return s > 0.0 ? s : 1.0;
 }
 
+bool
+tickReference()
+{
+    static const bool ref = envLong("MDP_TICK_REFERENCE", 0) != 0;
+    return ref;
+}
+
 } // namespace mdp

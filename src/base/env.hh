@@ -28,6 +28,15 @@ std::string envString(const char *name, const std::string &def);
  */
 double traceScale();
 
+/**
+ * Process-wide kill switch for event-driven fast-forward (env
+ * MDP_TICK_REFERENCE=1): the timing models fall back to the naive
+ * tick-every-cycle reference loop.  Results must be byte-identical in
+ * both modes; CI runs the bench suite under both to prove it.  Read
+ * once and cached, so flipping the variable mid-process has no effect.
+ */
+bool tickReference();
+
 } // namespace mdp
 
 #endif // MDP_BASE_ENV_HH

@@ -1,0 +1,49 @@
+#include "harness/cycle_stats.hh"
+
+#include <mutex>
+
+namespace mdp
+{
+
+namespace
+{
+
+std::mutex &
+statsMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+CycleStats &
+statsTotals()
+{
+    static CycleStats totals;
+    return totals;
+}
+
+} // namespace
+
+void
+addCycleStats(uint64_t simulated, uint64_t skipped)
+{
+    std::lock_guard<std::mutex> lock(statsMutex());
+    statsTotals().cyclesSimulated += simulated;
+    statsTotals().cyclesSkipped += skipped;
+}
+
+CycleStats
+cycleStats()
+{
+    std::lock_guard<std::mutex> lock(statsMutex());
+    return statsTotals();
+}
+
+void
+resetCycleStats()
+{
+    std::lock_guard<std::mutex> lock(statsMutex());
+    statsTotals() = CycleStats{};
+}
+
+} // namespace mdp

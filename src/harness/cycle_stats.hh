@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Process-wide accounting of the timing models' event-driven
+ * fast-forward: how many cycles were actually simulated vs. jumped
+ * over (see OooResult/SimResult cyclesSimulated/cyclesSkipped).
+ *
+ * The harness run helpers (runMultiscalar, runOoo) fold every run's
+ * counters in here; finishBench() emits the totals as "cycle_stats"
+ * in the JSON artifact so CI can watch the skip rate stay high.  The
+ * counters are deterministic (they count simulator cycles, not wall
+ * time), so cold and warm runs of the same bench report identical
+ * values.
+ */
+
+#ifndef MDP_HARNESS_CYCLE_STATS_HH
+#define MDP_HARNESS_CYCLE_STATS_HH
+
+#include <cstdint>
+
+namespace mdp
+{
+
+/** Aggregate fast-forward counters across all runs of this process. */
+struct CycleStats
+{
+    uint64_t cyclesSimulated = 0;
+    uint64_t cyclesSkipped = 0;
+
+    uint64_t total() const { return cyclesSimulated + cyclesSkipped; }
+
+    /** Fraction of total cycles that were skipped (0 when idle). */
+    double
+    skipRate() const
+    {
+        uint64_t t = total();
+        return t ? static_cast<double>(cyclesSkipped) / t : 0.0;
+    }
+};
+
+/** Add one run's counters to the process totals.  Thread-safe. */
+void addCycleStats(uint64_t simulated, uint64_t skipped);
+
+/** Snapshot of the process totals.  Thread-safe. */
+CycleStats cycleStats();
+
+/** Reset the totals (tests and fresh re-reports only). */
+void resetCycleStats();
+
+} // namespace mdp
+
+#endif // MDP_HARNESS_CYCLE_STATS_HH

@@ -544,6 +544,14 @@ BenchReport::addTiming(const std::string &phase, double seconds)
     timings.emplace_back(phase, seconds);
 }
 
+void
+BenchReport::setCycleCounts(uint64_t simulated, uint64_t skipped)
+{
+    cyclesSimulated = simulated;
+    cyclesSkipped = skipped;
+    haveCycleCounts = true;
+}
+
 bool
 BenchReport::allChecksOk() const
 {
@@ -582,6 +590,20 @@ BenchReport::toJson() const
         for (const auto &[phase, seconds] : timings)
             phases.set(phase, JsonValue::number(seconds));
         doc.set("phase_seconds", std::move(phases));
+    }
+
+    if (haveCycleCounts) {
+        uint64_t total = cyclesSimulated + cyclesSkipped;
+        JsonValue cs = JsonValue::object();
+        cs.set("cycles_simulated",
+               JsonValue::number(static_cast<double>(cyclesSimulated)));
+        cs.set("cycles_skipped",
+               JsonValue::number(static_cast<double>(cyclesSkipped)));
+        cs.set("skip_rate",
+               JsonValue::number(
+                   total ? static_cast<double>(cyclesSkipped) / total
+                         : 0.0));
+        doc.set("cycle_stats", std::move(cs));
     }
     return doc;
 }

@@ -113,6 +113,14 @@ class BenchReport
      */
     void addTiming(const std::string &phase, double seconds);
 
+    /**
+     * Record the process's aggregate fast-forward counters; emitted
+     * under "cycle_stats" (cycles_simulated, cycles_skipped,
+     * skip_rate).  Unlike phase_seconds these are deterministic --
+     * cold and warm runs of the same bench report identical values.
+     */
+    void setCycleCounts(uint64_t simulated, uint64_t skipped);
+
     bool allChecksOk() const;
     size_t numChecks() const { return checks.size(); }
 
@@ -136,6 +144,9 @@ class BenchReport
     std::vector<std::pair<std::string, JsonValue>> tables;
     std::vector<std::pair<bool, std::string>> checks;
     std::vector<std::pair<std::string, double>> timings;
+    uint64_t cyclesSimulated = 0;
+    uint64_t cyclesSkipped = 0;
+    bool haveCycleCounts = false;
 };
 
 } // namespace mdp

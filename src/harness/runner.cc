@@ -4,6 +4,7 @@
 
 #include "base/env.hh"
 #include "base/logging.hh"
+#include "harness/cycle_stats.hh"
 #include "harness/phase_timer.hh"
 #include "multiscalar/processor.hh"
 #include "workloads/suites.hh"
@@ -72,7 +73,19 @@ runMultiscalar(const WorkloadContext &ctx, const MultiscalarConfig &cfg)
     ScopedPhase phase("simulate");
     MultiscalarProcessor proc(ctx.trace(), ctx.oracle(), ctx.tasks(),
                               cfg);
-    return proc.run();
+    SimResult r = proc.run();
+    addCycleStats(r.cyclesSimulated, r.cyclesSkipped);
+    return r;
+}
+
+OooResult
+runOoo(const WorkloadContext &ctx, const OooConfig &cfg)
+{
+    ScopedPhase phase("simulate");
+    OooProcessor proc(ctx.trace(), ctx.oracle(), cfg);
+    OooResult r = proc.run();
+    addCycleStats(r.cyclesSimulated, r.cyclesSkipped);
+    return r;
 }
 
 double

@@ -13,6 +13,7 @@
 
 #include "multiscalar/config.hh"
 #include "multiscalar/task_info.hh"
+#include "ooo/ooo_model.hh"
 #include "trace/cache.hh"
 #include "trace/dep_oracle.hh"
 #include "trace/trace.hh"
@@ -77,9 +78,17 @@ MultiscalarConfig makeMultiscalarConfig(const WorkloadContext &ctx,
                                         unsigned stages,
                                         SpecPolicy policy);
 
-/** Run the Multiscalar model once. */
+/**
+ * Run the Multiscalar model once.  Accounts the run's wall time under
+ * the "simulate" phase and its fast-forward counters in the process
+ * cycle-stats totals (harness/cycle_stats.hh).
+ */
 SimResult runMultiscalar(const WorkloadContext &ctx,
                          const MultiscalarConfig &cfg);
+
+/** Run the superscalar OoO model once; same accounting as
+ *  runMultiscalar. */
+OooResult runOoo(const WorkloadContext &ctx, const OooConfig &cfg);
 
 /** Percentage speedup of @p test over @p base (by IPC). */
 double speedupPct(const SimResult &base, const SimResult &test);

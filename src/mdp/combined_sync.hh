@@ -43,6 +43,10 @@ class CombinedSyncUnit : public DepSynchronizer
 
     void drainReleasedLoads(std::vector<LoadId> &out) override;
 
+    /** Slots have no timeout: every release is signal-, frontier- or
+     *  eviction-driven, so fast-forward never needs to wake for us. */
+    uint64_t nextWakeupCycle() const override { return kNoWakeupCycle; }
+
     const SyncStats &stats() const override { return st; }
 
     void reset() override;

@@ -41,6 +41,9 @@ class SplitSyncUnit : public DepSynchronizer
 
     void drainReleasedLoads(std::vector<LoadId> &out) override;
 
+    /** MDST slots carry no timers; releases are all event-driven. */
+    uint64_t nextWakeupCycle() const override { return kNoWakeupCycle; }
+
     const SyncStats &stats() const override { return st; }
 
     void reset() override;

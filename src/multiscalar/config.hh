@@ -86,6 +86,15 @@ struct MultiscalarConfig
      *  execution (section 6, compiler-exposed synchronization). */
     std::vector<StaticEdge> preloadEdges;
 
+    /**
+     * Event-driven fast-forward: jump over provably idle cycles to the
+     * next pending completion / wakeup / resume point instead of
+     * ticking through them.  Byte-identical results in both modes;
+     * MDP_TICK_REFERENCE=1 forces the naive reference loop
+     * process-wide regardless of this flag.
+     */
+    bool fastForward = true;
+
     /** Derived: number of data banks. */
     unsigned numBanks() const { return banksPerStage * numStages; }
 };
@@ -105,6 +114,14 @@ struct PredBreakdown
 struct SimResult
 {
     uint64_t cycles = 0;
+
+    /**
+     * Skip accounting: cycles the loop actually executed vs. cycles
+     * fast-forward jumped over.  Invariant: cyclesSimulated +
+     * cyclesSkipped == cycles (the reference loop reports zero skips).
+     */
+    uint64_t cyclesSimulated = 0;
+    uint64_t cyclesSkipped = 0;
     uint64_t committedOps = 0;
     uint64_t committedLoads = 0;
     uint64_t committedStores = 0;

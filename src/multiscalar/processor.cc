@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/env.hh"
 #include "base/logging.hh"
 #include "base/ordered.hh"
 #include "base/random.hh"
@@ -15,7 +16,8 @@ MultiscalarProcessor::MultiscalarProcessor(const TraceView &trace,
                                            const MultiscalarConfig &config)
     : trc(trace), oracle(dep_oracle), tasks(task_set), cfg(config),
       state(trace.size()), taskRun(task_set.numTasks()),
-      stages(config.numStages), memsys(config)
+      stages(config.numStages), memsys(config),
+      ffEnabled(config.fastForward && !tickReference())
 {
     // A wakeup or blocked list can never exceed the in-flight window
     // (numStages stage windows); pre-sizing keeps the per-cycle loops
@@ -71,6 +73,7 @@ MultiscalarProcessor::run()
 
     while (committedTasks < num_tasks) {
         ++cycle;
+        ++res.cyclesSimulated;
         if (cycle > cap) {
             warn("multiscalar: cycle cap %llu hit with %llu/%u tasks "
                  "committed; results are partial",
@@ -79,6 +82,7 @@ MultiscalarProcessor::run()
                  num_tasks);
             break;
         }
+        cycleActivity = false;
 
         sequencerStep();
         for (unsigned k = 0; k < cfg.numStages; ++k)
@@ -87,6 +91,18 @@ MultiscalarProcessor::run()
         if (sync)
             drainSyncReleases();
         commitStep();
+
+        // Event-driven fast-forward: an idle cycle changed nothing, so
+        // every following cycle is identical until a time-gated
+        // predicate flips; jump to just before the earliest such cycle
+        // (the loop-top increment lands on it).
+        if (ffEnabled && !cycleActivity && committedTasks < num_tasks) {
+            uint64_t target = nextInterestingCycle(cap);
+            if (target > cycle + 1) {
+                res.cyclesSkipped += target - 1 - cycle;
+                cycle = target - 1;
+            }
+        }
     }
 
     res.cycles = cycle;
@@ -94,6 +110,71 @@ MultiscalarProcessor::run()
     if (sync)
         res.syncStats = sync->stats();
     return res;
+}
+
+uint64_t
+MultiscalarProcessor::nextInterestingCycle(uint64_t cap) const
+{
+    uint64_t next = cap + 1;
+    auto consider = [&](uint64_t c) {
+        if (c > cycle && c < next)
+            next = c;
+    };
+
+    // Sequencer recovery from a task misprediction.
+    if (mispredictStall && mispredictResume != 0)
+        consider(mispredictResume);
+
+    for (unsigned k = 0; k < cfg.numStages; ++k) {
+        const Stage &st = stages[k];
+        if (st.task < 0)
+            continue;
+        uint32_t t = static_cast<uint32_t>(st.task);
+
+        // Squash re-fetch point of this stage.
+        consider(st.resumeCycle);
+
+        // Ops whose producers have all issued become ready once the
+        // last result arrives over the ring (srcReady's predicate).
+        // An op with an unissued producer has no timed readiness; the
+        // producer's own issue is activity and re-arms the scan.
+        for (SeqNum seq : st.window) {
+            const OpState &os = state[seq];
+            if (os.flags & (kIssued | kBlockedSync | kBlockedFrontier |
+                            kBlockedPsync))
+                continue;
+            uint64_t ready = 0;
+            bool timed = true;
+            for (SeqNum src : {trc.src1(seq), trc.src2(seq)}) {
+                if (src == kNoSeq)
+                    continue;
+                const OpState &ps = state[src];
+                if (!(ps.flags & kIssued)) {
+                    timed = false;
+                    break;
+                }
+                uint64_t r = ps.doneCycle;
+                uint32_t ptask = trc.taskId(src);
+                if (ptask != t)
+                    r += static_cast<uint64_t>(t - ptask) *
+                         cfg.ringHopLatency;
+                ready = std::max(ready, r);
+            }
+            if (timed)
+                consider(ready);
+        }
+
+        // Head-task commit waits for its last completion to land.
+        if (st.task == static_cast<int64_t>(committedTasks)) {
+            const TaskRun &tr = taskRun[t];
+            if (tr.issuedOps == tasks.taskSize(t))
+                consider(tr.lastDone);
+        }
+    }
+
+    if (sync)
+        consider(sync->nextWakeupCycle());
+    return next;
 }
 
 Addr
@@ -117,17 +198,23 @@ MultiscalarProcessor::sequencerStep()
     if (mispredictStall) {
         // Recovery: the wrong-path work drains (all older tasks must
         // commit), then the sequencer re-fetches the right task after
-        // the recovery penalty.
-        if (mispredictResume == 0 && committedTasks == nextTask)
+        // the recovery penalty.  Arming the resume timer is a state
+        // change in an otherwise-quiet cycle -- without the activity
+        // mark, fast-forward would jump past it to the cycle cap.
+        if (mispredictResume == 0 && committedTasks == nextTask) {
             mispredictResume = cycle + cfg.mispredictPenalty;
+            cycleActivity = true;
+        }
         if (mispredictResume == 0 || cycle < mispredictResume)
             return;
         mispredictStall = false;
         mispredictResume = 0;
+        cycleActivity = true;
         // fall through to assignment
     } else if (taskMispredicted(static_cast<uint32_t>(nextTask))) {
         mispredictStall = true;
         ++res.controlStalls;
+        cycleActivity = true;
         return;
     }
 
@@ -141,6 +228,7 @@ MultiscalarProcessor::sequencerStep()
     st.resumeCycle = cycle + 1;
     taskRun[nextTask] = TaskRun{};
     ++nextTask;
+    cycleActivity = true;
 }
 
 // ---------------------------------------------------------------------
@@ -427,6 +515,8 @@ MultiscalarProcessor::stageStep(Stage &stage)
         ++stage.fetchPtr;
         ++fetched;
     }
+    if (fetched)
+        cycleActivity = true;
 
     // Out-of-order issue from the window.
     unsigned simple_fu = cfg.simpleIntFUs;
@@ -453,6 +543,7 @@ MultiscalarProcessor::stageStep(Stage &stage)
                 continue;
             // Either issued or transitioned to blocked; blocked ops do
             // not consume an issue slot.
+            cycleActivity = true;
             if (!(os.flags & kIssued))
                 continue;
         } else {
@@ -488,6 +579,7 @@ MultiscalarProcessor::stageStep(Stage &stage)
         }
         ++issued;
         any_issued = true;
+        cycleActivity = true;
     }
 
     if (any_issued) {
@@ -521,6 +613,7 @@ MultiscalarProcessor::frontierScan()
                 return false;   // squashed or already released
             if (bound >= seq) {
                 os.flags &= ~kBlockedFrontier;
+                cycleActivity = true;
                 return false;
             }
             return true;
@@ -540,6 +633,7 @@ MultiscalarProcessor::frontierScan()
                 sync->frontierRelease(seq);
                 os.flags &= ~kBlockedSync;
                 os.flags |= kSyncDone;
+                cycleActivity = true;
                 res.syncWaitCycles += cycle - os.doneCycle;
                 res.frontierWaitCycles += cycle - os.doneCycle;
                 os.doneCycle = 0;
@@ -571,6 +665,7 @@ MultiscalarProcessor::drainSyncReleases()
         if (os.flags & kBlockedSync) {
             os.flags &= ~kBlockedSync;
             os.flags |= kSyncDone;
+            cycleActivity = true;
             res.syncWaitCycles += cycle - os.doneCycle;
             os.doneCycle = 0;
             if (os.flags & kPredPendingY) {
@@ -628,6 +723,7 @@ MultiscalarProcessor::handleViolation(SeqNum load, SeqNum store)
 void
 MultiscalarProcessor::squashFrom(SeqNum squash_start)
 {
+    cycleActivity = true;
     uint32_t task0 = trc.taskId(squash_start);
 
     // Reset every op from the squash point to the youngest assigned
@@ -738,6 +834,7 @@ MultiscalarProcessor::commitStep()
     st.task = -1;
     st.window.clear();
     ++committedTasks;
+    cycleActivity = true;
 }
 
 } // namespace mdp

@@ -97,6 +97,18 @@ class MultiscalarProcessor : public TaskPcSource
     void drainSyncReleases();
     void commitStep();
 
+    /**
+     * Earliest cycle after the current one at which a time-gated
+     * predicate can change behavior: sequencer recovery completes, a
+     * stage's squash penalty elapses, an in-flight op becomes ready
+     * once its producers' results arrive over the ring, the head task's
+     * last completion lands (commit), or the synchronizer fires a timed
+     * wakeup.  Blocked loads are excluded on purpose -- they are only
+     * ever released by another op's activity.  Clamped to @p cap + 1
+     * so a deadlocked machine hits the cap like the reference loop.
+     */
+    uint64_t nextInterestingCycle(uint64_t cap) const;
+
     // --- issue helpers ----------------------------------------------
     bool srcsReady(SeqNum seq) const;
     bool srcReady(SeqNum src, uint32_t consumer_task) const;
@@ -185,6 +197,13 @@ class MultiscalarProcessor : public TaskPcSource
 
     uint64_t cycle = 0;
     SimResult res;
+
+    /** Fast-forward enabled (config flag minus the env kill switch). */
+    bool ffEnabled;
+    /** Did the current cycle mutate any semantic state?  Every mutation
+     *  site must set this; a cycle that ends with it clear is provably
+     *  identical to the next, which is what licenses the jump. */
+    bool cycleActivity = false;
 
     std::vector<LoadId> wakeupBuf;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/env.hh"
 #include "base/flat_hash.hh"
 #include "base/logging.hh"
 #include "base/ordered.hh"
@@ -14,7 +15,8 @@ OooProcessor::OooProcessor(const TraceView &trace,
                            const DepOracle &dep_oracle,
                            const OooConfig &config)
     : trc(trace), oracle(dep_oracle), cfg(config), state(trace.size()),
-      instanceOf(trace.size(), 0)
+      instanceOf(trace.size(), 0),
+      ffEnabled(config.fastForward && !tickReference())
 {
     // Blocked/wakeup lists are bounded by the instruction window;
     // pre-sizing keeps the cycle loop allocation-free after warmup.
@@ -206,6 +208,7 @@ OooProcessor::executeStore(SeqNum seq)
 void
 OooProcessor::handleViolation(SeqNum load)
 {
+    cycleActivity = true;
     ++res.misSpeculations;
 
     if (sync) {
@@ -277,6 +280,7 @@ OooProcessor::frontierScan()
                 return true;
             if (bound >= seq) {
                 os.flags &= ~kBlockedFrontier;
+                cycleActivity = true;
                 return true;
             }
             return false;
@@ -293,6 +297,7 @@ OooProcessor::frontierScan()
                 sync->frontierRelease(seq);
                 os.flags &= ~kBlockedSync;
                 os.flags |= kSyncDone;
+                cycleActivity = true;
                 ++res.frontierReleases;
                 return true;
             }
@@ -304,6 +309,33 @@ OooProcessor::frontierScan()
     lastFrontierBound = bound;
     frontierDirty = false;
     syncPushed = false;
+}
+
+uint64_t
+OooProcessor::nextInterestingCycle(uint64_t cap) const
+{
+    uint64_t next = cap + 1;
+    auto consider = [&](uint64_t c) {
+        if (c > cycle && c < next)
+            next = c;
+    };
+
+    // Squash re-fetch point.
+    consider(resumeCycle);
+
+    // In-flight completions: each enables commit (at head) and, via
+    // srcReady, its consumers.  Waking at the *earliest* completion is
+    // conservative for a consumer whose other source finishes later --
+    // the extra simulated cycle is idle and re-skips immediately.
+    for (SeqNum s = head; s < fetchPtr; ++s) {
+        const OpState &os = state[s];
+        if (os.flags & kIssued)
+            consider(os.doneCycle);
+    }
+
+    if (sync)
+        consider(sync->nextWakeupCycle());
+    return next;
 }
 
 OooResult
@@ -319,11 +351,13 @@ OooProcessor::run()
 
     while (head < n) {
         ++cycle;
+        ++res.cyclesSimulated;
         if (cycle > cap) {
             warn("ooo: cycle cap hit with %u/%u ops committed",
                  head, n);
             break;
         }
+        cycleActivity = false;
 
         // Fetch.
         if (cycle >= resumeCycle) {
@@ -334,6 +368,8 @@ OooProcessor::run()
                 ++fetchPtr;
                 ++fetched;
             }
+            if (fetched)
+                cycleActivity = true;
         }
 
         // Issue.
@@ -357,6 +393,8 @@ OooProcessor::run()
             if (isMem(kind)) {
                 if (!tryIssueMem(s, mem_ports))
                     continue;
+                // Issued or newly blocked -- both are state changes.
+                cycleActivity = true;
                 if (state[s].flags & kIssued)
                     ++issued;
                 continue;
@@ -389,6 +427,7 @@ OooProcessor::run()
             os.doneCycle = cycle + opLatency(kind);
             os.flags |= kIssued;
             ++issued;
+            cycleActivity = true;
         }
 
         frontierScan();
@@ -399,6 +438,7 @@ OooProcessor::run()
                 if (state[l].flags & kBlockedSync) {
                     state[l].flags &= ~kBlockedSync;
                     state[l].flags |= kSyncDone;
+                    cycleActivity = true;
                 }
             }
         }
@@ -418,6 +458,20 @@ OooProcessor::run()
             ++res.committedOps;
             ++head;
             ++committed;
+        }
+        if (committed)
+            cycleActivity = true;
+
+        // Event-driven fast-forward: an idle cycle changed nothing, so
+        // every following cycle is identical until a time-gated
+        // predicate flips; jump to just before the earliest such cycle
+        // (the loop-top increment lands on it).
+        if (ffEnabled && !cycleActivity && head < n) {
+            uint64_t target = nextInterestingCycle(cap);
+            if (target > cycle + 1) {
+                res.cyclesSkipped += target - 1 - cycle;
+                cycle = target - 1;
+            }
         }
     }
 

@@ -52,6 +52,16 @@ struct OooConfig
     SyncOrganization organization = SyncOrganization::Combined;
     uint64_t seed = 0xacce55;
     uint64_t maxCycles = 0;
+
+    /**
+     * Event-driven fast-forward: after a cycle that retires no work and
+     * frees no resource, jump straight to the next cycle at which any
+     * time-gated predicate can flip (see nextInterestingCycle) instead
+     * of ticking through the idle gap.  Results are byte-identical in
+     * both modes; MDP_TICK_REFERENCE=1 forces the naive loop
+     * process-wide regardless of this flag.
+     */
+    bool fastForward = true;
 };
 
 /** Results of one superscalar run. */
@@ -64,6 +74,14 @@ struct OooResult
     uint64_t squashedOps = 0;
     uint64_t loadsBlocked = 0;
     uint64_t frontierReleases = 0;
+
+    /**
+     * Skip accounting: cycles the loop actually executed vs. cycles it
+     * jumped over.  Invariant: cyclesSimulated + cyclesSkipped ==
+     * cycles, in every mode (the reference loop reports zero skips).
+     */
+    uint64_t cyclesSimulated = 0;
+    uint64_t cyclesSkipped = 0;
 
     double
     ipc() const
@@ -111,6 +129,17 @@ class OooProcessor
     void handleViolation(SeqNum load);
     void frontierScan();
 
+    /**
+     * Earliest cycle after the current one at which any time-gated
+     * predicate can change the machine's behavior: an in-flight op
+     * completes (enabling commit or a consumer), squash re-fetch
+     * resumes, or the synchronizer fires a timed wakeup.  Blocked loads
+     * are excluded on purpose -- they are only ever released by another
+     * op's activity, never by time passing.  Clamped to @p cap + 1 so a
+     * deadlocked machine hits the cap exactly like the reference loop.
+     */
+    uint64_t nextInterestingCycle(uint64_t cap) const;
+
     /** Memory latency with a probabilistic miss model (deterministic
      *  per (seed, seq)). */
     uint64_t memLatency(SeqNum seq) const;
@@ -130,6 +159,13 @@ class OooProcessor
     SeqNum fetchPtr = 0;  ///< next op to enter the window
     uint64_t resumeCycle = 0;
     uint64_t cycle = 0;
+
+    /** Fast-forward enabled (config flag minus the env kill switch). */
+    bool ffEnabled;
+    /** Did the current cycle mutate any semantic state?  Every mutation
+     *  site must set this; a cycle that ends with it clear is provably
+     *  identical to the next, which is what licenses the jump. */
+    bool cycleActivity = false;
 
     /** Index into oracle.stores() of the first unexecuted store. */
     size_t storeFrontier = 0;

@@ -1,0 +1,30 @@
+// A nextInterestingCycle definition that walks hash containers.  The
+// skip-target scan is the one place where hash iteration order leaks
+// straight into simulated results (it decides which cycles the
+// fast-forward jumps over), so both the generic unordered-iter rule
+// and the targeted fastforward-order rule must fire on each walk.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+struct FakeModel {
+    std::unordered_map<uint64_t, uint64_t> pendingDone;
+    std::unordered_set<uint64_t> timedWakeups;
+    uint64_t cycle = 0;
+
+    uint64_t
+    nextInterestingCycle(uint64_t cap) const
+    {
+        uint64_t next = cap + 1;
+        for (const auto &kv : pendingDone) { // expect: fastforward-order unordered-iter
+            if (kv.second > cycle && kv.second < next)
+                next = kv.second;
+        }
+        for (auto it = timedWakeups.begin(); // expect: fastforward-order unordered-iter
+             it != timedWakeups.end(); ++it) {
+            if (*it > cycle && *it < next)
+                next = *it;
+        }
+        return next;
+    }
+};

@@ -1,0 +1,28 @@
+// Expected-clean: a nextInterestingCycle that follows the repo
+// convention -- candidates come from vector scans and index loops,
+// and the hash map is only ever consulted through point lookups
+// (which do not depend on iteration order, so neither unordered-iter
+// nor fastforward-order may fire).
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+struct CleanModel {
+    std::vector<uint64_t> doneCycles;
+    std::unordered_map<uint64_t, uint64_t> resumeById;
+    uint64_t cycle = 0;
+
+    uint64_t
+    nextInterestingCycle(uint64_t cap) const
+    {
+        uint64_t next = cap + 1;
+        for (uint64_t c : doneCycles)
+            if (c > cycle && c < next)
+                next = c;
+        auto it = resumeById.find(cycle);
+        if (it != resumeById.end() && it->second > cycle &&
+            it->second < next)
+            next = it->second;
+        return next;
+    }
+};

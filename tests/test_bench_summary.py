@@ -260,6 +260,130 @@ class BenchSummaryTest(unittest.TestCase):
         proc = self.run_summary()
         self.assertNotEqual(proc.returncode, 0)
 
+    # ---- cycle_stats surfacing --------------------------------------
+
+    def report_with_cycles(self, bench, simulated, skipped):
+        doc = good_report(bench)
+        doc["cycle_stats"] = {
+            "cycles_simulated": simulated,
+            "cycles_skipped": skipped,
+            "skip_rate": skipped / max(1, simulated + skipped),
+        }
+        return doc
+
+    def test_cycle_stats_are_copied_and_aggregated(self):
+        self.write("cold/a.json",
+                   self.report_with_cycles("bench_a", 100, 300))
+        self.write("cold/b.json",
+                   self.report_with_cycles("bench_b", 50, 50))
+        proc = self.run_summary(f"cold={self.root}/cold")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        summary = json.loads((self.root / "summary.json").read_text())
+        run = summary["benches"]["bench_a"]["runs"]["cold"]
+        self.assertEqual(run["cycle_stats"]["cycles_skipped"], 300)
+        totals = summary["cycle_totals"]
+        self.assertEqual(totals["cycles_simulated"], 150)
+        self.assertEqual(totals["cycles_skipped"], 350)
+        self.assertAlmostEqual(totals["skip_rate"], 0.7)
+        self.assertIn("skip rate", proc.stdout)
+
+    def test_reports_without_cycle_stats_omit_totals(self):
+        # Pre-fast-forward artifacts (and the window-model benches,
+        # which have no cycle loop) carry no cycle_stats; the summary
+        # must omit the aggregate rather than claim a 0% skip rate.
+        self.write("cold/a.json", good_report("bench_a"))
+        proc = self.run_summary(f"cold={self.root}/cold")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        summary = json.loads((self.root / "summary.json").read_text())
+        self.assertNotIn("cycle_totals", summary)
+
+    def test_non_numeric_cycle_stats_fails(self):
+        doc = good_report("bench_a")
+        doc["cycle_stats"] = {"cycles_simulated": "many",
+                              "cycles_skipped": 0}
+        self.write("cold/a.json", doc)
+        proc = self.run_summary(f"cold={self.root}/cold")
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("cycle_stats", proc.stderr)
+
+    # ---- --trend ----------------------------------------------------
+
+    def write_summary(self, name, dirs):
+        """Run the merge mode over labeled dirs; return the out path."""
+        out = self.root / name
+        proc = subprocess.run(
+            [sys.executable, str(SCRIPT), "--out", str(out), *dirs],
+            capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stderr
+        return out
+
+    def run_trend(self, *argv):
+        return subprocess.run(
+            [sys.executable, str(SCRIPT), "--trend", *argv],
+            capture_output=True, text=True)
+
+    def test_trend_prints_longitudinal_table(self):
+        self.write("old/cold/a.json",
+                   self.report_with_cycles("bench_a", 400, 100))
+        self.write("old/warm/a.json",
+                   self.report_with_cycles("bench_a", 400, 100))
+        old = self.write_summary("BENCH_old.json",
+                                 [f"cold={self.root}/old/cold",
+                                  f"warm={self.root}/old/warm"])
+        self.write("new/cold/a.json",
+                   self.report_with_cycles("bench_a", 100, 400))
+        new = self.write_summary("BENCH_new.json",
+                                 [f"cold={self.root}/new/cold"])
+        proc = self.run_trend(str(old), str(new))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        # One row per summary, argument order, with per-label seconds
+        # and the aggregate skip rate; labels absent from a summary
+        # render as '-'.
+        lines = proc.stdout.splitlines()
+        old_row = next(l for l in lines if "BENCH_old.json" in l)
+        new_row = next(l for l in lines if "BENCH_new.json" in l)
+        self.assertLess(lines.index(old_row), lines.index(new_row))
+        self.assertIn("20.0%", old_row)
+        self.assertIn("80.0%", new_row)
+        self.assertIn("-", new_row)  # no warm label in the new summary
+        header = next(l for l in lines if "summary" in l)
+        self.assertIn("cold", header)
+        self.assertIn("warm", header)
+        self.assertIn("skip_rate", header)
+
+    def test_trend_emits_json_with_out(self):
+        self.write("cold/a.json", good_report("bench_a"))
+        summary = self.write_summary("BENCH_a.json",
+                                     [f"cold={self.root}/cold"])
+        out = self.root / "trend.json"
+        proc = self.run_trend(str(summary), "--out", str(out))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        doc = json.loads(out.read_text())
+        self.assertEqual(len(doc["trend"]), 1)
+        entry = doc["trend"][0]
+        self.assertEqual(entry["summary"], str(summary))
+        # good_report: trace_generate 1.5 + simulate 2.0 per bench.
+        self.assertAlmostEqual(entry["wall_seconds"]["cold"], 3.5)
+        self.assertNotIn("cycle_totals", entry)
+
+    def test_trend_rejects_non_summary_input(self):
+        # Feeding a raw bench report (not a summary written by this
+        # script) must fail loudly, not render a nonsense row.
+        raw = self.write("a.json", good_report("bench_a"))
+        proc = self.run_trend(str(raw))
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("not a bench_summary.py summary", proc.stderr)
+
+    def test_trend_with_label_dirs_is_an_error(self):
+        proc = self.run_trend(f"cold={self.root}/cold",
+                              "--micro", f"pr={self.root}/micro")
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("--trend", proc.stderr)
+
+    def test_trend_without_files_is_an_error(self):
+        proc = self.run_trend()
+        self.assertNotEqual(proc.returncode, 0)
+
     def test_failed_shape_check_exits_nonzero(self):
         self.write("cold/a.json", good_report("bench_a", ok=False))
         proc = self.run_summary(f"cold={self.root}/cold")

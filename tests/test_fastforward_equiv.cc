@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Randomized tick-loop-vs-fast-forward equivalence for the timing
+ * models.
+ *
+ * The event-driven fast-forward (OooConfig/MultiscalarConfig
+ * fastForward, MDP_TICK_REFERENCE kill switch) must be a pure
+ * performance optimization: every observable result -- final cycle
+ * count, committed work (commit is in order, so committed counts pin
+ * the committed order), mis-speculation counts and log, wait-cycle
+ * accounting, predictor and synchronizer counters -- must be
+ * bit-identical to the naive tick-every-cycle loop.  These tests run
+ * both modes over randomized traces spanning every speculation policy
+ * and organization, plus the cycle-cap (deadlock guard) path, and
+ * verify the skip accounting sums back to the reference cycle count.
+ *
+ * The window model has no cycle loop (it is analytical), so its
+ * equivalence obligation is plain determinism, asserted here for
+ * completeness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "multiscalar/processor.hh"
+#include "multiscalar/task_info.hh"
+#include "ooo/ooo_model.hh"
+#include "trace/builder.hh"
+#include "trace/dep_oracle.hh"
+#include "window/window_model.hh"
+
+namespace mdp
+{
+namespace
+{
+
+/**
+ * A random mix of tasks with aliasing memory traffic (to provoke
+ * violations, synchronization and frontier waits), serial latency
+ * chains (to create idle stretches worth skipping) and cross-task
+ * register dependences (to exercise the ring-hop readiness events).
+ */
+Trace
+randomTrace(uint64_t seed)
+{
+    Pcg32 rng(seed);
+    TraceBuilder b("ff_equiv");
+    const unsigned num_tasks = 6 + rng.below(10);
+    std::vector<SeqNum> produced;
+
+    for (unsigned t = 0; t < num_tasks; ++t) {
+        b.beginTask(0x1000 + (t % 5) * 0x40);
+        const unsigned ops = 6 + rng.below(36);
+        for (unsigned i = 0; i < ops; ++i) {
+            SeqNum s1 = kNoSeq;
+            SeqNum s2 = kNoSeq;
+            if (!produced.empty() && rng.below(3) != 0)
+                s1 = produced[produced.size() - 1 -
+                              rng.below(std::min<uint32_t>(
+                                  60, static_cast<uint32_t>(
+                                          produced.size())))];
+            if (!produced.empty() && rng.below(4) == 0)
+                s2 = produced[produced.size() - 1 -
+                              rng.below(std::min<uint32_t>(
+                                  20, static_cast<uint32_t>(
+                                          produced.size())))];
+
+            const uint32_t kind = rng.below(10);
+            const Addr addr = 0x8000 + rng.below(24) * 0x40;
+            SeqNum s;
+            if (kind < 2) {
+                s = b.load(0x100 + rng.below(8) * 4, addr, s1);
+            } else if (kind < 4) {
+                s = b.store(0x200 + rng.below(8) * 4, addr, s1, s2);
+                b.lastOp().valueRepeats = rng.below(2) != 0;
+            } else if (kind < 5) {
+                s = b.op(OpKind::IntDiv, 0x300, s1, s2);
+            } else if (kind < 6) {
+                s = b.op(OpKind::FpDiv, 0x304, s1, s2);
+            } else if (kind < 7) {
+                s = b.branch(0x308, s1);
+            } else {
+                s = b.alu(0x30c + rng.below(4) * 4, s1, s2);
+            }
+            produced.push_back(s);
+        }
+    }
+    return b.take();
+}
+
+const std::vector<SpecPolicy> kPolicies = {
+    SpecPolicy::Always,      SpecPolicy::Never, SpecPolicy::Wait,
+    SpecPolicy::PerfectSync, SpecPolicy::Sync,  SpecPolicy::ESync,
+    SpecPolicy::VSync,
+};
+
+// --------------------------------------------------------------------
+// OoO model
+// --------------------------------------------------------------------
+
+void
+expectOooEqual(const OooResult &ref, const OooResult &ff)
+{
+    EXPECT_EQ(ref.cycles, ff.cycles);
+    EXPECT_EQ(ref.committedOps, ff.committedOps);
+    EXPECT_EQ(ref.committedLoads, ff.committedLoads);
+    EXPECT_EQ(ref.misSpeculations, ff.misSpeculations);
+    EXPECT_EQ(ref.squashedOps, ff.squashedOps);
+    EXPECT_EQ(ref.loadsBlocked, ff.loadsBlocked);
+    EXPECT_EQ(ref.frontierReleases, ff.frontierReleases);
+
+    // Skip accounting: the reference loop never skips; fast-forward
+    // must account every cycle as either simulated or skipped.
+    EXPECT_EQ(ref.cyclesSkipped, 0u);
+    EXPECT_EQ(ref.cyclesSimulated, ref.cycles);
+    EXPECT_EQ(ff.cyclesSimulated + ff.cyclesSkipped, ref.cycles);
+}
+
+OooResult
+runOooMode(const TraceView &trc, const DepOracle &oracle,
+           SpecPolicy policy, SyncOrganization org, bool fast_forward,
+           uint64_t max_cycles = 0)
+{
+    OooConfig cfg;
+    cfg.policy = policy;
+    cfg.organization = org;
+    cfg.fastForward = fast_forward;
+    cfg.maxCycles = max_cycles;
+    OooProcessor proc(trc, oracle, cfg);
+    return proc.run();
+}
+
+TEST(FastForwardEquiv, OooRandomTracesAllPolicies)
+{
+    uint64_t total_skipped = 0;
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+        Trace trc = randomTrace(seed);
+        TraceView view(trc);
+        DepOracle oracle(view);
+        for (SpecPolicy p : kPolicies) {
+            SCOPED_TRACE(testing::Message()
+                         << "seed=" << seed << " policy="
+                         << static_cast<int>(p));
+            OooResult ref = runOooMode(view, oracle, p,
+                                       SyncOrganization::Combined,
+                                       false);
+            OooResult ff = runOooMode(view, oracle, p,
+                                      SyncOrganization::Combined, true);
+            expectOooEqual(ref, ff);
+            total_skipped += ff.cyclesSkipped;
+        }
+    }
+    // Sanity: the optimization actually engaged somewhere (a test
+    // corpus on which nothing is ever skippable would prove nothing).
+    EXPECT_GT(total_skipped, 0u);
+}
+
+TEST(FastForwardEquiv, OooOrganizations)
+{
+    Trace trc = randomTrace(17);
+    TraceView view(trc);
+    DepOracle oracle(view);
+    for (SyncOrganization org :
+         {SyncOrganization::Split, SyncOrganization::Distributed}) {
+        SCOPED_TRACE(static_cast<int>(org));
+        OooResult ref = runOooMode(view, oracle, SpecPolicy::Sync, org,
+                                   false);
+        OooResult ff = runOooMode(view, oracle, SpecPolicy::Sync, org,
+                                  true);
+        expectOooEqual(ref, ff);
+    }
+}
+
+TEST(FastForwardEquiv, OooCycleCapPartialRuns)
+{
+    // The cap (deadlock guard) must fire at the same cycle with the
+    // same partial progress: fast-forward clamps its jump target to
+    // cap + 1 instead of sailing past it.
+    Trace trc = randomTrace(3);
+    TraceView view(trc);
+    DepOracle oracle(view);
+    for (uint64_t cap : {7ULL, 40ULL, 173ULL, 1000ULL}) {
+        SCOPED_TRACE(cap);
+        OooResult ref = runOooMode(view, oracle, SpecPolicy::Never,
+                                   SyncOrganization::Combined, false,
+                                   cap);
+        OooResult ff = runOooMode(view, oracle, SpecPolicy::Never,
+                                  SyncOrganization::Combined, true,
+                                  cap);
+        expectOooEqual(ref, ff);
+    }
+}
+
+// --------------------------------------------------------------------
+// Multiscalar model
+// --------------------------------------------------------------------
+
+void
+expectSyncStatsEqual(const SyncStats &a, const SyncStats &b)
+{
+    EXPECT_EQ(a.loadChecks, b.loadChecks);
+    EXPECT_EQ(a.loadsPredicted, b.loadsPredicted);
+    EXPECT_EQ(a.loadsWaited, b.loadsWaited);
+    EXPECT_EQ(a.fullBypasses, b.fullBypasses);
+    EXPECT_EQ(a.storeChecks, b.storeChecks);
+    EXPECT_EQ(a.signalsDelivered, b.signalsDelivered);
+    EXPECT_EQ(a.storeAllocations, b.storeAllocations);
+    EXPECT_EQ(a.misSpecsRecorded, b.misSpecsRecorded);
+    EXPECT_EQ(a.frontierReleases, b.frontierReleases);
+    EXPECT_EQ(a.squashFrees, b.squashFrees);
+    EXPECT_EQ(a.evictionReleases, b.evictionReleases);
+}
+
+void
+expectSimEqual(const SimResult &ref, const SimResult &ff)
+{
+    EXPECT_EQ(ref.cycles, ff.cycles);
+    EXPECT_EQ(ref.committedOps, ff.committedOps);
+    EXPECT_EQ(ref.committedLoads, ff.committedLoads);
+    EXPECT_EQ(ref.committedStores, ff.committedStores);
+    EXPECT_EQ(ref.committedTasks, ff.committedTasks);
+    EXPECT_EQ(ref.misSpeculations, ff.misSpeculations);
+    EXPECT_EQ(ref.squashedOps, ff.squashedOps);
+    EXPECT_EQ(ref.controlStalls, ff.controlStalls);
+    EXPECT_EQ(ref.loadsBlockedSync, ff.loadsBlockedSync);
+    EXPECT_EQ(ref.loadsBlockedFrontier, ff.loadsBlockedFrontier);
+    EXPECT_EQ(ref.frontierReleases, ff.frontierReleases);
+    EXPECT_EQ(ref.syncWaitCycles, ff.syncWaitCycles);
+    EXPECT_EQ(ref.signalWaitCycles, ff.signalWaitCycles);
+    EXPECT_EQ(ref.frontierWaitCycles, ff.frontierWaitCycles);
+    EXPECT_EQ(ref.valuePredUses, ff.valuePredUses);
+    EXPECT_EQ(ref.valuePredHits, ff.valuePredHits);
+    EXPECT_EQ(ref.valuePredMisses, ff.valuePredMisses);
+    EXPECT_EQ(ref.pred.nn, ff.pred.nn);
+    EXPECT_EQ(ref.pred.ny, ff.pred.ny);
+    EXPECT_EQ(ref.pred.yn, ff.pred.yn);
+    EXPECT_EQ(ref.pred.yy, ff.pred.yy);
+    expectSyncStatsEqual(ref.syncStats, ff.syncStats);
+
+    // The mis-speculation log pins the order violations were detected
+    // in, not just their count.
+    EXPECT_EQ(ref.misspecLog, ff.misspecLog);
+
+    EXPECT_EQ(ref.cyclesSkipped, 0u);
+    EXPECT_EQ(ref.cyclesSimulated, ref.cycles);
+    EXPECT_EQ(ff.cyclesSimulated + ff.cyclesSkipped, ref.cycles);
+}
+
+SimResult
+runMsMode(const TraceView &trc, const DepOracle &oracle,
+          const TaskSet &tasks, SpecPolicy policy, SyncOrganization org,
+          bool fast_forward, double mispredict_rate = 0.0,
+          uint64_t max_cycles = 0)
+{
+    MultiscalarConfig cfg;
+    cfg.policy = policy;
+    cfg.organization = org;
+    cfg.fastForward = fast_forward;
+    cfg.taskMispredictRate = mispredict_rate;
+    cfg.maxCycles = max_cycles;
+    cfg.logMisSpeculations = true;
+    MultiscalarProcessor proc(trc, oracle, tasks, cfg);
+    return proc.run();
+}
+
+TEST(FastForwardEquiv, MultiscalarRandomTracesAllPolicies)
+{
+    uint64_t total_skipped = 0;
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+        Trace trc = randomTrace(seed);
+        TraceView view(trc);
+        DepOracle oracle(view);
+        TaskSet tasks(view);
+        for (SpecPolicy p : kPolicies) {
+            SCOPED_TRACE(testing::Message()
+                         << "seed=" << seed << " policy="
+                         << static_cast<int>(p));
+            SimResult ref = runMsMode(view, oracle, tasks, p,
+                                      SyncOrganization::Combined,
+                                      false);
+            SimResult ff = runMsMode(view, oracle, tasks, p,
+                                     SyncOrganization::Combined, true);
+            expectSimEqual(ref, ff);
+            total_skipped += ff.cyclesSkipped;
+        }
+    }
+    EXPECT_GT(total_skipped, 0u);
+}
+
+TEST(FastForwardEquiv, MultiscalarControlMispredictsAndOrgs)
+{
+    Trace trc = randomTrace(23);
+    TraceView view(trc);
+    DepOracle oracle(view);
+    TaskSet tasks(view);
+
+    // Control mispredictions exercise the sequencer stall/recovery
+    // events (mispredictResume is the subtlest skip target).
+    for (double rate : {0.2, 0.6}) {
+        SCOPED_TRACE(rate);
+        SimResult ref = runMsMode(view, oracle, tasks, SpecPolicy::Sync,
+                                  SyncOrganization::Combined, false,
+                                  rate);
+        SimResult ff = runMsMode(view, oracle, tasks, SpecPolicy::Sync,
+                                 SyncOrganization::Combined, true,
+                                 rate);
+        expectSimEqual(ref, ff);
+    }
+
+    for (SyncOrganization org :
+         {SyncOrganization::Split, SyncOrganization::Distributed}) {
+        SCOPED_TRACE(static_cast<int>(org));
+        SimResult ref = runMsMode(view, oracle, tasks, SpecPolicy::Sync,
+                                  org, false);
+        SimResult ff = runMsMode(view, oracle, tasks, SpecPolicy::Sync,
+                                 org, true);
+        expectSimEqual(ref, ff);
+    }
+}
+
+TEST(FastForwardEquiv, MultiscalarCycleCapPartialRuns)
+{
+    Trace trc = randomTrace(5);
+    TraceView view(trc);
+    DepOracle oracle(view);
+    TaskSet tasks(view);
+    for (uint64_t cap : {9ULL, 57ULL, 211ULL, 1500ULL}) {
+        SCOPED_TRACE(cap);
+        SimResult ref = runMsMode(view, oracle, tasks,
+                                  SpecPolicy::Never,
+                                  SyncOrganization::Combined, false,
+                                  0.0, cap);
+        SimResult ff = runMsMode(view, oracle, tasks, SpecPolicy::Never,
+                                 SyncOrganization::Combined, true, 0.0,
+                                 cap);
+        expectSimEqual(ref, ff);
+    }
+}
+
+// --------------------------------------------------------------------
+// Window model (analytical: no cycle loop, so no skipping -- the
+// equivalence obligation degenerates to determinism)
+// --------------------------------------------------------------------
+
+TEST(FastForwardEquiv, WindowModelIsDeterministic)
+{
+    Trace trc = randomTrace(11);
+    TraceView view(trc);
+    DepOracle oracle(view);
+    WindowModel model(view, oracle);
+
+    const std::vector<size_t> ddc = {64, 256};
+    WindowStudyResult a = model.study(128, ddc);
+    WindowStudyResult b = model.study(128, ddc);
+    EXPECT_EQ(a.misSpeculations, b.misSpeculations);
+    EXPECT_EQ(a.staticDeps, b.staticDeps);
+    EXPECT_EQ(a.staticDepsFor999, b.staticDepsFor999);
+    EXPECT_EQ(a.ddcMissRates, b.ddcMissRates);
+}
+
+} // namespace
+} // namespace mdp

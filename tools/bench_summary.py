@@ -35,6 +35,19 @@ fails when any kernel present in the baseline got more than
 --threshold times slower (or disappeared), and records the per-kernel
 current/baseline ratios under "micro_compare" either way.
 
+Reports that carry a "cycle_stats" section (cycles simulated vs.
+skipped by the event-driven fast-forward; see EXPERIMENTS.md) have it
+copied into each run entry, aggregated into a top-level
+"cycle_totals", and printed as an overall skip rate.
+
+A second mode, --trend, reads summaries *written by this script* (the
+BENCH_*.json CI artifacts) and prints one longitudinal wall-clock
+table across them, oldest first, with per-label total seconds and the
+aggregate fast-forward skip rate of each summary:
+
+    bench_summary.py --trend BENCH_old.json BENCH_new.json \
+        [--out trend.json]
+
 Exits nonzero when a result file is unreadable, malformed (wrong
 top-level shape, missing/ill-typed fields), when the labeled
 directories disagree about which benches exist (a bench that crashed
@@ -83,6 +96,16 @@ def validate_report(path, doc):
                 or isinstance(seconds, bool):
             raise RuntimeError(
                 f"{path}: phase_seconds[{phase!r}] is not a number")
+    stats = doc.get("cycle_stats")
+    if stats is not None:
+        if not isinstance(stats, dict):
+            raise RuntimeError(f"{path}: 'cycle_stats' is not a map")
+        for key in ("cycles_simulated", "cycles_skipped"):
+            value = stats.get(key)
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool):
+                raise RuntimeError(
+                    f"{path}: cycle_stats[{key!r}] is not a number")
 
 
 def load_dir(directory):
@@ -152,6 +175,9 @@ def merge_labeled(labeled, failed):
             entry["runs"][label] = {
                 "phase_seconds": doc.get("phase_seconds", {}),
             }
+            if isinstance(doc.get("cycle_stats"), dict):
+                entry["runs"][label]["cycle_stats"] = \
+                    doc["cycle_stats"]
             if not doc.get("all_checks_ok", False):
                 entry["all_checks_ok"] = False
                 bad = [c["what"] for c in doc.get("shape_checks", [])
@@ -228,11 +254,123 @@ def compare_micro(baseline_path, micro_totals, threshold):
     }, regressions
 
 
+def cycle_totals(summary):
+    """Aggregate cycle_stats across every bench run in a summary.
+
+    Returns {"cycles_simulated", "cycles_skipped", "skip_rate"} or
+    None when no run carries skip accounting (e.g. a baseline written
+    before fast-forward existed) -- callers must tolerate absence.
+    """
+    sim = skipped = 0
+    found = False
+    groups = [summary.get("benches", {}),
+              summary.get("micro", {}).get("benches", {})]
+    for benches in groups:
+        for entry in benches.values():
+            for run in entry.get("runs", {}).values():
+                stats = run.get("cycle_stats")
+                if isinstance(stats, dict):
+                    sim += int(stats.get("cycles_simulated", 0))
+                    skipped += int(stats.get("cycles_skipped", 0))
+                    found = True
+    if not found:
+        return None
+    total = sim + skipped
+    return {
+        "cycles_simulated": sim,
+        "cycles_skipped": skipped,
+        "skip_rate": round(skipped / total, 4) if total else 0.0,
+    }
+
+
+def load_summary(path):
+    """Read a summary previously written by this script."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        raise RuntimeError(f"unreadable summary {path}: {err}")
+    if not isinstance(doc, dict) or not (
+            doc.get("phase_totals") or doc.get("micro")):
+        raise RuntimeError(
+            f"{path}: not a bench_summary.py summary (no "
+            "'phase_totals' or 'micro' section)")
+    return doc
+
+
+def trend_entries(paths):
+    """One longitudinal entry per summary file, in argument order."""
+    entries = []
+    for path in paths:
+        doc = load_summary(path)
+        wall = {}
+        for label, phases in doc.get("phase_totals", {}).items():
+            wall[label] = round(sum(phases.values()), 6)
+        for label, phases in doc.get("micro", {}) \
+                .get("phase_totals", {}).items():
+            wall[label] = round(
+                wall.get(label, 0.0) + sum(phases.values()), 6)
+        entry = {"summary": str(path), "wall_seconds": wall}
+        totals = doc.get("cycle_totals") or cycle_totals(doc)
+        if totals:
+            entry["cycle_totals"] = totals
+        entries.append(entry)
+    return entries
+
+
+def print_trend(entries):
+    """Render the longitudinal table: one row per summary, one column
+    per label, plus the aggregate fast-forward skip rate."""
+    labels = sorted({label for e in entries
+                     for label in e["wall_seconds"]})
+    has_skip = any("cycle_totals" in e for e in entries)
+    header = ["summary"] + labels + \
+        (["skip_rate"] if has_skip else [])
+    rows = [header]
+    for e in entries:
+        row = [Path(e["summary"]).name]
+        for label in labels:
+            secs = e["wall_seconds"].get(label)
+            row.append("-" if secs is None else f"{secs:.3f}s")
+        if has_skip:
+            totals = e.get("cycle_totals")
+            row.append("-" if totals is None
+                       else f"{100.0 * totals['skip_rate']:.1f}%")
+        rows.append(row)
+    widths = [max(len(row[i]) for row in rows)
+              for i in range(len(header))]
+    for row in rows:
+        print(("  " + "  ".join(
+            cell.ljust(w) for cell, w in zip(row, widths))).rstrip())
+
+
+def run_trend(args, parser):
+    if args.micro or args.compare:
+        parser.error("--trend takes previously written summary files "
+                     "only (no --micro/--compare)")
+    if not args.runs:
+        parser.error("--trend needs at least one summary file")
+    entries = trend_entries(args.runs)
+    print(f"wall-clock trend across {len(entries)} summaries "
+          "(argument order, oldest first):")
+    print_trend(entries)
+    if args.out:
+        Path(args.out).write_text(json.dumps(
+            {"generated_by": "tools/bench_summary.py",
+             "trend": entries}, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="merge labeled bench-report directories")
-    parser.add_argument("--out", required=True,
-                        help="path of the merged JSON summary")
+    parser.add_argument("--out",
+                        help="path of the merged JSON summary "
+                             "(required unless --trend)")
+    parser.add_argument("--trend", action="store_true",
+                        help="positional args are summaries written "
+                             "by this script; print a longitudinal "
+                             "wall-clock table across them")
     parser.add_argument("--micro", action="append", default=[],
                         metavar="LABEL=DIR",
                         help="labeled microbenchmark result directory")
@@ -243,9 +381,15 @@ def main():
                         help="maximum tolerated micro slowdown ratio "
                              "(default 2.0)")
     parser.add_argument("runs", nargs="*", metavar="LABEL=DIR",
-                        help="labeled result directory (e.g. cold=...)")
+                        help="labeled result directory (e.g. "
+                             "cold=...), or summary files with "
+                             "--trend")
     args = parser.parse_args()
 
+    if args.trend:
+        return run_trend(args, parser)
+    if not args.out:
+        parser.error("--out is required unless --trend")
     if not args.runs and not args.micro:
         parser.error("need at least one LABEL=DIR (positional or "
                      "--micro)")
@@ -301,6 +445,10 @@ def main():
             args.compare, micro_totals, args.threshold)
         summary["micro_compare"] = compare_doc
 
+    cycles = cycle_totals(summary)
+    if cycles:
+        summary["cycle_totals"] = cycles
+
     Path(args.out).write_text(json.dumps(summary, indent=2) + "\n")
 
     nbench = len(summary.get("benches", {}))
@@ -314,6 +462,12 @@ def main():
     if "trace_acquire_speedup" in summary:
         print(f"  trace acquisition speedup (cold/warm): "
               f"{summary['trace_acquire_speedup']}x")
+    if cycles:
+        print(f"  fast-forward skip rate: "
+              f"{cycles['cycles_skipped']}/"
+              f"{cycles['cycles_simulated'] + cycles['cycles_skipped']}"
+              f" cycles skipped "
+              f"({100.0 * cycles['skip_rate']:.1f}%)")
     if args.compare:
         ratios = summary["micro_compare"]["ratios"]
         line = ", ".join(f"{k.removeprefix('micro_')}={v:.2f}x"

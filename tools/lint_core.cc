@@ -430,6 +430,155 @@ checkUnorderedIter(const SourceFile &src, const std::string &code,
     }
 }
 
+// ---- rule: fastforward-order ---------------------------------------
+
+/**
+ * Body ranges [begin, end) of every *definition* of a function named
+ * @p fn in @p code.  Declarations (a parameter list followed by ';'
+ * before any '{') and call sites are skipped.
+ */
+std::vector<std::pair<size_t, size_t>>
+functionBodies(const std::string &code, const std::string &fn)
+{
+    std::vector<std::pair<size_t, size_t>> out;
+    size_t pos = 0;
+    while ((pos = findToken(code, fn, pos)) != std::string::npos) {
+        size_t i = pos + fn.size();
+        pos = i;
+        while (i < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[i])))
+            ++i;
+        if (i >= code.size() || code[i] != '(')
+            continue;
+        int depth = 0;
+        for (; i < code.size(); ++i) {
+            if (code[i] == '(') {
+                ++depth;
+            } else if (code[i] == ')') {
+                if (--depth == 0) {
+                    ++i;
+                    break;
+                }
+            }
+        }
+        // A definition has a '{' before the next ';' (qualifiers like
+        // `const`/`noexcept`/a trailing return type may intervene).
+        while (i < code.size() && code[i] != '{' && code[i] != ';')
+            ++i;
+        if (i >= code.size() || code[i] != '{')
+            continue;
+        size_t body_begin = i;
+        int braces = 0;
+        for (; i < code.size(); ++i) {
+            if (code[i] == '{') {
+                ++braces;
+            } else if (code[i] == '}') {
+                if (--braces == 0) {
+                    ++i;
+                    break;
+                }
+            }
+        }
+        out.push_back({body_begin, i});
+        pos = i;
+    }
+    return out;
+}
+
+/**
+ * The fast-forward skip-target scan (any function named
+ * nextInterestingCycle in a model directory) must visit its candidates
+ * in a platform-stable order: its result steers which cycles are
+ * jumped over, so a hash-order dependence there silently changes
+ * simulated results between standard libraries even when every
+ * candidate is considered.  Flag range-for and iterator walks over
+ * declared unordered containers inside such definitions (point
+ * lookups are fine and stay unflagged).
+ */
+void
+checkFastForwardOrder(const SourceFile &src, const std::string &code,
+                      const DeclMap &decls, std::vector<Diag> &out)
+{
+    std::vector<std::pair<size_t, size_t>> bodies =
+        functionBodies(code, "nextInterestingCycle");
+    if (bodies.empty())
+        return;
+    auto decl_it = decls.find(dirOf(scopedPath(src.path)));
+    if (decl_it == decls.end())
+        return;
+    const std::set<std::string> &names = decl_it->second;
+
+    auto inBody = [&](size_t p) {
+        for (const auto &[b, e] : bodies)
+            if (p >= b && p < e)
+                return true;
+        return false;
+    };
+    auto diag = [&](size_t p, const std::string &name) {
+        out.push_back(
+            {src.path, lineOf(code, p), "fastforward-order",
+             "nextInterestingCycle iterates unordered container '" +
+                 name +
+                 "': the skip-target scan steers which cycles "
+                 "fast-forward jumps over, so candidates must be "
+                 "visited in a platform-stable order; iterate a "
+                 "vector or an index range instead"});
+    };
+
+    // Range-for whose sequence is a declared unordered container.
+    size_t pos = 0;
+    while ((pos = findToken(code, "for", pos)) != std::string::npos) {
+        size_t open = code.find_first_not_of(" \t\n", pos + 3);
+        pos += 3;
+        if (open == std::string::npos || code[open] != '(')
+            continue;
+        int depth = 0;
+        size_t colon = std::string::npos, close = std::string::npos;
+        for (size_t i = open; i < code.size(); ++i) {
+            if (code[i] == '(') {
+                ++depth;
+            } else if (code[i] == ')') {
+                if (--depth == 0) {
+                    close = i;
+                    break;
+                }
+            } else if (code[i] == ':' && depth == 1 &&
+                       colon == std::string::npos) {
+                bool dbl = (i > 0 && code[i - 1] == ':') ||
+                           (i + 1 < code.size() && code[i + 1] == ':');
+                if (!dbl)
+                    colon = i;
+            } else if (code[i] == ';' && depth == 1) {
+                break; // classic for(;;)
+            }
+        }
+        if (colon == std::string::npos || close == std::string::npos ||
+            !inBody(colon))
+            continue;
+        std::string name = lastComponent(
+            code.substr(colon + 1, close - colon - 1));
+        if (!name.empty() && names.count(name))
+            diag(colon, name);
+    }
+
+    // Iterator walks: NAME.begin() / NAME.cbegin().
+    for (const std::string &name : names) {
+        for (const char *method : {".begin", ".cbegin"}) {
+            std::string token = name + method;
+            size_t p = 0;
+            while ((p = findToken(code, token, p)) !=
+                   std::string::npos) {
+                size_t paren = code.find_first_not_of(
+                    " \t\n", p + token.size());
+                if (paren != std::string::npos &&
+                    code[paren] == '(' && inBody(p))
+                    diag(p, name);
+                p += token.size();
+            }
+        }
+    }
+}
+
 // ---- rules: header-guard, using-namespace-header -------------------
 
 void
@@ -550,9 +699,9 @@ checkBench(const SourceFile &src, const std::string &code,
 std::vector<std::string>
 ruleNames()
 {
-    return {"bench-discipline", "header-guard",  "lint-allow",
-            "nondet-source",    "ptr-order",     "unordered-iter",
-            "using-namespace-header"};
+    return {"bench-discipline", "fastforward-order", "header-guard",
+            "lint-allow",       "nondet-source",     "ptr-order",
+            "unordered-iter",   "using-namespace-header"};
 }
 
 std::string
@@ -659,8 +808,10 @@ lintSources(const std::vector<SourceFile> &sources)
             checkNondet(src, code, file_diags);
             checkPtrOrder(src, code, file_diags);
         }
-        if (inModelDir(scoped))
+        if (inModelDir(scoped)) {
             checkUnorderedIter(src, code, decls, file_diags);
+            checkFastForwardOrder(src, code, decls, file_diags);
+        }
         if (isHeaderPath(scoped))
             checkHeader(src, code, file_diags);
         std::string base =

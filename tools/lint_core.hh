@@ -24,6 +24,13 @@
  *                          into state, stats, and reports; use an
  *                          ordered container or a sorted drain
  *                          (base/ordered.hh).
+ *   fastforward-order      Iteration over an unordered container
+ *                          inside a nextInterestingCycle definition
+ *                          in the model directories.  The skip-target
+ *                          scan steers which cycles the event-driven
+ *                          fast-forward jumps over; hash order there
+ *                          changes results across standard libraries.
+ *                          Point lookups are fine.
  *   header-guard           Headers must carry the canonical include
  *                          guard MDP_<PATH>_HH (no #pragma once).
  *   using-namespace-header No `using namespace` in headers.

@@ -234,8 +234,7 @@ main(int argc, char **argv)
             static_cast<size_t>(args.getLong("entries"));
         cfg.sync.tags = parseTags(args.get("tags"));
         cfg.organization = parseOrg(args.get("org"));
-        OooProcessor proc(ctx->trace(), ctx->oracle(), cfg);
-        OooResult r = proc.run();
+        OooResult r = runOoo(*ctx, cfg);
         StatGroup g;
         g.set("cycles", static_cast<double>(r.cycles));
         g.set("committed_ops", static_cast<double>(r.committedOps));
