@@ -46,3 +46,5 @@ mdp_add_micro(micro_mdst)
 mdp_add_micro(micro_oracle)
 mdp_add_micro(micro_model_cycle)
 mdp_add_micro(micro_cycle_skip)
+mdp_add_micro(micro_lockstep)
+target_link_libraries(micro_lockstep PRIVATE mdp_serve)

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Microbenchmark of the lockstep multi-config evaluator against the
+ * sequential sweep it replaces: the same fig5-shaped batch (stages
+ * {4,8} x policies {never,always,wait,psync}) run once as eight
+ * back-to-back runMultiscalar() calls and once through
+ * LockstepEvaluator, at the default chunk and at the pathological
+ * one-cycle chunk.  The phase timings land in the JSON artifact as
+ * micro_sweep_* so bench_summary.py --compare gates both paths, and
+ * the wall-time gap between sequential and lockstep is the one-pass
+ * amortization mdp_served exists to provide.
+ *
+ * All three kernels must produce the same checksum -- lockstep
+ * execution is byte-identical to sequential by contract -- so a
+ * divergence fails the binary, not just the unit suite.
+ */
+
+#include "micro_common.hh"
+
+#include "serve/lockstep.hh"
+
+using namespace mdp;
+
+namespace
+{
+
+std::vector<LockstepJob>
+fig5Jobs(const WorkloadContext &ctx)
+{
+    const SpecPolicy policies[] = {SpecPolicy::Never,
+                                   SpecPolicy::Always, SpecPolicy::Wait,
+                                   SpecPolicy::PerfectSync};
+    std::vector<LockstepJob> jobs;
+    for (unsigned stages : {4u, 8u}) {
+        for (SpecPolicy p : policies) {
+            LockstepJob job;
+            job.ms = makeMultiscalarConfig(ctx, stages, p);
+            jobs.push_back(job);
+        }
+    }
+    return jobs;
+}
+
+uint64_t
+foldResult(uint64_t sum, const SimResult &r)
+{
+    sum = mixChecksum(sum, r.cycles);
+    sum = mixChecksum(sum, r.committedOps);
+    sum = mixChecksum(sum, r.misSpeculations);
+    sum = mixChecksum(sum, r.squashedOps);
+    return mixChecksum(sum, r.syncWaitCycles);
+}
+
+uint64_t
+sweepSequential(const WorkloadContext &ctx,
+                const std::vector<LockstepJob> &jobs)
+{
+    uint64_t sum = 0;
+    for (const LockstepJob &job : jobs)
+        sum = foldResult(sum, runMultiscalar(ctx, job.ms));
+    return sum;
+}
+
+uint64_t
+sweepLockstep(const WorkloadContext &ctx,
+              const std::vector<LockstepJob> &jobs, unsigned chunk)
+{
+    LockstepEvaluator eval(ctx, jobs, chunk);
+    uint64_t sum = 0;
+    for (const LockstepResult &r : eval.run())
+        sum = foldResult(sum, r.ms);
+    return sum;
+}
+
+} // namespace
+
+int
+main()
+{
+    MicroSuite suite("micro_lockstep",
+                     "lockstep multi-config evaluation vs. the "
+                     "sequential sweep it amortizes");
+
+    const double scale = envDouble("MDP_MICRO_SCALE", 0.05);
+    const WorkloadContext &ctx = cachedContext("espresso", scale);
+    const std::vector<LockstepJob> jobs = fig5Jobs(ctx);
+
+    uint64_t seq = 0, lock = 0, lock1 = 0;
+    suite.kernel("sweep_sequential",
+                 [&] { return seq = sweepSequential(ctx, jobs); });
+    suite.kernel("sweep_lockstep",
+                 [&] { return lock = sweepLockstep(ctx, jobs, 1024); });
+    suite.kernel("sweep_lockstep_chunk1",
+                 [&] { return lock1 = sweepLockstep(ctx, jobs, 1); });
+
+    int rc = suite.finish();
+    if (seq != lock || seq != lock1) {
+        std::fprintf(stderr,
+                     "micro_lockstep: lockstep checksum diverges from "
+                     "the sequential sweep (seq=%016llx lock=%016llx "
+                     "chunk1=%016llx)\n",
+                     static_cast<unsigned long long>(seq),
+                     static_cast<unsigned long long>(lock),
+                     static_cast<unsigned long long>(lock1));
+        return 1;
+    }
+    return rc;
+}

@@ -1,0 +1,67 @@
+#include "harness/sim_stats.hh"
+
+#include "base/table.hh"
+#include "harness/report.hh"
+
+namespace mdp
+{
+
+StatGroup
+multiscalarStats(const SimResult &r)
+{
+    StatGroup g;
+    g.set("cycles", static_cast<double>(r.cycles));
+    g.set("committed_ops", static_cast<double>(r.committedOps));
+    g.set("committed_loads", static_cast<double>(r.committedLoads));
+    g.set("committed_stores", static_cast<double>(r.committedStores));
+    g.set("committed_tasks", static_cast<double>(r.committedTasks));
+    g.set("ipc", r.ipc());
+    g.set("misspeculations", static_cast<double>(r.misSpeculations));
+    g.set("misspec_per_load", r.misspecPerLoad());
+    g.set("squashed_ops", static_cast<double>(r.squashedOps));
+    g.set("control_stalls", static_cast<double>(r.controlStalls));
+    g.set("loads_blocked_sync",
+          static_cast<double>(r.loadsBlockedSync));
+    g.set("loads_blocked_frontier",
+          static_cast<double>(r.loadsBlockedFrontier));
+    g.set("frontier_releases",
+          static_cast<double>(r.frontierReleases));
+    g.set("sync_wait_cycles", static_cast<double>(r.syncWaitCycles));
+    g.set("value_pred_uses", static_cast<double>(r.valuePredUses));
+    g.set("value_pred_hits", static_cast<double>(r.valuePredHits));
+    g.set("value_pred_misses",
+          static_cast<double>(r.valuePredMisses));
+    g.set("pred_nn", static_cast<double>(r.pred.nn));
+    g.set("pred_ny", static_cast<double>(r.pred.ny));
+    g.set("pred_yn", static_cast<double>(r.pred.yn));
+    g.set("pred_yy", static_cast<double>(r.pred.yy));
+    return g;
+}
+
+StatGroup
+oooStats(const OooResult &r)
+{
+    StatGroup g;
+    g.set("cycles", static_cast<double>(r.cycles));
+    g.set("committed_ops", static_cast<double>(r.committedOps));
+    g.set("ipc", r.ipc());
+    g.set("misspeculations", static_cast<double>(r.misSpeculations));
+    g.set("squashed_ops", static_cast<double>(r.squashedOps));
+    g.set("loads_blocked", static_cast<double>(r.loadsBlocked));
+    return g;
+}
+
+bool
+writeSimReport(const std::string &path, const std::string &model,
+               double scale, const StatGroup &stats, std::string &error)
+{
+    TextTable t({"stat", "value"});
+    for (const auto &[k, v] : stats.all())
+        t.row({k, formatDouble(v, 6)});
+    BenchReport report("mdp_sim_" + model, "mdp_sim CLI run");
+    report.setScale(scale);
+    report.addTable(t, "stats");
+    return report.writeTo(path, error);
+}
+
+} // namespace mdp

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Canonical per-run statistics naming and the per-run JSON report
+ * format shared by the mdp_sim CLI and the mdp_served batch server.
+ *
+ * Both front ends must emit byte-identical documents for the same
+ * (workload, scale, config) run -- CI diffs them -- so the stat-group
+ * construction, the "stat"/"value" table rendering (6-decimal
+ * formatting) and the report envelope all live here, in one place.
+ */
+
+#ifndef MDP_HARNESS_SIM_STATS_HH
+#define MDP_HARNESS_SIM_STATS_HH
+
+#include <string>
+
+#include "base/stats.hh"
+#include "multiscalar/config.hh"
+#include "ooo/ooo_model.hh"
+
+namespace mdp
+{
+
+/** The full Multiscalar scoreboard, in the report's canonical order. */
+StatGroup multiscalarStats(const SimResult &r);
+
+/** The superscalar (ooo) scoreboard, in the report's canonical order. */
+StatGroup oooStats(const OooResult &r);
+
+/**
+ * Write @p stats as a per-run JSON report to @p path, in exactly the
+ * format of `mdp_sim --json-out`: bench "mdp_sim_<model>", one
+ * "stats" table of ("stat", value-at-6-decimals) rows.
+ * @return false and fill @p error on I/O failure.
+ */
+bool writeSimReport(const std::string &path, const std::string &model,
+                    double scale, const StatGroup &stats,
+                    std::string &error);
+
+} // namespace mdp
+
+#endif // MDP_HARNESS_SIM_STATS_HH

@@ -17,6 +17,9 @@ MultiscalarProcessor::MultiscalarProcessor(const TraceView &trace,
     : trc(trace), oracle(dep_oracle), tasks(task_set), cfg(config),
       state(trace.size()), taskRun(task_set.numTasks()),
       stages(config.numStages), memsys(config),
+      capCycle(config.maxCycles
+                   ? config.maxCycles
+                   : 1000 + static_cast<uint64_t>(trace.size()) * 60),
       ffEnabled(config.fastForward && !tickReference())
 {
     // A wakeup or blocked list can never exceed the in-flight window
@@ -63,48 +66,61 @@ MultiscalarProcessor::taskMispredicted(uint32_t task) const
 SimResult
 MultiscalarProcessor::run()
 {
-    uint32_t num_tasks = tasks.numTasks();
-    if (num_tasks == 0)
-        return res;
+    while (stepCycle()) {
+    }
+    return finish();
+}
 
-    uint64_t cap = cfg.maxCycles
-        ? cfg.maxCycles
-        : 1000 + static_cast<uint64_t>(trc.size()) * 60;
+bool
+MultiscalarProcessor::stepCycle()
+{
+    const uint32_t num_tasks = tasks.numTasks();
+    if (halted || committedTasks >= num_tasks)
+        return false;
 
-    while (committedTasks < num_tasks) {
-        ++cycle;
-        ++res.cyclesSimulated;
-        if (cycle > cap) {
-            warn("multiscalar: cycle cap %llu hit with %llu/%u tasks "
-                 "committed; results are partial",
-                 static_cast<unsigned long long>(cap),
-                 static_cast<unsigned long long>(committedTasks),
-                 num_tasks);
-            break;
-        }
-        cycleActivity = false;
+    ++cycle;
+    ++res.cyclesSimulated;
+    if (cycle > capCycle) {
+        warn("multiscalar: cycle cap %llu hit with %llu/%u tasks "
+             "committed; results are partial",
+             static_cast<unsigned long long>(capCycle),
+             static_cast<unsigned long long>(committedTasks),
+             num_tasks);
+        halted = true;
+        return false;
+    }
+    cycleActivity = false;
 
-        sequencerStep();
-        for (unsigned k = 0; k < cfg.numStages; ++k)
-            stageStep(stages[(committedTasks + k) % cfg.numStages]);
-        frontierScan();
-        if (sync)
-            drainSyncReleases();
-        commitStep();
+    sequencerStep();
+    for (unsigned k = 0; k < cfg.numStages; ++k)
+        stageStep(stages[(committedTasks + k) % cfg.numStages]);
+    frontierScan();
+    if (sync)
+        drainSyncReleases();
+    commitStep();
 
-        // Event-driven fast-forward: an idle cycle changed nothing, so
-        // every following cycle is identical until a time-gated
-        // predicate flips; jump to just before the earliest such cycle
-        // (the loop-top increment lands on it).
-        if (ffEnabled && !cycleActivity && committedTasks < num_tasks) {
-            uint64_t target = nextInterestingCycle(cap);
-            if (target > cycle + 1) {
-                res.cyclesSkipped += target - 1 - cycle;
-                cycle = target - 1;
-            }
+    // Event-driven fast-forward: an idle cycle changed nothing, so
+    // every following cycle is identical until a time-gated
+    // predicate flips; jump to just before the earliest such cycle
+    // (the next step's increment lands on it).
+    if (ffEnabled && !cycleActivity && committedTasks < num_tasks) {
+        uint64_t target = nextInterestingCycle(capCycle);
+        if (target > cycle + 1) {
+            res.cyclesSkipped += target - 1 - cycle;
+            cycle = target - 1;
         }
     }
+    return true;
+}
 
+SimResult
+MultiscalarProcessor::finish()
+{
+    // An empty task set never entered the loop; leave the
+    // default-constructed result untouched (matching the historical
+    // early return, which also skipped the synchronizer epilogue).
+    if (tasks.numTasks() == 0)
+        return res;
     res.cycles = cycle;
     res.committedTasks = committedTasks;
     if (sync)

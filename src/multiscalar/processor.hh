@@ -47,6 +47,20 @@ class MultiscalarProcessor : public TaskPcSource
     /** Execute the whole trace; returns aggregate results. */
     SimResult run();
 
+    /**
+     * Per-cycle stepping interface for the lockstep multi-config
+     * evaluator (serve/lockstep.hh): advance the machine by one
+     * simulated cycle (honoring the event-driven fast-forward jump)
+     * and return false once the run is over -- all tasks committed or
+     * the cycle cap tripped.  run() is exactly `while (stepCycle())`
+     * followed by finish(), so stepped execution is byte-identical to
+     * run-to-completion.
+     */
+    bool stepCycle();
+
+    /** Seal and return the result once stepCycle() returned false. */
+    SimResult finish();
+
     /** TaskPcSource: PC of an in-flight task, 0 when unknown. */
     Addr taskPc(uint64_t instance) const override;
 
@@ -197,6 +211,12 @@ class MultiscalarProcessor : public TaskPcSource
 
     uint64_t cycle = 0;
     SimResult res;
+
+    /** Deadlock-guard cycle cap (maxCycles or the trace-derived
+     *  default), fixed at construction. */
+    uint64_t capCycle = 0;
+    /** The cap tripped: stepCycle() must keep returning false. */
+    bool halted = false;
 
     /** Fast-forward enabled (config flag minus the env kill switch). */
     bool ffEnabled;

@@ -16,6 +16,9 @@ OooProcessor::OooProcessor(const TraceView &trace,
                            const OooConfig &config)
     : trc(trace), oracle(dep_oracle), cfg(config), state(trace.size()),
       instanceOf(trace.size(), 0),
+      capCycle(config.maxCycles
+                   ? config.maxCycles
+                   : 1000 + static_cast<uint64_t>(trace.size()) * 60),
       ffEnabled(config.fastForward && !tickReference())
 {
     // Blocked/wakeup lists are bounded by the instruction window;
@@ -341,140 +344,152 @@ OooProcessor::nextInterestingCycle(uint64_t cap) const
 OooResult
 OooProcessor::run()
 {
-    SeqNum n = static_cast<SeqNum>(trc.size());
-    if (n == 0)
-        return res;
+    while (stepCycle()) {
+    }
+    return finish();
+}
 
-    uint64_t cap = cfg.maxCycles
-        ? cfg.maxCycles
-        : 1000 + static_cast<uint64_t>(n) * 60;
+bool
+OooProcessor::stepCycle()
+{
+    const SeqNum n = static_cast<SeqNum>(trc.size());
+    if (halted || head >= n)
+        return false;
 
-    while (head < n) {
-        ++cycle;
-        ++res.cyclesSimulated;
-        if (cycle > cap) {
-            warn("ooo: cycle cap hit with %u/%u ops committed",
-                 head, n);
+    ++cycle;
+    ++res.cyclesSimulated;
+    if (cycle > capCycle) {
+        warn("ooo: cycle cap hit with %u/%u ops committed", head, n);
+        halted = true;
+        return false;
+    }
+    cycleActivity = false;
+
+    // Fetch.
+    if (cycle >= resumeCycle) {
+        unsigned fetched = 0;
+        while (fetched < cfg.fetchWidth &&
+               fetchPtr < n &&
+               fetchPtr - head < cfg.windowSize) {
+            ++fetchPtr;
+            ++fetched;
+        }
+        if (fetched)
+            cycleActivity = true;
+    }
+
+    // Issue.
+    unsigned simple_fu = cfg.simpleIntFUs;
+    unsigned complex_fu = cfg.complexIntFUs;
+    unsigned fp_fu = cfg.fpFUs;
+    unsigned branch_fu = cfg.branchFUs;
+    unsigned mem_ports = cfg.memPorts;
+    unsigned issued = 0;
+
+    for (SeqNum s = head; s < fetchPtr && issued < cfg.issueWidth;
+         ++s) {
+        OpState &os = state[s];
+        if (os.flags & (kIssued | kBlockedSync | kBlockedFrontier |
+                        kBlockedPsync))
+            continue;
+        if (!srcsReady(s))
+            continue;
+
+        const OpKind kind = trc.kind(s);
+        if (isMem(kind)) {
+            if (!tryIssueMem(s, mem_ports))
+                continue;
+            // Issued or newly blocked -- both are state changes.
+            cycleActivity = true;
+            if (state[s].flags & kIssued)
+                ++issued;
+            continue;
+        }
+
+        unsigned *fu = nullptr;
+        switch (kind) {
+          case OpKind::IntAlu:
+            fu = &simple_fu;
+            break;
+          case OpKind::IntMul:
+          case OpKind::IntDiv:
+            fu = &complex_fu;
+            break;
+          case OpKind::FpAdd:
+          case OpKind::FpMul:
+          case OpKind::FpDiv:
+            fu = &fp_fu;
+            break;
+          case OpKind::Branch:
+            fu = &branch_fu;
+            break;
+          default:
+            fu = &simple_fu;
             break;
         }
-        cycleActivity = false;
+        if (*fu == 0)
+            continue;
+        --*fu;
+        os.doneCycle = cycle + opLatency(kind);
+        os.flags |= kIssued;
+        ++issued;
+        cycleActivity = true;
+    }
 
-        // Fetch.
-        if (cycle >= resumeCycle) {
-            unsigned fetched = 0;
-            while (fetched < cfg.fetchWidth &&
-                   fetchPtr < n &&
-                   fetchPtr - head < cfg.windowSize) {
-                ++fetchPtr;
-                ++fetched;
-            }
-            if (fetched)
+    frontierScan();
+    if (sync) {
+        wakeupBuf.clear();
+        sync->drainReleasedLoads(wakeupBuf);
+        for (LoadId l : wakeupBuf) {
+            if (state[l].flags & kBlockedSync) {
+                state[l].flags &= ~kBlockedSync;
+                state[l].flags |= kSyncDone;
                 cycleActivity = true;
-        }
-
-        // Issue.
-        unsigned simple_fu = cfg.simpleIntFUs;
-        unsigned complex_fu = cfg.complexIntFUs;
-        unsigned fp_fu = cfg.fpFUs;
-        unsigned branch_fu = cfg.branchFUs;
-        unsigned mem_ports = cfg.memPorts;
-        unsigned issued = 0;
-
-        for (SeqNum s = head; s < fetchPtr && issued < cfg.issueWidth;
-             ++s) {
-            OpState &os = state[s];
-            if (os.flags & (kIssued | kBlockedSync | kBlockedFrontier |
-                            kBlockedPsync))
-                continue;
-            if (!srcsReady(s))
-                continue;
-
-            const OpKind kind = trc.kind(s);
-            if (isMem(kind)) {
-                if (!tryIssueMem(s, mem_ports))
-                    continue;
-                // Issued or newly blocked -- both are state changes.
-                cycleActivity = true;
-                if (state[s].flags & kIssued)
-                    ++issued;
-                continue;
-            }
-
-            unsigned *fu = nullptr;
-            switch (kind) {
-              case OpKind::IntAlu:
-                fu = &simple_fu;
-                break;
-              case OpKind::IntMul:
-              case OpKind::IntDiv:
-                fu = &complex_fu;
-                break;
-              case OpKind::FpAdd:
-              case OpKind::FpMul:
-              case OpKind::FpDiv:
-                fu = &fp_fu;
-                break;
-              case OpKind::Branch:
-                fu = &branch_fu;
-                break;
-              default:
-                fu = &simple_fu;
-                break;
-            }
-            if (*fu == 0)
-                continue;
-            --*fu;
-            os.doneCycle = cycle + opLatency(kind);
-            os.flags |= kIssued;
-            ++issued;
-            cycleActivity = true;
-        }
-
-        frontierScan();
-        if (sync) {
-            wakeupBuf.clear();
-            sync->drainReleasedLoads(wakeupBuf);
-            for (LoadId l : wakeupBuf) {
-                if (state[l].flags & kBlockedSync) {
-                    state[l].flags &= ~kBlockedSync;
-                    state[l].flags |= kSyncDone;
-                    cycleActivity = true;
-                }
-            }
-        }
-
-        // In-order commit.
-        unsigned committed = 0;
-        while (committed < cfg.commitWidth && head < fetchPtr) {
-            OpState &os = state[head];
-            if (!(os.flags & kIssued) || os.doneCycle > cycle)
-                break;
-            if (trc.isLoad(head)) {
-                arb.commitLoad(trc.addr(head), head);
-                ++res.committedLoads;
-            } else if (trc.isStore(head)) {
-                arb.commitStore(trc.addr(head), head);
-            }
-            ++res.committedOps;
-            ++head;
-            ++committed;
-        }
-        if (committed)
-            cycleActivity = true;
-
-        // Event-driven fast-forward: an idle cycle changed nothing, so
-        // every following cycle is identical until a time-gated
-        // predicate flips; jump to just before the earliest such cycle
-        // (the loop-top increment lands on it).
-        if (ffEnabled && !cycleActivity && head < n) {
-            uint64_t target = nextInterestingCycle(cap);
-            if (target > cycle + 1) {
-                res.cyclesSkipped += target - 1 - cycle;
-                cycle = target - 1;
             }
         }
     }
 
+    // In-order commit.
+    unsigned committed = 0;
+    while (committed < cfg.commitWidth && head < fetchPtr) {
+        OpState &os = state[head];
+        if (!(os.flags & kIssued) || os.doneCycle > cycle)
+            break;
+        if (trc.isLoad(head)) {
+            arb.commitLoad(trc.addr(head), head);
+            ++res.committedLoads;
+        } else if (trc.isStore(head)) {
+            arb.commitStore(trc.addr(head), head);
+        }
+        ++res.committedOps;
+        ++head;
+        ++committed;
+    }
+    if (committed)
+        cycleActivity = true;
+
+    // Event-driven fast-forward: an idle cycle changed nothing, so
+    // every following cycle is identical until a time-gated
+    // predicate flips; jump to just before the earliest such cycle
+    // (the next step's increment lands on it).
+    if (ffEnabled && !cycleActivity && head < n) {
+        uint64_t target = nextInterestingCycle(capCycle);
+        if (target > cycle + 1) {
+            res.cyclesSkipped += target - 1 - cycle;
+            cycle = target - 1;
+        }
+    }
+    return true;
+}
+
+OooResult
+OooProcessor::finish()
+{
+    // An empty trace never entered the loop; leave the
+    // default-constructed result untouched (matching the historical
+    // early return).
+    if (trc.size() == 0)
+        return res;
     res.cycles = cycle;
     return res;
 }

@@ -102,6 +102,20 @@ class OooProcessor
 
     OooResult run();
 
+    /**
+     * Per-cycle stepping interface for the lockstep multi-config
+     * evaluator (serve/lockstep.hh): advance the machine by one
+     * simulated cycle (honoring the event-driven fast-forward jump)
+     * and return false once the run is over -- all ops committed or
+     * the cycle cap tripped.  run() is exactly `while (stepCycle())`
+     * followed by finish(), so stepped execution is byte-identical to
+     * run-to-completion.
+     */
+    bool stepCycle();
+
+    /** Seal and return the result once stepCycle() returned false. */
+    OooResult finish();
+
   private:
     static constexpr uint8_t kIssued = 1 << 0;
     static constexpr uint8_t kBlockedSync = 1 << 1;
@@ -159,6 +173,12 @@ class OooProcessor
     SeqNum fetchPtr = 0;  ///< next op to enter the window
     uint64_t resumeCycle = 0;
     uint64_t cycle = 0;
+
+    /** Deadlock-guard cycle cap (maxCycles or the trace-derived
+     *  default), fixed at construction. */
+    uint64_t capCycle = 0;
+    /** The cap tripped: stepCycle() must keep returning false. */
+    bool halted = false;
 
     /** Fast-forward enabled (config flag minus the env kill switch). */
     bool ffEnabled;

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Lockstep multi-config evaluation: drive N timing-model instances
+ * over one shared workload context in a single logical trace pass.
+ *
+ * A policy sweep (fig5/fig7/table9 shape) evaluates many
+ * configurations against the *same* dynamic instruction stream.  Run
+ * serially, each run streams the whole trace again; run in lockstep,
+ * the evaluator interleaves the runs in round-robin chunks of cycles,
+ * so the (mmap'd, shared) trace and oracle stay hot across all
+ * configurations and a sweep costs roughly one trace pass of memory
+ * traffic instead of N.
+ *
+ * The models' stepCycle()/finish() interface guarantees stepped
+ * execution is byte-identical to run-to-completion, and the lanes are
+ * fully independent machines, so interleaving them at any chunk
+ * granularity yields exactly the results of running each config alone
+ * (asserted in tests/test_serve.cc).
+ */
+
+#ifndef MDP_SERVE_LOCKSTEP_HH
+#define MDP_SERVE_LOCKSTEP_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "multiscalar/config.hh"
+#include "multiscalar/processor.hh"
+#include "ooo/ooo_model.hh"
+
+namespace mdp
+{
+
+/** One lane of a lockstep evaluation: exactly one model is chosen. */
+struct LockstepJob
+{
+    enum class Model { Multiscalar, Ooo };
+    Model model = Model::Multiscalar;
+    MultiscalarConfig ms;
+    OooConfig ooo;
+};
+
+/** The lane's result; only the chosen model's member is meaningful. */
+struct LockstepResult
+{
+    SimResult ms;
+    OooResult ooo;
+};
+
+/**
+ * Runs a batch of jobs against one context in lockstep.  Single-shot:
+ * construct, run(), read results.  Accounts the combined wall time
+ * under the "simulate" phase and every lane's fast-forward counters
+ * in the process cycle-stats totals, exactly like runMultiscalar()/
+ * runOoo() do for standalone runs.
+ */
+class LockstepEvaluator
+{
+  public:
+    /**
+     * @param chunk_cycles cycles each lane advances per round-robin
+     *        turn; any positive value yields identical results, the
+     *        default just amortizes the loop overhead.
+     */
+    LockstepEvaluator(const WorkloadContext &ctx,
+                      std::vector<LockstepJob> jobs,
+                      unsigned chunk_cycles = 1024);
+    ~LockstepEvaluator();
+
+    LockstepEvaluator(const LockstepEvaluator &) = delete;
+    LockstepEvaluator &operator=(const LockstepEvaluator &) = delete;
+
+    /** Run every lane to completion (idempotent). */
+    const std::vector<LockstepResult> &run();
+
+    /** Round-robin rounds executed (diagnostics). */
+    uint64_t rounds() const { return nrounds; }
+
+  private:
+    /**
+     * The per-cycle path: advance every live lane by one chunk.
+     * @return true while any lane is still running.
+     */
+    bool stepRound();
+
+    struct Lane
+    {
+        std::unique_ptr<MultiscalarProcessor> ms;
+        std::unique_ptr<OooProcessor> ooo;
+        bool live = true;
+    };
+
+    unsigned chunk;
+    std::vector<LockstepJob> jobSpecs;
+    std::vector<Lane> lanes;
+    std::vector<LockstepResult> results;
+    uint64_t nrounds = 0;
+    bool ran = false;
+};
+
+} // namespace mdp
+
+#endif // MDP_SERVE_LOCKSTEP_HH

@@ -1,0 +1,360 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <memory>
+#include <tuple>
+#include <utility>
+
+#include "base/thread_pool.hh"
+#include "harness/cycle_stats.hh"
+#include "harness/experiment.hh"
+#include "harness/phase_timer.hh"
+#include "harness/sim_stats.hh"
+#include "mdp/policy.hh"
+#include "serve/lockstep.hh"
+#include "workloads/suites.hh"
+
+namespace mdp::serve
+{
+
+namespace
+{
+
+// The protocol layer has already validated every enum string, so
+// these converters never hit the parsers' fatal paths.
+SyncOrganization
+orgOf(const Request &r)
+{
+    if (r.org == "split")
+        return SyncOrganization::Split;
+    if (r.org == "distributed")
+        return SyncOrganization::Distributed;
+    return SyncOrganization::Combined;
+}
+
+TagScheme
+tagsOf(const Request &r)
+{
+    return r.tags == "address" ? TagScheme::Address
+                               : TagScheme::Distance;
+}
+
+/** Build the lane exactly the way mdp_sim builds its config. */
+LockstepJob
+jobOf(const WorkloadContext &ctx, const Request &r)
+{
+    LockstepJob job;
+    if (r.model == "ooo") {
+        job.model = LockstepJob::Model::Ooo;
+        job.ooo.windowSize = r.window;
+        job.ooo.policy = parsePolicy(r.policy);
+        job.ooo.sync.numEntries = r.entries;
+        job.ooo.sync.tags = tagsOf(r);
+        job.ooo.organization = orgOf(r);
+        return job;
+    }
+    job.model = LockstepJob::Model::Multiscalar;
+    job.ms = makeMultiscalarConfig(ctx, r.stages, parsePolicy(r.policy));
+    job.ms.sync.numEntries = r.entries;
+    job.ms.sync.tags = tagsOf(r);
+    job.ms.organization = orgOf(r);
+    if (r.preload)
+        job.ms.preloadEdges = analyzeStaticEdges(ctx);
+    return job;
+}
+
+JsonValue
+statsJson(const StatGroup &g)
+{
+    JsonValue obj = JsonValue::object();
+    for (const auto &[k, v] : g.all())
+        obj.set(k, JsonValue::number(v));
+    return obj;
+}
+
+} // namespace
+
+Server::Server(ServeConfig config) : cfg(std::move(config)) {}
+
+std::vector<Response>
+Server::handleLine(uint64_t client, const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    std::vector<Response> out;
+
+    Message msg = parseMessage(line);
+    switch (msg.kind) {
+      case MsgKind::Invalid: {
+        ++counters.submitted;
+        ++counters.rejectedInvalid;
+        JsonValue doc = JsonValue::object();
+        if (!msg.req.id.empty())
+            doc.set("id", JsonValue::string(msg.req.id));
+        doc.set("status", JsonValue::string("rejected"));
+        doc.set("error", JsonValue::string(msg.error));
+        out.push_back({client, responseLine(doc)});
+        break;
+      }
+      case MsgKind::Submit: {
+        ++counters.submitted;
+        JsonValue doc = JsonValue::object();
+        doc.set("id", JsonValue::string(msg.req.id));
+        auto known = idState.find(msg.req.id);
+        if (known != idState.end()) {
+            ++counters.duplicates;
+            doc.set("status", JsonValue::string("duplicate"));
+            doc.set("completed", JsonValue::boolean(known->second));
+        } else if (queue.size() >= cfg.queueCapacity) {
+            ++counters.rejectedFull;
+            doc.set("status", JsonValue::string("rejected"));
+            doc.set("error", JsonValue::string("queue_full"));
+        } else {
+            ++counters.accepted;
+            idState.emplace(msg.req.id, false);
+            queue.push_back({std::move(msg.req), client});
+            doc.set("status", JsonValue::string("queued"));
+            doc.set("depth",
+                    JsonValue::number(
+                        static_cast<double>(queue.size())));
+        }
+        out.push_back({client, responseLine(doc)});
+        break;
+      }
+      case MsgKind::Run:
+        out = runQueuedLocked(client, true);
+        break;
+      case MsgKind::Status: {
+        JsonValue doc = JsonValue::object();
+        doc.set("status", JsonValue::string("ok"));
+        doc.set("queued",
+                JsonValue::number(static_cast<double>(queue.size())));
+        doc.set("accepted",
+                JsonValue::number(
+                    static_cast<double>(counters.accepted)));
+        doc.set("completed",
+                JsonValue::number(
+                    static_cast<double>(counters.completed)));
+        doc.set("rejected_queue_full",
+                JsonValue::number(
+                    static_cast<double>(counters.rejectedFull)));
+        out.push_back({client, responseLine(doc)});
+        break;
+      }
+      case MsgKind::Shutdown: {
+        out = runQueuedLocked(client, false);
+        stopRequested = true;
+        JsonValue doc = JsonValue::object();
+        doc.set("status", JsonValue::string("bye"));
+        out.push_back({client, responseLine(doc)});
+        break;
+      }
+    }
+    return out;
+}
+
+std::vector<Response>
+Server::drain()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return runQueuedLocked(0, false);
+}
+
+std::vector<Response>
+Server::runQueuedLocked(uint64_t run_client, bool emit_summary)
+{
+    std::vector<Pending> batch(queue.begin(), queue.end());
+    queue.clear();
+
+    std::vector<Response> out;
+    std::vector<LockstepResult> results(batch.size());
+
+    if (!batch.empty()) {
+        // Group by (workload, scale, seed): one shared context -- one
+        // logical trace pass -- per group.  std::map keeps the group
+        // order deterministic; within a group, submission order is
+        // preserved by construction.
+        using GroupKey = std::tuple<std::string, double, uint64_t>;
+        std::map<GroupKey, std::vector<size_t>> groups;
+        for (size_t i = 0; i < batch.size(); ++i) {
+            const Request &r = batch[i].req;
+            groups[{r.workload, r.scale, r.seed}].push_back(i);
+        }
+
+        // Contexts built for seed overrides live here until the pool
+        // drains; default-seed contexts come from the process cache.
+        std::vector<std::unique_ptr<WorkloadContext>> owned;
+        const unsigned jobs =
+            cfg.jobs ? cfg.jobs : ThreadPool::defaultJobs();
+        ThreadPool pool(jobs);
+        std::vector<uint64_t> shardRounds;
+
+        struct Shard
+        {
+            const WorkloadContext *ctx;
+            std::vector<size_t> indices;
+        };
+        std::vector<Shard> shards;
+
+        for (const auto &[key, members] : groups) {
+            const auto &[wname, scale, seed] = key;
+            const WorkloadContext *ctx = nullptr;
+            if (seed == 0) {
+                ctx = &cachedContext(wname, scale);
+            } else {
+                const Workload &w = findWorkload(wname);
+                owned.push_back(std::make_unique<WorkloadContext>(
+                    w.generate(scale, seed),
+                    w.profile().taskMispredictRate));
+                ctx = owned.back().get();
+            }
+            ++counters.groups;
+            ++counters.tracePasses;
+            counters.configsEvaluated += members.size();
+
+            // Shard the group's lanes across the pool; every shard
+            // drives its subset in lockstep over the shared context.
+            const size_t nshards = std::min<size_t>(
+                std::max(1u, jobs), members.size());
+            for (size_t s = 0; s < nshards; ++s) {
+                Shard shard;
+                shard.ctx = ctx;
+                for (size_t m = s; m < members.size(); m += nshards)
+                    shard.indices.push_back(members[m]);
+                shards.push_back(std::move(shard));
+            }
+        }
+
+        shardRounds.assign(shards.size(), 0);
+        for (size_t s = 0; s < shards.size(); ++s) {
+            const Shard &shard = shards[s];
+            pool.submit([this, &shard, &batch, &results, &shardRounds,
+                         s] {
+                std::vector<LockstepJob> lanes;
+                lanes.reserve(shard.indices.size());
+                for (size_t idx : shard.indices)
+                    lanes.push_back(
+                        jobOf(*shard.ctx, batch[idx].req));
+                LockstepEvaluator eval(*shard.ctx, std::move(lanes),
+                                       cfg.lockstepChunk);
+                const std::vector<LockstepResult> &r = eval.run();
+                for (size_t k = 0; k < shard.indices.size(); ++k)
+                    results[shard.indices[k]] = r[k];
+                shardRounds[s] = eval.rounds();
+            });
+        }
+        pool.wait();
+        for (uint64_t r : shardRounds)
+            counters.lockstepRounds += r;
+    }
+
+    for (size_t i = 0; i < batch.size(); ++i) {
+        const Pending &p = batch[i];
+        const bool ooo = p.req.model == "ooo";
+        StatGroup stats = ooo ? oooStats(results[i].ooo)
+                              : multiscalarStats(results[i].ms);
+
+        JsonValue doc = JsonValue::object();
+        doc.set("id", JsonValue::string(p.req.id));
+        doc.set("status", JsonValue::string("done"));
+        doc.set("model", JsonValue::string(p.req.model));
+        doc.set("stats", statsJson(stats));
+        if (!cfg.resultsDir.empty()) {
+            const std::string path =
+                cfg.resultsDir + "/" + p.req.id + ".json";
+            std::string error;
+            if (!writeSimReport(path, p.req.model, p.req.scale, stats,
+                                error))
+                doc.set("write_error", JsonValue::string(error));
+        }
+        idState[p.req.id] = true;
+        ++counters.completed;
+        out.push_back({p.client, responseLine(doc)});
+    }
+
+    if (emit_summary) {
+        JsonValue doc = JsonValue::object();
+        doc.set("status", JsonValue::string("ran"));
+        doc.set("completed",
+                JsonValue::number(static_cast<double>(batch.size())));
+        doc.set("groups",
+                JsonValue::number(
+                    static_cast<double>(counters.groups)));
+        doc.set("trace_passes",
+                JsonValue::number(
+                    static_cast<double>(counters.tracePasses)));
+        doc.set("configs_evaluated",
+                JsonValue::number(
+                    static_cast<double>(counters.configsEvaluated)));
+        doc.set("amortization_factor",
+                JsonValue::number(counters.amortization()));
+        out.push_back({run_client, responseLine(doc)});
+    }
+    return out;
+}
+
+bool
+Server::shutdownRequested() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return stopRequested;
+}
+
+BatchStats
+Server::stats() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return counters;
+}
+
+JsonValue
+Server::batchReport(double wall_seconds) const
+{
+    BatchStats s = stats();
+
+    BenchReport report("mdp_served_batch",
+                       "mdp_served batch-server run");
+    report.setJobs(cfg.jobs ? cfg.jobs : ThreadPool::defaultJobs());
+    for (const auto &[phase, seconds] : phaseSeconds())
+        report.addTiming(phase, seconds);
+    CycleStats cs = cycleStats();
+    report.setCycleCounts(cs.cyclesSimulated, cs.cyclesSkipped);
+
+    JsonValue doc = report.toJson();
+    JsonValue batch = JsonValue::object();
+    batch.set("submitted",
+              JsonValue::number(static_cast<double>(s.submitted)));
+    batch.set("accepted",
+              JsonValue::number(static_cast<double>(s.accepted)));
+    batch.set("completed",
+              JsonValue::number(static_cast<double>(s.completed)));
+    batch.set("duplicates",
+              JsonValue::number(static_cast<double>(s.duplicates)));
+    batch.set("rejected_queue_full",
+              JsonValue::number(static_cast<double>(s.rejectedFull)));
+    batch.set("rejected_invalid",
+              JsonValue::number(
+                  static_cast<double>(s.rejectedInvalid)));
+    batch.set("groups",
+              JsonValue::number(static_cast<double>(s.groups)));
+    batch.set("trace_passes",
+              JsonValue::number(static_cast<double>(s.tracePasses)));
+    batch.set("configs_evaluated",
+              JsonValue::number(
+                  static_cast<double>(s.configsEvaluated)));
+    batch.set("amortization_factor",
+              JsonValue::number(s.amortization()));
+    batch.set("lockstep_rounds",
+              JsonValue::number(
+                  static_cast<double>(s.lockstepRounds)));
+    batch.set("wall_seconds", JsonValue::number(wall_seconds));
+    batch.set("requests_per_sec",
+              JsonValue::number(
+                  wall_seconds > 0.0
+                      ? static_cast<double>(s.completed) /
+                            wall_seconds
+                      : 0.0));
+    doc.set("serve_batch", std::move(batch));
+    return doc;
+}
+
+} // namespace mdp::serve

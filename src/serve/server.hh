@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The mdp_served batch-server core, transport-agnostic: feed it
+ * protocol lines (from stdin or from Unix-socket clients), get back
+ * response lines routed to the originating client.
+ *
+ * Request lifecycle and backpressure:
+ *
+ *   submit -> "queued"            (bounded queue has room)
+ *          -> "rejected" queue_full  (explicit backpressure; the
+ *                                     client retries after a run)
+ *          -> "rejected" <error>  (validation failure)
+ *          -> "duplicate"         (id already queued or completed --
+ *                                  ids are idempotent: a request is
+ *                                  never evaluated twice)
+ *   {"op":"run"} / drain() -> one "done" line per queued request, in
+ *                             submission order, then a "ran" summary.
+ *
+ * Evaluation groups the queue by (workload, scale, seed); each group
+ * shares one WorkloadContext -- one logical trace pass -- and its
+ * configurations are sharded across a bounded worker pool, each shard
+ * driven by the lockstep evaluator.  The batch counters therefore
+ * report trace_passes == number of groups, and the amortization
+ * factor configs_evaluated / trace_passes is the one-pass win the
+ * serve-integration CI job gates on.
+ *
+ * Thread-safety: every public method is serialized by one mutex, so
+ * racing clients can submit concurrently while another thread runs or
+ * drains the queue (tests/test_serve.cc exercises exactly that under
+ * ASan/TSan).
+ */
+
+#ifndef MDP_SERVE_SERVER_HH
+#define MDP_SERVE_SERVER_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hh"
+
+namespace mdp::serve
+{
+
+struct ServeConfig
+{
+    size_t queueCapacity = 256;
+    unsigned jobs = 0; ///< worker count; 0 = ThreadPool::defaultJobs()
+    unsigned lockstepChunk = 1024;
+    /** When set, write each run's mdp_sim-format JSON report to
+     *  <resultsDir>/<id>.json (byte-identical to mdp_sim --json-out). */
+    std::string resultsDir;
+};
+
+/** Deterministic per-batch counters (everything but wall seconds). */
+struct BatchStats
+{
+    uint64_t submitted = 0;
+    uint64_t accepted = 0;
+    uint64_t rejectedFull = 0;
+    uint64_t rejectedInvalid = 0;
+    uint64_t duplicates = 0;
+    uint64_t completed = 0;
+    uint64_t groups = 0;
+    uint64_t tracePasses = 0;
+    uint64_t configsEvaluated = 0;
+    uint64_t lockstepRounds = 0;
+
+    /** Configs evaluated per trace pass (the one-pass sweep win). */
+    double
+    amortization() const
+    {
+        return tracePasses ? static_cast<double>(configsEvaluated) /
+                                 static_cast<double>(tracePasses)
+                           : 0.0;
+    }
+};
+
+/** One response line addressed to the client that caused it. */
+struct Response
+{
+    uint64_t client = 0;
+    std::string line;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServeConfig config);
+
+    /**
+     * Handle one protocol line from @p client.  Submission responses
+     * go to @p client; a run op additionally yields each queued
+     * request's result line addressed to its own submitter.
+     */
+    std::vector<Response> handleLine(uint64_t client,
+                                     const std::string &line);
+
+    /**
+     * Evaluate everything still queued (SIGTERM / EOF drain): every
+     * accepted request yields exactly one "done" line to its
+     * submitter, never a duplicate.
+     */
+    std::vector<Response> drain();
+
+    /** A client sent {"op":"shutdown"}; the transport should drain
+     *  (already done by handleLine), flush, and exit. */
+    bool shutdownRequested() const;
+
+    BatchStats stats() const;
+
+    /**
+     * The batch-level report: the standard BenchReport envelope
+     * (phase_seconds, cycle_stats) plus a "serve_batch" section with
+     * the queue/evaluation counters, @p wall_seconds and the derived
+     * requests_per_sec.
+     */
+    JsonValue batchReport(double wall_seconds) const;
+
+  private:
+    struct Pending
+    {
+        Request req;
+        uint64_t client = 0;
+    };
+
+    std::vector<Response> runQueuedLocked(uint64_t run_client,
+                                          bool emit_summary);
+
+    ServeConfig cfg;
+
+    mutable std::mutex mtx;
+    std::deque<Pending> queue;
+    /** id -> completed?  Present from acceptance on (idempotency). */
+    std::map<std::string, bool> idState;
+    BatchStats counters;
+    bool stopRequested = false;
+};
+
+} // namespace mdp::serve
+
+#endif // MDP_SERVE_SERVER_HH

@@ -8,22 +8,22 @@
 #include <unordered_set>
 
 struct FakeModel {
-    std::unordered_map<uint64_t, uint64_t> pendingDone;
-    std::unordered_set<uint64_t> timedWakeups;
+    std::unordered_map<uint64_t, uint64_t> done;
+    std::unordered_set<uint64_t> wake;
     uint64_t cycle = 0;
 
     uint64_t
     nextInterestingCycle(uint64_t cap) const
     {
         uint64_t next = cap + 1;
-        for (const auto &kv : pendingDone) { // expect: fastforward-order unordered-iter
+        for (auto &kv : done) { // expect: fastforward-order unordered-iter
             if (kv.second > cycle && kv.second < next)
                 next = kv.second;
         }
-        for (auto it = timedWakeups.begin(); // expect: fastforward-order unordered-iter
-             it != timedWakeups.end(); ++it) {
-            if (*it > cycle && *it < next)
-                next = *it;
+        auto i = wake.begin(); // expect: fastforward-order unordered-iter
+        for (; i != wake.end(); ++i) {
+            if (*i > cycle && *i < next)
+                next = *i;
         }
         return next;
     }

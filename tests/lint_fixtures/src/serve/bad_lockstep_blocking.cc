@@ -1,0 +1,42 @@
+// Deliberate lockstep-blocking violations: blocking calls and
+// unordered-container iteration inside a stepRound definition.  The
+// same calls outside stepRound are fine (transport code blocks all
+// the time) and must stay undiagnosed.
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <mutex>
+#include <unordered_map>
+
+struct BadEvaluator {
+    std::unordered_map<int, int> laneState;
+    std::mutex mtx;
+    int fd = 0;
+
+    bool stepRound();
+    void betweenRounds();
+};
+
+bool
+BadEvaluator::stepRound()
+{
+    std::lock_guard<std::mutex> hold(mtx); // expect: lockstep-blocking
+    char buf[8];
+    if (read(fd, buf, sizeof buf) < 0) // expect: lockstep-blocking
+        return false;
+    poll(nullptr, 0, 1); // expect: lockstep-blocking
+    int n = 0;
+    for (auto &kv : laneState) // expect: lockstep-blocking
+        n += kv.second;
+    return n > 0;
+}
+
+void
+BadEvaluator::betweenRounds()
+{
+    // Not the per-cycle path: blocking here is the transport's job.
+    poll(nullptr, 0, 1);
+    char buf[8];
+    static_cast<void>(read(fd, buf, sizeof buf));
+}

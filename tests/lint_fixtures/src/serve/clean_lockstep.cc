@@ -1,0 +1,34 @@
+// Expected-clean counterpart of bad_lockstep_blocking.cc: the
+// per-cycle path sticks to vectors, point lookups, and pure
+// computation; blocking work happens between rounds.
+
+#include <unordered_map>
+#include <vector>
+
+struct CleanEvaluator {
+    std::vector<int> lanes;
+    std::unordered_map<int, int> laneIndex;
+
+    bool stepRound();
+    void prepare();
+};
+
+bool
+CleanEvaluator::stepRound()
+{
+    int n = 0;
+    for (int lane : lanes)
+        n += lane;
+    // A point lookup is not an iteration: no diagnostic.
+    auto it = laneIndex.find(n);
+    return it != laneIndex.end();
+}
+
+void
+CleanEvaluator::prepare()
+{
+    // Outside stepRound (and src/serve/ is not a model directory),
+    // unordered iteration is allowed.
+    for (auto &kv : laneIndex)
+        kv.second = 0;
+}

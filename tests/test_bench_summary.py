@@ -366,6 +366,86 @@ class BenchSummaryTest(unittest.TestCase):
         self.assertAlmostEqual(entry["wall_seconds"]["cold"], 3.5)
         self.assertNotIn("cycle_totals", entry)
 
+    # ---- --trend with mdp_served batch reports ----------------------
+
+    def batch_report(self, completed=8, passes=1, wall=2.0):
+        """What mdp_served --batch-report writes (envelope + counters)."""
+        return {
+            "bench": "mdp_served_batch",
+            "reproduces": "mdp_served batch-server run",
+            "all_checks_ok": True,
+            "shape_checks": [],
+            "phase_seconds": {"simulate": wall * 0.9},
+            "cycle_stats": {"cycles_simulated": 400,
+                            "cycles_skipped": 100,
+                            "skip_rate": 0.2},
+            "serve_batch": {
+                "submitted": completed,
+                "accepted": completed,
+                "completed": completed,
+                "duplicates": 0,
+                "rejected_queue_full": 0,
+                "rejected_invalid": 0,
+                "groups": passes,
+                "trace_passes": passes,
+                "configs_evaluated": completed,
+                "amortization_factor": completed / passes,
+                "lockstep_rounds": 30,
+                "wall_seconds": wall,
+                "requests_per_sec": completed / wall,
+            },
+        }
+
+    def test_trend_ingests_batch_reports(self):
+        self.write("cold/a.json", good_report("bench_a"))
+        summary = self.write_summary("BENCH_a.json",
+                                     [f"cold={self.root}/cold"])
+        batch = self.write("batch.json",
+                           self.batch_report(completed=8, passes=1,
+                                             wall=2.0))
+        out = self.root / "trend.json"
+        proc = self.run_trend(str(summary), str(batch),
+                              "--out", str(out))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        # The table gains server columns; the plain summary renders
+        # '-' in them and the batch row carries the numbers.
+        lines = proc.stdout.splitlines()
+        header = next(l for l in lines if "summary" in l)
+        self.assertIn("req/s", header)
+        self.assertIn("amortization", header)
+        batch_row = next(l for l in lines if "batch.json" in l)
+        self.assertIn("4.0", batch_row)    # 8 requests / 2.0 s
+        self.assertIn("1/8", batch_row)    # one pass, eight configs
+        self.assertIn("8.00x", batch_row)
+        plain_row = next(l for l in lines if "BENCH_a.json" in l)
+        self.assertIn("-", plain_row)
+        # The JSON artifact carries the same numbers plus the batch's
+        # own fast-forward skip accounting.
+        doc = json.loads(out.read_text())
+        entry = doc["trend"][1]
+        self.assertAlmostEqual(entry["wall_seconds"]["serve"], 2.0)
+        self.assertEqual(entry["serve_batch"]["trace_passes"], 1)
+        self.assertAlmostEqual(
+            entry["serve_batch"]["amortization_factor"], 8.0)
+        self.assertAlmostEqual(
+            entry["cycle_totals"]["skip_rate"], 0.2)
+
+    def test_trend_rejects_malformed_batch_report(self):
+        doc = self.batch_report()
+        del doc["serve_batch"]["amortization_factor"]
+        batch = self.write("batch.json", doc)
+        proc = self.run_trend(str(batch))
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("amortization_factor", proc.stderr)
+
+    def test_trend_rejects_non_numeric_batch_fields(self):
+        doc = self.batch_report()
+        doc["serve_batch"]["requests_per_sec"] = "many"
+        batch = self.write("batch.json", doc)
+        proc = self.run_trend(str(batch))
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("requests_per_sec", proc.stderr)
+
     def test_trend_rejects_non_summary_input(self):
         # Feeding a raw bench report (not a summary written by this
         # script) must fail loudly, not render a nonsense row.

@@ -48,6 +48,12 @@ aggregate fast-forward skip rate of each summary:
     bench_summary.py --trend BENCH_old.json BENCH_new.json \
         [--out trend.json]
 
+Batch-server reports written by mdp_served --batch-report (documents
+carrying a "serve_batch" section) mix into --trend alongside
+summaries: each contributes a "serve" wall-clock column plus server
+throughput (requests/sec), trace passes versus configs evaluated, and
+the amortization factor of the one-pass multi-config sweep.
+
 Exits nonzero when a result file is unreadable, malformed (wrong
 top-level shape, missing/ill-typed fields), when the labeled
 directories disagree about which benches exist (a bench that crashed
@@ -283,17 +289,40 @@ def cycle_totals(summary):
     }
 
 
+# serve_batch fields --trend consumes; all must be numbers.
+SERVE_TREND_FIELDS = ("wall_seconds", "requests_per_sec",
+                      "trace_passes", "configs_evaluated",
+                      "amortization_factor")
+
+
+def validate_batch_report(path, doc):
+    """Reject a structurally broken mdp_served batch report loudly."""
+    serve = doc.get("serve_batch")
+    if not isinstance(serve, dict):
+        raise RuntimeError(f"{path}: 'serve_batch' is not a map")
+    for key in SERVE_TREND_FIELDS:
+        value = serve.get(key)
+        if not isinstance(value, (int, float)) \
+                or isinstance(value, bool):
+            raise RuntimeError(
+                f"{path}: serve_batch[{key!r}] is not a number")
+
+
 def load_summary(path):
-    """Read a summary previously written by this script."""
+    """Read a summary previously written by this script, or an
+    mdp_served batch report (recognized by its serve_batch section)."""
     try:
         doc = json.loads(Path(path).read_text())
     except (OSError, json.JSONDecodeError) as err:
         raise RuntimeError(f"unreadable summary {path}: {err}")
+    if isinstance(doc, dict) and "serve_batch" in doc:
+        validate_batch_report(path, doc)
+        return doc
     if not isinstance(doc, dict) or not (
             doc.get("phase_totals") or doc.get("micro")):
         raise RuntimeError(
             f"{path}: not a bench_summary.py summary (no "
-            "'phase_totals' or 'micro' section)")
+            "'phase_totals', 'micro', or 'serve_batch' section)")
     return doc
 
 
@@ -302,6 +331,36 @@ def trend_entries(paths):
     entries = []
     for path in paths:
         doc = load_summary(path)
+        if "serve_batch" in doc:
+            serve = doc["serve_batch"]
+            entry = {
+                "summary": str(path),
+                "wall_seconds": {
+                    "serve": round(serve["wall_seconds"], 6),
+                },
+                "serve_batch": {
+                    "requests_per_sec":
+                        round(serve["requests_per_sec"], 3),
+                    "trace_passes": int(serve["trace_passes"]),
+                    "configs_evaluated":
+                        int(serve["configs_evaluated"]),
+                    "amortization_factor":
+                        round(serve["amortization_factor"], 3),
+                },
+            }
+            stats = doc.get("cycle_stats")
+            if isinstance(stats, dict):
+                sim = int(stats.get("cycles_simulated", 0))
+                skipped = int(stats.get("cycles_skipped", 0))
+                total = sim + skipped
+                entry["cycle_totals"] = {
+                    "cycles_simulated": sim,
+                    "cycles_skipped": skipped,
+                    "skip_rate":
+                        round(skipped / total, 4) if total else 0.0,
+                }
+            entries.append(entry)
+            continue
         wall = {}
         for label, phases in doc.get("phase_totals", {}).items():
             wall[label] = round(sum(phases.values()), 6)
@@ -323,7 +382,10 @@ def print_trend(entries):
     labels = sorted({label for e in entries
                      for label in e["wall_seconds"]})
     has_skip = any("cycle_totals" in e for e in entries)
+    has_serve = any("serve_batch" in e for e in entries)
     header = ["summary"] + labels + \
+        (["req/s", "passes/configs", "amortization"]
+         if has_serve else []) + \
         (["skip_rate"] if has_skip else [])
     rows = [header]
     for e in entries:
@@ -331,6 +393,17 @@ def print_trend(entries):
         for label in labels:
             secs = e["wall_seconds"].get(label)
             row.append("-" if secs is None else f"{secs:.3f}s")
+        if has_serve:
+            serve = e.get("serve_batch")
+            if serve is None:
+                row += ["-", "-", "-"]
+            else:
+                row += [
+                    f"{serve['requests_per_sec']:.1f}",
+                    f"{serve['trace_passes']}/"
+                    f"{serve['configs_evaluated']}",
+                    f"{serve['amortization_factor']:.2f}x",
+                ]
         if has_skip:
             totals = e.get("cycle_totals")
             row.append("-" if totals is None

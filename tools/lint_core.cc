@@ -355,16 +355,18 @@ lastComponent(const std::string &expr)
     return tail;
 }
 
+/**
+ * Invoke @p cb(pos, name, is_range_for) for every iteration over a
+ * container in @p names: range-for sequences (pos is the ':') and
+ * explicit .begin()/.cbegin() walks (pos is the container name).
+ * Point lookups never match.
+ */
+template <typename Fn>
 void
-checkUnorderedIter(const SourceFile &src, const std::string &code,
-                   const DeclMap &decls, std::vector<Diag> &out)
+forEachContainerIteration(const std::string &code,
+                          const std::set<std::string> &names, Fn cb)
 {
-    auto it = decls.find(dirOf(scopedPath(src.path)));
-    if (it == decls.end())
-        return;
-    const std::set<std::string> &names = it->second;
-
-    // Range-for over a declared unordered container.
+    // Range-for whose sequence is one of the named containers.
     size_t pos = 0;
     while ((pos = findToken(code, "for", pos)) != std::string::npos) {
         size_t open = code.find_first_not_of(" \t\n", pos + 3);
@@ -396,12 +398,7 @@ checkUnorderedIter(const SourceFile &src, const std::string &code,
         std::string name = lastComponent(
             code.substr(colon + 1, close - colon - 1));
         if (!name.empty() && names.count(name))
-            out.push_back(
-                {src.path, lineOf(code, colon), "unordered-iter",
-                 "range-for over unordered container '" + name +
-                     "': iteration order is implementation-defined; "
-                     "use an ordered container or a sorted drain "
-                     "(base/ordered.hh)"});
+            cb(colon, name, true);
     }
 
     // Explicit iterator loops: NAME.begin() / NAME.cbegin().
@@ -416,18 +413,32 @@ checkUnorderedIter(const SourceFile &src, const std::string &code,
                                            p + token.size());
                 if (paren != std::string::npos &&
                     code[paren] == '(')
-                    out.push_back(
-                        {src.path, lineOf(code, p),
-                         "unordered-iter",
-                         "iterator walk over unordered container '" +
-                             name +
-                             "': iteration order is implementation-"
-                             "defined; use an ordered container or a "
-                             "sorted drain (base/ordered.hh)"});
+                    cb(p, name, false);
                 p += token.size();
             }
         }
     }
+}
+
+void
+checkUnorderedIter(const SourceFile &src, const std::string &code,
+                   const DeclMap &decls, std::vector<Diag> &out)
+{
+    auto it = decls.find(dirOf(scopedPath(src.path)));
+    if (it == decls.end())
+        return;
+    forEachContainerIteration(
+        code, it->second,
+        [&](size_t pos, const std::string &name, bool range_for) {
+            out.push_back(
+                {src.path, lineOf(code, pos), "unordered-iter",
+                 std::string(range_for ? "range-for over"
+                                       : "iterator walk over") +
+                     " unordered container '" + name +
+                     "': iteration order is implementation-defined; "
+                     "use an ordered container or a sorted drain "
+                     "(base/ordered.hh)"});
+        });
 }
 
 // ---- rule: fastforward-order ---------------------------------------
@@ -514,69 +525,108 @@ checkFastForwardOrder(const SourceFile &src, const std::string &code,
                 return true;
         return false;
     };
-    auto diag = [&](size_t p, const std::string &name) {
-        out.push_back(
-            {src.path, lineOf(code, p), "fastforward-order",
-             "nextInterestingCycle iterates unordered container '" +
-                 name +
-                 "': the skip-target scan steers which cycles "
-                 "fast-forward jumps over, so candidates must be "
-                 "visited in a platform-stable order; iterate a "
-                 "vector or an index range instead"});
+    forEachContainerIteration(
+        code, names,
+        [&](size_t p, const std::string &name, bool) {
+            if (!inBody(p))
+                return;
+            out.push_back(
+                {src.path, lineOf(code, p), "fastforward-order",
+                 "nextInterestingCycle iterates unordered container "
+                 "'" +
+                     name +
+                     "': the skip-target scan steers which cycles "
+                     "fast-forward jumps over, so candidates must be "
+                     "visited in a platform-stable order; iterate a "
+                     "vector or an index range instead"});
+        });
+}
+
+// ---- rule: lockstep-blocking ---------------------------------------
+
+/**
+ * Calls that block (or can block) the calling thread.  Token-level
+ * like everything else here: matched with identifier boundaries, so
+ * `writeSimReport` does not trip "write" but `write(fd, ...)` and
+ * `file.read(...)` do.
+ */
+const char *const kBlockingTokens[] = {
+    "accept",      "connect",  "epoll_wait", "fdatasync", "fflush",
+    "fgets",       "fopen",    "fprintf",    "fread",     "fscanf",
+    "fsync",       "fwrite",   "getline",    "lock",      "lock_guard",
+    "nanosleep",   "open",     "poll",       "pread",     "printf",
+    "pwrite",      "read",     "recv",       "recvfrom",  "recvmsg",
+    "scoped_lock", "select",   "send",       "sendmsg",   "sendto",
+    "sleep",       "sleep_for", "sleep_until", "system",
+    "unique_lock", "usleep",   "wait",       "waitpid",   "write",
+};
+
+/**
+ * The lockstep evaluator's per-cycle path (any function named
+ * stepRound under src/serve/) runs once per round-robin chunk for the
+ * whole batch: one blocking call there stalls every lane at once and
+ * destroys the one-pass amortization the server exists to provide,
+ * and unordered-container iteration there leaks hash order into lane
+ * scheduling.  Both are banned inside stepRound definitions; do I/O,
+ * locking, and bookkeeping outside the stepping loop.
+ */
+void
+checkLockstepBlocking(const SourceFile &src, const std::string &code,
+                      const DeclMap &decls, std::vector<Diag> &out)
+{
+    std::vector<std::pair<size_t, size_t>> bodies =
+        functionBodies(code, "stepRound");
+    if (bodies.empty())
+        return;
+    auto inBody = [&](size_t p) {
+        for (const auto &[b, e] : bodies)
+            if (p >= b && p < e)
+                return true;
+        return false;
     };
 
-    // Range-for whose sequence is a declared unordered container.
-    size_t pos = 0;
-    while ((pos = findToken(code, "for", pos)) != std::string::npos) {
-        size_t open = code.find_first_not_of(" \t\n", pos + 3);
-        pos += 3;
-        if (open == std::string::npos || code[open] != '(')
-            continue;
-        int depth = 0;
-        size_t colon = std::string::npos, close = std::string::npos;
-        for (size_t i = open; i < code.size(); ++i) {
-            if (code[i] == '(') {
-                ++depth;
-            } else if (code[i] == ')') {
-                if (--depth == 0) {
-                    close = i;
-                    break;
-                }
-            } else if (code[i] == ':' && depth == 1 &&
-                       colon == std::string::npos) {
-                bool dbl = (i > 0 && code[i - 1] == ':') ||
-                           (i + 1 < code.size() && code[i + 1] == ':');
-                if (!dbl)
-                    colon = i;
-            } else if (code[i] == ';' && depth == 1) {
-                break; // classic for(;;)
-            }
+    for (const char *token : kBlockingTokens) {
+        size_t pos = 0;
+        while ((pos = findToken(code, token, pos)) !=
+               std::string::npos) {
+            size_t at = pos;
+            pos += std::string(token).size();
+            if (!inBody(at))
+                continue;
+            // Only calls: the token must be followed by '(' or be a
+            // lock type instantiated as `lock_guard<...> g(...)`.
+            size_t i = pos;
+            while (i < code.size() &&
+                   std::isspace(static_cast<unsigned char>(code[i])))
+                ++i;
+            if (i >= code.size() ||
+                (code[i] != '(' && code[i] != '<'))
+                continue;
+            out.push_back(
+                {src.path, lineOf(code, at), "lockstep-blocking",
+                 std::string("'") + token +
+                     "' in stepRound: the lockstep per-cycle path "
+                     "must never block; one stalled call stops every "
+                     "lane in the batch -- do I/O and locking outside "
+                     "the stepping loop"});
         }
-        if (colon == std::string::npos || close == std::string::npos ||
-            !inBody(colon))
-            continue;
-        std::string name = lastComponent(
-            code.substr(colon + 1, close - colon - 1));
-        if (!name.empty() && names.count(name))
-            diag(colon, name);
     }
 
-    // Iterator walks: NAME.begin() / NAME.cbegin().
-    for (const std::string &name : names) {
-        for (const char *method : {".begin", ".cbegin"}) {
-            std::string token = name + method;
-            size_t p = 0;
-            while ((p = findToken(code, token, p)) !=
-                   std::string::npos) {
-                size_t paren = code.find_first_not_of(
-                    " \t\n", p + token.size());
-                if (paren != std::string::npos &&
-                    code[paren] == '(' && inBody(p))
-                    diag(p, name);
-                p += token.size();
-            }
-        }
-    }
+    auto decl_it = decls.find(dirOf(scopedPath(src.path)));
+    if (decl_it == decls.end())
+        return;
+    forEachContainerIteration(
+        code, decl_it->second,
+        [&](size_t p, const std::string &name, bool) {
+            if (!inBody(p))
+                return;
+            out.push_back(
+                {src.path, lineOf(code, p), "lockstep-blocking",
+                 "stepRound iterates unordered container '" + name +
+                     "': hash order would leak into lane scheduling; "
+                     "keep the per-cycle path on vectors and index "
+                     "ranges"});
+        });
 }
 
 // ---- rules: header-guard, using-namespace-header -------------------
@@ -699,9 +749,10 @@ checkBench(const SourceFile &src, const std::string &code,
 std::vector<std::string>
 ruleNames()
 {
-    return {"bench-discipline", "fastforward-order", "header-guard",
-            "lint-allow",       "nondet-source",     "ptr-order",
-            "unordered-iter",   "using-namespace-header"};
+    return {"bench-discipline",  "fastforward-order", "header-guard",
+            "lint-allow",        "lockstep-blocking", "nondet-source",
+            "ptr-order",         "unordered-iter",
+            "using-namespace-header"};
 }
 
 std::string
@@ -812,6 +863,8 @@ lintSources(const std::vector<SourceFile> &sources)
             checkUnorderedIter(src, code, decls, file_diags);
             checkFastForwardOrder(src, code, decls, file_diags);
         }
+        if (startsWith(scoped, "src/serve/"))
+            checkLockstepBlocking(src, code, decls, file_diags);
         if (isHeaderPath(scoped))
             checkHeader(src, code, file_diags);
         std::string base =

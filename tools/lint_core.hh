@@ -31,6 +31,13 @@
  *                          fast-forward jumps over; hash order there
  *                          changes results across standard libraries.
  *                          Point lookups are fine.
+ *   lockstep-blocking      Blocking calls (I/O, locks, sleeps) or
+ *                          unordered-container iteration inside a
+ *                          stepRound definition under src/serve/.
+ *                          stepRound is the lockstep evaluator's
+ *                          per-cycle path: one blocking call there
+ *                          stalls every lane in the batch, and hash
+ *                          order there leaks into lane scheduling.
  *   header-guard           Headers must carry the canonical include
  *                          guard MDP_<PATH>_HH (no #pragma once).
  *   using-namespace-header No `using namespace` in headers.

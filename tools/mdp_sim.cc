@@ -19,6 +19,7 @@
 #include "harness/experiment.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/sim_stats.hh"
 #include "ooo/ooo_model.hh"
 #include "trace/serialize.hh"
 #include "window/window_model.hh"
@@ -66,54 +67,20 @@ emitResult(const std::string &title, const StatGroup &stats, bool csv)
     }
 }
 
-/** Write the stats as a JSON report when --json-out was given. */
+/**
+ * Write the stats as a JSON report when --json-out was given.  The
+ * document format lives in harness/sim_stats.hh, shared with
+ * mdp_served so server and CLI artifacts are byte-identical.
+ */
 void
 maybeWriteJson(const std::string &path, const std::string &model,
                double scale, const StatGroup &stats)
 {
     if (path.empty())
         return;
-    TextTable t({"stat", "value"});
-    for (const auto &[k, v] : stats.all())
-        t.row({k, formatDouble(v, 6)});
-    BenchReport report("mdp_sim_" + model, "mdp_sim CLI run");
-    report.setScale(scale);
-    report.addTable(t, "stats");
     std::string error;
-    if (!report.writeTo(path, error))
+    if (!writeSimReport(path, model, scale, stats, error))
         mdp_fatal("--json-out: %s", error.c_str());
-}
-
-StatGroup
-multiscalarStats(const SimResult &r)
-{
-    StatGroup g;
-    g.set("cycles", static_cast<double>(r.cycles));
-    g.set("committed_ops", static_cast<double>(r.committedOps));
-    g.set("committed_loads", static_cast<double>(r.committedLoads));
-    g.set("committed_stores", static_cast<double>(r.committedStores));
-    g.set("committed_tasks", static_cast<double>(r.committedTasks));
-    g.set("ipc", r.ipc());
-    g.set("misspeculations", static_cast<double>(r.misSpeculations));
-    g.set("misspec_per_load", r.misspecPerLoad());
-    g.set("squashed_ops", static_cast<double>(r.squashedOps));
-    g.set("control_stalls", static_cast<double>(r.controlStalls));
-    g.set("loads_blocked_sync",
-          static_cast<double>(r.loadsBlockedSync));
-    g.set("loads_blocked_frontier",
-          static_cast<double>(r.loadsBlockedFrontier));
-    g.set("frontier_releases",
-          static_cast<double>(r.frontierReleases));
-    g.set("sync_wait_cycles", static_cast<double>(r.syncWaitCycles));
-    g.set("value_pred_uses", static_cast<double>(r.valuePredUses));
-    g.set("value_pred_hits", static_cast<double>(r.valuePredHits));
-    g.set("value_pred_misses",
-          static_cast<double>(r.valuePredMisses));
-    g.set("pred_nn", static_cast<double>(r.pred.nn));
-    g.set("pred_ny", static_cast<double>(r.pred.ny));
-    g.set("pred_yn", static_cast<double>(r.pred.yn));
-    g.set("pred_yy", static_cast<double>(r.pred.yy));
-    return g;
 }
 
 } // namespace
@@ -235,14 +202,7 @@ main(int argc, char **argv)
         cfg.sync.tags = parseTags(args.get("tags"));
         cfg.organization = parseOrg(args.get("org"));
         OooResult r = runOoo(*ctx, cfg);
-        StatGroup g;
-        g.set("cycles", static_cast<double>(r.cycles));
-        g.set("committed_ops", static_cast<double>(r.committedOps));
-        g.set("ipc", r.ipc());
-        g.set("misspeculations",
-              static_cast<double>(r.misSpeculations));
-        g.set("squashed_ops", static_cast<double>(r.squashedOps));
-        g.set("loads_blocked", static_cast<double>(r.loadsBlocked));
+        StatGroup g = oooStats(r);
         emitResult("superscalar model results", g, csv);
         maybeWriteJson(json_out, model, scale, g);
         return 0;
