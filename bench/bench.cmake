@@ -28,6 +28,7 @@ mdp_add_bench(bench_ablation_ooo)
 mdp_add_bench(bench_ablation_distributed)
 mdp_add_bench(bench_ablation_vsync)
 mdp_add_bench(bench_ablation_warmstart)
+mdp_add_bench(bench_ablation_zoo)
 
 # Microbenchmarks: deterministic kernels over the hot structures and
 # cycle loops, reporting per-kernel wall time as micro_* phases in the

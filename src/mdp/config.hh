@@ -7,6 +7,7 @@
 #define MDP_MDP_CONFIG_HH
 
 #include <cstddef>
+#include <cstdint>
 
 namespace mdp
 {
@@ -112,6 +113,32 @@ struct SyncUnitConfig
     /** Copies in the distributed organization (section 4.4.5);
      *  normally the number of processing stages. */
     unsigned numCopies = 8;
+
+    // -- descendant-predictor parameters (mdp/store_set.hh,
+    //    mdp/load_wait.hh); ignored by the paper's MDPT/MDST units --
+
+    /** Store-set identifier table entries (storeset policy). */
+    size_t ssitEntries = 1024;
+
+    /** Last-fetched-store table entries == maximum live store sets. */
+    size_t lfstEntries = 128;
+
+    /** Cyclic-clearing period of the store-set tables, in table events
+     *  (load + store checks); 0 disables clearing. */
+    uint64_t ssitClearInterval = 100000;
+
+    /** Load-wait counter-table entries (counter policy). */
+    size_t loadWaitEntries = 1024;
+
+    /** Width of each load-wait counter. */
+    unsigned loadWaitBits = 2;
+
+    /** Counter value at which a load is predicted to violate. */
+    unsigned loadWaitThreshold = 1;
+
+    /** Periodic zeroing of the load-wait counters, in load checks;
+     *  0 disables clearing. */
+    uint64_t loadWaitClearInterval = 100000;
 };
 
 } // namespace mdp

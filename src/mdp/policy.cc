@@ -30,27 +30,38 @@ policyName(SpecPolicy p)
     return "?";
 }
 
-SpecPolicy
-parsePolicy(const std::string &name)
+bool
+tryParsePolicy(const std::string &name, SpecPolicy &out)
 {
     std::string up = name;
     std::transform(up.begin(), up.end(), up.begin(),
                    [](unsigned char c) { return std::toupper(c); });
     if (up == "NEVER")
-        return SpecPolicy::Never;
-    if (up == "ALWAYS")
-        return SpecPolicy::Always;
-    if (up == "WAIT")
-        return SpecPolicy::Wait;
-    if (up == "PSYNC")
-        return SpecPolicy::PerfectSync;
-    if (up == "SYNC")
-        return SpecPolicy::Sync;
-    if (up == "ESYNC")
-        return SpecPolicy::ESync;
-    if (up == "VSYNC")
-        return SpecPolicy::VSync;
-    mdp_fatal("unknown speculation policy '%s'", name.c_str());
+        out = SpecPolicy::Never;
+    else if (up == "ALWAYS")
+        out = SpecPolicy::Always;
+    else if (up == "WAIT")
+        out = SpecPolicy::Wait;
+    else if (up == "PSYNC")
+        out = SpecPolicy::PerfectSync;
+    else if (up == "SYNC")
+        out = SpecPolicy::Sync;
+    else if (up == "ESYNC")
+        out = SpecPolicy::ESync;
+    else if (up == "VSYNC")
+        out = SpecPolicy::VSync;
+    else
+        return false;
+    return true;
+}
+
+SpecPolicy
+parsePolicy(const std::string &name)
+{
+    SpecPolicy p;
+    if (!tryParsePolicy(name, p))
+        mdp_fatal("unknown speculation policy '%s'", name.c_str());
+    return p;
 }
 
 } // namespace mdp

@@ -72,6 +72,11 @@ std::string policyName(SpecPolicy p);
 /** Parse a policy name (case-insensitive); fatal on unknown names. */
 SpecPolicy parsePolicy(const std::string &name);
 
+/** Non-fatal parse: @return false (leaving @p out untouched) when the
+ *  name is not one of the seven paper policies.  Registry-only policy
+ *  names (mdp/dep_policy.hh) fail this parse by design. */
+bool tryParsePolicy(const std::string &name, SpecPolicy &out);
+
 /** @return true for the two policies that use the MDPT/MDST hardware. */
 constexpr bool
 usesPredictor(SpecPolicy p)

@@ -14,6 +14,7 @@
 #define MDP_MULTISCALAR_CONFIG_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "mdp/config.hh"
@@ -65,7 +66,14 @@ struct MultiscalarConfig
 
     // Speculation.
     SpecPolicy policy = SpecPolicy::Always;
-    SyncUnitConfig sync;           ///< used by Sync/ESync policies
+
+    /** Registry key of the dependence policy (mdp/dep_policy.hh).
+     *  Empty selects the legacy enum above; non-empty wins, and can
+     *  name descendant policies (storeset, counter, vassist) the enum
+     *  cannot express. */
+    std::string policyName;
+
+    SyncUnitConfig sync;           ///< used by predictor-backed policies
     SyncOrganization organization = SyncOrganization::Combined;
 
     /** Probability the sequencer mispredicts a task's successor; the

@@ -31,17 +31,12 @@ MultiscalarProcessor::MultiscalarProcessor(const TraceView &trace,
     frontierBlocked.reserve(window_cap);
     syncBlocked.reserve(window_cap);
 
-    if (usesPredictor(cfg.policy)) {
-        SyncUnitConfig sc = cfg.sync;
-        sc.predictor = cfg.policy == SpecPolicy::ESync ||
-                               cfg.policy == SpecPolicy::VSync
-            ? PredictorKind::PathCounter
-            : sc.predictor == PredictorKind::AlwaysSync
-                ? PredictorKind::AlwaysSync
-                : PredictorKind::Counter;
-        sc.slotsPerEntry = std::max(sc.slotsPerEntry, cfg.numStages);
-        sc.numCopies = cfg.numStages;
-        sync = makeSynchronizer(sc, cfg.organization);
+    policy = makeDependencePolicy(
+        resolvePolicyName(cfg.policyName, cfg.policy));
+    if (policy->needsSynchronizer()) {
+        sync = policy->makeSyncUnit(cfg.sync, cfg.organization,
+                                    ModelKind::Multiscalar,
+                                    cfg.numStages);
         // Compiler-exposed dependences (section 6): seed the table as
         // if each edge had already mis-speculated enough to arm.
         for (const StaticEdge &e : cfg.preloadEdges) {
@@ -50,6 +45,58 @@ MultiscalarProcessor::MultiscalarProcessor(const TraceView &trace,
         }
     }
 }
+
+/**
+ * The model-side view of one ready load.  Nested so the lazy queries
+ * can reach the processor's private frontier scan and oracle wiring.
+ */
+struct MultiscalarProcessor::IssueCtx final : LoadIssueContext
+{
+    MultiscalarProcessor &p;
+    SeqNum seq;
+    uint32_t t;   ///< the load's task (its instance number)
+
+    IssueCtx(MultiscalarProcessor &proc, SeqNum s, uint32_t task)
+        : p(proc), seq(s), t(task)
+    {
+    }
+
+    Addr loadPc() const override { return p.trc.pc(seq); }
+    Addr loadAddr() const override { return p.trc.addr(seq); }
+    uint64_t instance() const override { return t; }
+    LoadId loadId() const override { return seq; }
+
+    bool
+    syncSatisfied() const override
+    {
+        return p.state[seq].flags & kSyncDone;
+    }
+
+    bool allStoresDone() override { return p.allStoresDoneBefore(seq); }
+
+    SeqNum
+    windowProducer() const override
+    {
+        // Only cross-task producers within the active window matter:
+        // intra-task ordering is enforced unconditionally, and
+        // committed tasks' stores have long executed.
+        SeqNum pr = p.oracle.producer(seq);
+        if (pr != kNoSeq && p.trc.taskId(pr) != t &&
+            p.trc.taskId(pr) >= p.committedTasks)
+            return pr;
+        return kNoSeq;
+    }
+
+    bool
+    storeIssued(SeqNum store) const override
+    {
+        return p.state[store].flags & kIssued;
+    }
+
+    const TaskPcSource *taskPcs() const override { return &p; }
+
+    bool canValuePredict() const override { return true; }
+};
 
 MultiscalarProcessor::~MultiscalarProcessor() = default;
 
@@ -305,85 +352,51 @@ MultiscalarProcessor::tryIssueMem(SeqNum seq, unsigned &mem_ports)
     if (mem_ports == 0)
         return false;
 
-    switch (cfg.policy) {
-      case SpecPolicy::Always:
+    IssueCtx ctx(*this, seq, t);
+    LoadDecision d = policy->loadIssueCheck(ctx, sync.get());
+    switch (d.action) {
+      case LoadAction::BlockFrontier:
+        os.flags |= kBlockedFrontier;
+        frontierBlocked.push_back(seq);
+        ++res.loadsBlockedFrontier;
+        return true;
+
+      case LoadAction::BlockProducer:
+        os.flags |= kBlockedPsync;
+        psyncWaiters[d.producer].push_back(seq);
+        ++res.loadsBlockedSync;
+        return true;
+
+      case LoadAction::BlockSync:
+        os.flags |= kBlockedSync | kPredPendingY;
+        os.doneCycle = cycle;   // stash the block time
+        syncBlocked.push_back(seq);
+        syncPushed = true;
+        ++res.loadsBlockedSync;
+        return true;
+
+      case LoadAction::IssueValuePredicted:
+        // Hybrid: consume the predicted value instead of
+        // synchronizing; validated when the producer executes.
+        os.flags |= kValuePred;
+        ++res.valuePredUses;
         break;
 
-      case SpecPolicy::Never:
-        if (!allStoresDoneBefore(seq)) {
-            os.flags |= kBlockedFrontier;
-            frontierBlocked.push_back(seq);
-            ++res.loadsBlockedFrontier;
-            return true;
+      case LoadAction::Issue:
+        if (d.consultedSync) {
+            if (d.check.fullBypass) {
+                // Predicted dependence satisfied before the load
+                // arrived.  The paper counts this as a predicted-Y /
+                // actual-N outcome (section 5.5) -- unless the bypass
+                // merely consumes the signal this load already waited
+                // for.
+                if (!(os.flags & kSignaled))
+                    classify(seq, true, false);
+            } else if (!d.check.predicted) {
+                os.flags |= kPredPendingN;
+            }
         }
         break;
-
-      case SpecPolicy::Wait: {
-        // Perfect prediction: the load knows it has a true inter-task
-        // dependence within the active window, but there is no
-        // synchronization -- it waits for every older store.
-        SeqNum p = oracle.producer(seq);
-        if (p != kNoSeq && trc.taskId(p) != t &&
-            trc.taskId(p) >= committedTasks &&
-            !allStoresDoneBefore(seq)) {
-            os.flags |= kBlockedFrontier;
-            frontierBlocked.push_back(seq);
-            ++res.loadsBlockedFrontier;
-            return true;
-        }
-        break;
-      }
-
-      case SpecPolicy::PerfectSync: {
-        // Ideal: wait exactly for the producing store, if it has not
-        // executed yet.
-        SeqNum p = oracle.producer(seq);
-        if (p != kNoSeq && trc.taskId(p) != t &&
-            trc.taskId(p) >= committedTasks &&
-            !(state[p].flags & kIssued)) {
-            os.flags |= kBlockedPsync;
-            psyncWaiters[p].push_back(seq);
-            ++res.loadsBlockedSync;
-            return true;
-        }
-        break;
-      }
-
-      case SpecPolicy::Sync:
-      case SpecPolicy::ESync:
-      case SpecPolicy::VSync: {
-        if (os.flags & kSyncDone)
-            break;   // synchronization already satisfied once
-        const Addr pc = trc.pc(seq);
-        if (cfg.policy == SpecPolicy::VSync &&
-            vpred.confident(pc)) {
-            // Hybrid: consume the predicted value instead of
-            // synchronizing; validated when the producer executes.
-            os.flags |= kValuePred;
-            ++res.valuePredUses;
-            break;
-        }
-        LoadCheck r = sync->loadReady(pc, trc.addr(seq), t, seq, this);
-        if (r.wait) {
-            os.flags |= kBlockedSync | kPredPendingY;
-            os.doneCycle = cycle;   // stash the block time
-            syncBlocked.push_back(seq);
-            syncPushed = true;
-            ++res.loadsBlockedSync;
-            return true;
-        }
-        if (r.fullBypass) {
-            // Predicted dependence satisfied before the load arrived.
-            // The paper counts this as a predicted-Y / actual-N
-            // outcome (section 5.5) -- unless the bypass merely
-            // consumes the signal this load already waited for.
-            if (!(os.flags & kSignaled))
-                classify(seq, true, false);
-        } else if (!r.predicted) {
-            os.flags |= kPredPendingN;
-        }
-        break;
-      }
     }
 
     --mem_ports;
@@ -446,11 +459,7 @@ MultiscalarProcessor::executeStore(SeqNum seq)
             if (ls.flags & kBlockedSync) {
                 ls.flags &= ~kBlockedSync;
                 ls.flags |= kSignaled;
-                // Every completed synchronization is a value-locality
-                // observation: had the value repeated, the wait was
-                // avoidable (section-6 hybrid training).
-                if (cfg.policy == SpecPolicy::VSync)
-                    vpred.train(trc.pc(l), repeats);
+                policy->syncSignalObserved(trc.pc(l), repeats);
                 res.syncWaitCycles += cycle - ls.doneCycle;
                 res.signalWaitCycles += cycle - ls.doneCycle;
                 ls.doneCycle = 0;
@@ -703,18 +712,16 @@ MultiscalarProcessor::handleViolation(SeqNum load, SeqNum store)
     const Addr spc = trc.pc(store);
     const bool repeats = trc.valueRepeats(store);
 
-    if (cfg.policy == SpecPolicy::VSync) {
-        // Train value-prediction confidence on every examined
-        // violation; absorb it when the prediction was right.
-        vpred.train(lpc, repeats);
-        if ((state[load].flags & kValuePred) && repeats) {
-            ++res.valuePredHits;
-            arb.refreshLoadVersion(trc.addr(load), load, store);
-            return true;
-        }
-        if (state[load].flags & kValuePred)
-            ++res.valuePredMisses;
+    // Value hybrids train on every examined violation and absorb the
+    // benign ones (correct prediction: no squash).
+    const bool was_vp = state[load].flags & kValuePred;
+    if (policy->absorbViolation({lpc, was_vp, repeats})) {
+        ++res.valuePredHits;
+        arb.refreshLoadVersion(trc.addr(load), load, store);
+        return true;
     }
+    if (was_vp)
+        ++res.valuePredMisses;
 
     ++res.misSpeculations;
     if (cfg.logMisSpeculations)

@@ -20,8 +20,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mdp/dep_policy.hh"
 #include "mdp/sync_unit.hh"
-#include "mdp/value_pred.hh"
 #include "multiscalar/arb.hh"
 #include "multiscalar/config.hh"
 #include "multiscalar/memsys.hh"
@@ -104,6 +104,9 @@ class MultiscalarProcessor : public TaskPcSource
         uint64_t lastDone = 0;     ///< max doneCycle of issued ops
     };
 
+    /** LoadIssueContext over one ready load (defined in the .cc). */
+    struct IssueCtx;
+
     // --- per-cycle phases -------------------------------------------
     void sequencerStep();
     void stageStep(Stage &stage);
@@ -177,8 +180,8 @@ class MultiscalarProcessor : public TaskPcSource
 
     MemorySystem memsys;
     Arb arb;
+    std::unique_ptr<DependencePolicy> policy;
     std::unique_ptr<DepSynchronizer> sync;
-    ValuePredictor vpred;   ///< section-6 hybrid (VSync policy)
 
     // Blocked-op bookkeeping.
     std::vector<SeqNum> frontierBlocked;  ///< WAIT/NEVER waits

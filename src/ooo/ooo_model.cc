@@ -37,15 +37,62 @@ OooProcessor::OooProcessor(const TraceView &trace,
             instanceOf[s] = counters[trc.pc(s)]++;
     }
 
-    if (usesPredictor(cfg.policy)) {
-        SyncUnitConfig sc = cfg.sync;
-        // There is no task-PC context in a superscalar core; ESync
-        // degenerates to the counter predictor here.
-        if (sc.predictor == PredictorKind::PathCounter)
-            sc.predictor = PredictorKind::Counter;
-        sync = makeSynchronizer(sc, cfg.organization);
+    policy = makeDependencePolicy(
+        resolvePolicyName(cfg.policyName, cfg.policy));
+    if (policy->needsSynchronizer()) {
+        sync = policy->makeSyncUnit(cfg.sync, cfg.organization,
+                                    ModelKind::Superscalar, 0);
     }
 }
+
+/**
+ * The model-side view of one ready load.  Nested so the lazy queries
+ * can reach the processor's private frontier scan and oracle wiring.
+ * This model has no task-PC context and no value-prediction datapath,
+ * so path predictors degenerate to counters and value hybrids to
+ * their synchronization component.
+ */
+struct OooProcessor::IssueCtx final : LoadIssueContext
+{
+    OooProcessor &p;
+    SeqNum seq;
+
+    IssueCtx(OooProcessor &proc, SeqNum s) : p(proc), seq(s) {}
+
+    Addr loadPc() const override { return p.trc.pc(seq); }
+    Addr loadAddr() const override { return p.trc.addr(seq); }
+    uint64_t instance() const override { return p.instanceOf[seq]; }
+    LoadId loadId() const override { return seq; }
+
+    bool
+    syncSatisfied() const override
+    {
+        return p.state[seq].flags & kSyncDone;
+    }
+
+    bool allStoresDone() override { return p.allStoresDoneBefore(seq); }
+
+    SeqNum
+    windowProducer() const override
+    {
+        // Producers older than the window head have committed; their
+        // stores cannot be outstanding.
+        SeqNum pr = p.oracle.producer(seq);
+        if (pr != kNoSeq && pr >= p.head)
+            return pr;
+        return kNoSeq;
+    }
+
+    bool
+    storeIssued(SeqNum store) const override
+    {
+        return p.state[store].flags & kIssued;
+    }
+
+    const TaskPcSource *taskPcs() const override { return nullptr; }
+
+    bool canValuePredict() const override { return false; }
+};
 
 OooProcessor::~OooProcessor() = default;
 
@@ -106,60 +153,31 @@ OooProcessor::tryIssueMem(SeqNum seq, unsigned &mem_ports)
     if (mem_ports == 0)
         return false;
 
-    switch (cfg.policy) {
-      case SpecPolicy::Always:
-        break;
+    IssueCtx ctx(*this, seq);
+    LoadDecision d = policy->loadIssueCheck(ctx, sync.get());
+    switch (d.action) {
+      case LoadAction::BlockFrontier:
+        os.flags |= kBlockedFrontier;
+        frontierBlocked.push_back(seq);
+        ++res.loadsBlocked;
+        return true;
 
-      case SpecPolicy::Never:
-        if (!allStoresDoneBefore(seq)) {
-            os.flags |= kBlockedFrontier;
-            frontierBlocked.push_back(seq);
-            ++res.loadsBlocked;
-            return true;
-        }
-        break;
+      case LoadAction::BlockProducer:
+        os.flags |= kBlockedPsync;
+        psyncWaiters[d.producer].push_back(seq);
+        ++res.loadsBlocked;
+        return true;
 
-      case SpecPolicy::Wait: {
-        SeqNum p = oracle.producer(seq);
-        if (p != kNoSeq && p >= head && !allStoresDoneBefore(seq)) {
-            os.flags |= kBlockedFrontier;
-            frontierBlocked.push_back(seq);
-            ++res.loadsBlocked;
-            return true;
-        }
-        break;
-      }
+      case LoadAction::BlockSync:
+        os.flags |= kBlockedSync;
+        syncBlocked.push_back(seq);
+        syncPushed = true;
+        ++res.loadsBlocked;
+        return true;
 
-      case SpecPolicy::PerfectSync: {
-        SeqNum p = oracle.producer(seq);
-        if (p != kNoSeq && p >= head && !(state[p].flags & kIssued)) {
-            os.flags |= kBlockedPsync;
-            psyncWaiters[p].push_back(seq);
-            ++res.loadsBlocked;
-            return true;
-        }
+      case LoadAction::IssueValuePredicted:   // canValuePredict is false
+      case LoadAction::Issue:
         break;
-      }
-
-      // This model has no value-prediction datapath, so VSync
-      // degenerates to its ESync synchronization component.
-      case SpecPolicy::Sync:
-      case SpecPolicy::ESync:
-      case SpecPolicy::VSync: {
-        if (os.flags & kSyncDone)
-            break;
-        LoadCheck r =
-            sync->loadReady(trc.pc(seq), trc.addr(seq), instanceOf[seq],
-                            seq, nullptr);
-        if (r.wait) {
-            os.flags |= kBlockedSync;
-            syncBlocked.push_back(seq);
-            syncPushed = true;
-            ++res.loadsBlocked;
-            return true;
-        }
-        break;
-      }
     }
 
     --mem_ports;

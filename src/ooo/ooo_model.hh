@@ -16,9 +16,11 @@
 #define MDP_OOO_OOO_MODEL_HH
 
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "mdp/dep_policy.hh"
 #include "mdp/policy.hh"
 #include "mdp/sync_unit.hh"
 #include "multiscalar/arb.hh"
@@ -48,6 +50,11 @@ struct OooConfig
     unsigned squashPenalty = 4;     ///< refetch delay after violation
 
     SpecPolicy policy = SpecPolicy::Always;
+
+    /** Registry key of the dependence policy (mdp/dep_policy.hh).
+     *  Empty selects the legacy enum above; non-empty wins. */
+    std::string policyName;
+
     SyncUnitConfig sync;
     SyncOrganization organization = SyncOrganization::Combined;
     uint64_t seed = 0xacce55;
@@ -130,6 +137,9 @@ class OooProcessor
         uint8_t flags = 0;
     };
 
+    /** LoadIssueContext over one ready load (defined in the .cc). */
+    struct IssueCtx;
+
     bool srcReady(SeqNum src) const;
     bool srcsReady(SeqNum seq) const;
     bool tryIssueMem(SeqNum seq, unsigned &mem_ports);
@@ -167,6 +177,7 @@ class OooProcessor
     std::vector<uint32_t> instanceOf;
 
     Arb arb;
+    std::unique_ptr<DependencePolicy> policy;
     std::unique_ptr<DepSynchronizer> sync;
 
     SeqNum head = 0;      ///< oldest uncommitted op

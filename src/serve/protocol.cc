@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cmath>
 
+#include "mdp/dep_policy.hh"
 #include "workloads/suites.hh"
 
 namespace mdp::serve
@@ -22,13 +23,9 @@ validIdChar(char c)
 bool
 validPolicy(const std::string &s)
 {
-    std::string up = s;
-    std::transform(up.begin(), up.end(), up.begin(), [](unsigned char c) {
-        return static_cast<char>(std::toupper(c));
-    });
-    return up == "NEVER" || up == "ALWAYS" || up == "WAIT" ||
-           up == "PSYNC" || up == "SYNC" || up == "ESYNC" ||
-           up == "VSYNC";
+    // Any registered dependence policy is accepted, so the serve
+    // protocol and mdp_sim --policy stay in lockstep automatically.
+    return knownDependencePolicy(s);
 }
 
 /** Extract a non-negative integral number; false on any mismatch. */
@@ -145,8 +142,9 @@ parseMessage(const std::string &line)
         } else if (key == "policy") {
             if (value.kind() != JsonValue::Kind::String ||
                 !validPolicy(value.asString()))
-                return invalid("'policy' must be one of never|always|"
-                               "wait|psync|sync|esync|vsync",
+                return invalid("'policy' must be a registered "
+                               "dependence policy (mdp_sim "
+                               "--list-policies)",
                                req.id);
             req.policy = value.asString();
         } else if (key == "stages") {

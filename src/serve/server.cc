@@ -39,22 +39,29 @@ tagsOf(const Request &r)
                                : TagScheme::Distance;
 }
 
-/** Build the lane exactly the way mdp_sim builds its config. */
+/** Build the lane exactly the way mdp_sim builds its config: paper
+ *  policies also set the legacy enum, registry-only descendants ride
+ *  the policyName override. */
 LockstepJob
 jobOf(const WorkloadContext &ctx, const Request &r)
 {
+    SpecPolicy legacy = SpecPolicy::Sync;
+    tryParsePolicy(r.policy, legacy);
+
     LockstepJob job;
     if (r.model == "ooo") {
         job.model = LockstepJob::Model::Ooo;
         job.ooo.windowSize = r.window;
-        job.ooo.policy = parsePolicy(r.policy);
+        job.ooo.policy = legacy;
+        job.ooo.policyName = r.policy;
         job.ooo.sync.numEntries = r.entries;
         job.ooo.sync.tags = tagsOf(r);
         job.ooo.organization = orgOf(r);
         return job;
     }
     job.model = LockstepJob::Model::Multiscalar;
-    job.ms = makeMultiscalarConfig(ctx, r.stages, parsePolicy(r.policy));
+    job.ms = makeMultiscalarConfig(ctx, r.stages, legacy);
+    job.ms.policyName = r.policy;
     job.ms.sync.numEntries = r.entries;
     job.ms.sync.tags = tagsOf(r);
     job.ms.organization = orgOf(r);

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The DependencePolicy registry contract: deterministic enumeration,
+ * case-insensitive lookup, name round-trips, legacy SpecPolicy
+ * interop, unknown-name rejection on every entry path (parsePolicy,
+ * makeDependencePolicy, the serve protocol), and the lockstep identity
+ * of the string-keyed lane with the legacy enum lane on both timing
+ * models.
+ */
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "harness/sim_stats.hh"
+#include "mdp/dep_policy.hh"
+#include "mdp/policy.hh"
+#include "ooo/ooo_model.hh"
+#include "serve/protocol.hh"
+
+using namespace mdp;
+
+namespace
+{
+
+const std::vector<SpecPolicy> kPaperPolicies = {
+    SpecPolicy::Never, SpecPolicy::Always,      SpecPolicy::Wait,
+    SpecPolicy::Sync,  SpecPolicy::PerfectSync, SpecPolicy::ESync,
+    SpecPolicy::VSync,
+};
+
+} // namespace
+
+TEST(PolicyRegistry, EnumeratesSortedUniqueNames)
+{
+    const std::vector<std::string> names = dependencePolicyNames();
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+    EXPECT_EQ(std::adjacent_find(names.begin(), names.end()),
+              names.end());
+
+    // The seven paper policies plus the descendant zoo.  This list is
+    // what `mdp_sim --list-policies` prints and what CI sweeps.
+    const std::vector<std::string> expected = {
+        "always", "counter", "esync",   "never", "psync",
+        "storeset", "sync",  "vassist", "vsync", "wait",
+    };
+    EXPECT_EQ(names, expected);
+}
+
+TEST(PolicyRegistry, EveryEntryRoundTrips)
+{
+    for (const PolicyInfo &info : dependencePolicies()) {
+        ASSERT_FALSE(info.name.empty());
+        EXPECT_FALSE(info.summary.empty()) << info.name;
+        std::unique_ptr<DependencePolicy> p = info.make();
+        ASSERT_NE(p, nullptr) << info.name;
+        EXPECT_EQ(p->name(), info.name);
+
+        std::unique_ptr<DependencePolicy> q =
+            makeDependencePolicy(info.name);
+        ASSERT_NE(q, nullptr) << info.name;
+        EXPECT_EQ(q->name(), info.name);
+    }
+}
+
+TEST(PolicyRegistry, LookupIsCaseInsensitive)
+{
+    EXPECT_TRUE(knownDependencePolicy("storeset"));
+    EXPECT_TRUE(knownDependencePolicy("STORESET"));
+    EXPECT_TRUE(knownDependencePolicy("StoreSet"));
+    EXPECT_FALSE(knownDependencePolicy("bogus"));
+    EXPECT_FALSE(knownDependencePolicy(""));
+    EXPECT_EQ(makeDependencePolicy("ESYNC")->name(), "esync");
+}
+
+TEST(PolicyRegistry, LegacyEnumKeysAreRegisteredAndParseBack)
+{
+    for (SpecPolicy p : kPaperPolicies) {
+        const std::string key = policyKey(p);
+        EXPECT_TRUE(knownDependencePolicy(key)) << key;
+
+        SpecPolicy parsed = p == SpecPolicy::Never ? SpecPolicy::Always
+                                                   : SpecPolicy::Never;
+        EXPECT_TRUE(tryParsePolicy(key, parsed)) << key;
+        EXPECT_EQ(parsed, p) << key;
+    }
+}
+
+TEST(PolicyRegistry, RegistryOnlyNamesFailTheLegacyParse)
+{
+    for (const std::string name : {"storeset", "counter", "vassist"}) {
+        EXPECT_TRUE(knownDependencePolicy(name)) << name;
+        SpecPolicy out = SpecPolicy::Wait;
+        EXPECT_FALSE(tryParsePolicy(name, out)) << name;
+        EXPECT_EQ(out, SpecPolicy::Wait) << name << ": out clobbered";
+    }
+}
+
+TEST(PolicyRegistry, ResolveNamePrefersOverride)
+{
+    EXPECT_EQ(resolvePolicyName("", SpecPolicy::ESync), "esync");
+    EXPECT_EQ(resolvePolicyName("", SpecPolicy::PerfectSync), "psync");
+    EXPECT_EQ(resolvePolicyName("STORESET", SpecPolicy::Never),
+              "storeset");
+    EXPECT_EQ(policyDisplayName("vassist"), "VASSIST");
+}
+
+TEST(PolicyRegistryDeathTest, ParsePolicyRejectsUnknownNames)
+{
+    EXPECT_EXIT(parsePolicy("bogus"), testing::ExitedWithCode(1),
+                "unknown speculation policy 'bogus'");
+}
+
+TEST(PolicyRegistryDeathTest, MakeDependencePolicyRejectsUnknownNames)
+{
+    EXPECT_EXIT(makeDependencePolicy("bogus"),
+                testing::ExitedWithCode(1),
+                "unknown dependence policy 'bogus'");
+}
+
+TEST(ServeProtocolPolicies, AcceptsEveryRegisteredPolicy)
+{
+    for (const std::string &name : dependencePolicyNames()) {
+        serve::Message m = serve::parseMessage(
+            "{\"id\":\"a\",\"workload\":\"espresso\",\"policy\":\"" +
+            name + "\"}");
+        EXPECT_EQ(m.kind, serve::MsgKind::Submit) << name << ": "
+                                                  << m.error;
+        EXPECT_EQ(m.req.policy, name);
+    }
+}
+
+TEST(ServeProtocolPolicies, RejectsUnregisteredPolicy)
+{
+    serve::Message m = serve::parseMessage(
+        "{\"id\":\"a\",\"workload\":\"espresso\",\"policy\":\"bogus\"}");
+    EXPECT_EQ(m.kind, serve::MsgKind::Invalid);
+    EXPECT_NE(m.error.find("policy"), std::string::npos) << m.error;
+}
+
+TEST(PolicyRegistry, StringLaneMatchesEnumLaneMultiscalar)
+{
+    WorkloadContext ctx("espresso", 0.02);
+    for (SpecPolicy p : kPaperPolicies) {
+        const std::string key = policyKey(p);
+
+        MultiscalarConfig byEnum = makeMultiscalarConfig(ctx, 4, p);
+        MultiscalarConfig byName = byEnum;
+        byName.policyName = key;
+
+        SimResult a = runMultiscalar(ctx, byEnum);
+        SimResult b = runMultiscalar(ctx, byName);
+        EXPECT_EQ(multiscalarStats(a).all(), multiscalarStats(b).all())
+            << key << ": registry lane diverged from the enum lane";
+    }
+}
+
+TEST(PolicyRegistry, StringLaneMatchesEnumLaneOoo)
+{
+    WorkloadContext ctx("espresso", 0.02);
+    for (SpecPolicy p : kPaperPolicies) {
+        const std::string key = policyKey(p);
+
+        OooConfig byEnum;
+        byEnum.policy = p;
+        OooConfig byName = byEnum;
+        byName.policyName = key;
+
+        OooResult a = runOoo(ctx, byEnum);
+        OooResult b = runOoo(ctx, byName);
+        EXPECT_EQ(oooStats(a).all(), oooStats(b).all())
+            << key << ": registry lane diverged from the enum lane";
+    }
+}

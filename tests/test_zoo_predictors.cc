@@ -1,0 +1,584 @@
+/**
+ * @file
+ * The descendant predictors (store-sets, per-load wait counters)
+ * checked two ways:
+ *
+ *  - small deterministic scenarios for the defining behaviors (the
+ *    LFST wake handshake and full-flag consumption, cyclic clearing,
+ *    counter training/decay), and
+ *  - randomized lockstep equivalence against naive reference models
+ *    (std::map-based, no direct-mapped structures beyond the index
+ *    function) over every observable: LoadCheck fields, wakeup lists,
+ *    eviction drains, diagnostics, and all SyncStats counters.
+ */
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "mdp/config.hh"
+#include "mdp/load_wait.hh"
+#include "mdp/store_set.hh"
+
+using namespace mdp;
+
+namespace
+{
+
+void
+expectSameStats(const SyncStats &a, const SyncStats &b)
+{
+    ASSERT_EQ(a.loadChecks, b.loadChecks);
+    ASSERT_EQ(a.loadsPredicted, b.loadsPredicted);
+    ASSERT_EQ(a.loadsWaited, b.loadsWaited);
+    ASSERT_EQ(a.fullBypasses, b.fullBypasses);
+    ASSERT_EQ(a.storeChecks, b.storeChecks);
+    ASSERT_EQ(a.signalsDelivered, b.signalsDelivered);
+    ASSERT_EQ(a.storeAllocations, b.storeAllocations);
+    ASSERT_EQ(a.misSpecsRecorded, b.misSpecsRecorded);
+    ASSERT_EQ(a.frontierReleases, b.frontierReleases);
+    ASSERT_EQ(a.squashFrees, b.squashFrees);
+    ASSERT_EQ(a.evictionReleases, b.evictionReleases);
+}
+
+/**
+ * Naive store-set model: SSIT and LFST as ordered maps keyed by the
+ * same direct-mapped indices the real unit uses, so hash aliasing is
+ * reproduced while every structural shortcut (flat vectors, in-place
+ * entry reuse) is not.  Slot-ordered map iteration matches the real
+ * unit's slot-ordered eviction/squash sweeps.
+ */
+class RefStoreSet
+{
+  public:
+    explicit RefStoreSet(const SyncUnitConfig &config) : cfg(config) {}
+
+    LoadCheck
+    loadReady(Addr ldpc, LoadId ldid)
+    {
+        ++st.loadChecks;
+        tickClear();
+
+        LoadCheck r;
+        auto it = ssit.find(ssitIndex(ldpc));
+        if (it == ssit.end())
+            return r;
+        r.predicted = true;
+        ++st.loadsPredicted;
+        Slot &e = lfst[it->second % cfg.lfstEntries];
+        if (e.full) {
+            e.full = false;
+            r.fullBypass = true;
+            ++st.fullBypasses;
+            return r;
+        }
+        r.wait = true;
+        ++st.loadsWaited;
+        e.waiters.push_back(ldid);
+        return r;
+    }
+
+    void
+    storeReady(Addr stpc, uint64_t store_id, std::vector<LoadId> &wakeups)
+    {
+        ++st.storeChecks;
+        tickClear();
+
+        auto it = ssit.find(ssitIndex(stpc));
+        if (it == ssit.end())
+            return;
+        Slot &e = lfst[it->second % cfg.lfstEntries];
+        if (!e.waiters.empty()) {
+            for (LoadId l : e.waiters) {
+                wakeups.push_back(l);
+                ++st.signalsDelivered;
+            }
+            e.waiters.clear();
+            e.full = true;
+            e.fullStoreId = store_id;
+            return;
+        }
+        e.full = true;
+        e.fullStoreId = store_id;
+        ++st.storeAllocations;
+    }
+
+    void
+    misSpeculation(Addr ldpc, Addr stpc)
+    {
+        ++st.misSpecsRecorded;
+        const size_t li = ssitIndex(ldpc);
+        const size_t si = ssitIndex(stpc);
+        const uint32_t ls = ssid(li);
+        const uint32_t ss = ssid(si);
+        uint32_t merged;
+        if (ls == kNoSsid && ss == kNoSsid) {
+            merged = nextSsid;
+            nextSsid = static_cast<uint32_t>(
+                (nextSsid + 1) % cfg.lfstEntries);
+        } else if (ls == kNoSsid) {
+            merged = ss;
+        } else if (ss == kNoSsid) {
+            merged = ls;
+        } else {
+            merged = std::min(ls, ss);
+        }
+        ssit[li] = merged;
+        ssit[si] = merged;
+    }
+
+    void
+    frontierRelease(LoadId ldid)
+    {
+        ++st.frontierReleases;
+        for (auto &[slot, e] : lfst)
+            std::erase(e.waiters, ldid);
+    }
+
+    void
+    squash(LoadId min_ldid, uint64_t min_store_id)
+    {
+        for (auto &[slot, e] : lfst) {
+            size_t before = e.waiters.size();
+            std::erase_if(e.waiters,
+                          [&](LoadId l) { return l >= min_ldid; });
+            st.squashFrees += before - e.waiters.size();
+            if (e.full && e.fullStoreId >= min_store_id) {
+                e.full = false;
+                ++st.squashFrees;
+            }
+        }
+    }
+
+    void
+    drainReleasedLoads(std::vector<LoadId> &out)
+    {
+        out.insert(out.end(), released.begin(), released.end());
+        released.clear();
+    }
+
+    uint32_t liveSets() const { return nextSsid; }
+
+    const SyncStats &stats() const { return st; }
+
+  private:
+    static constexpr uint32_t kNoSsid = UINT32_MAX;
+
+    struct Slot
+    {
+        bool full = false;
+        uint64_t fullStoreId = 0;
+        std::vector<LoadId> waiters;
+    };
+
+    size_t
+    ssitIndex(Addr pc) const
+    {
+        return static_cast<size_t>(mix64(pc)) % cfg.ssitEntries;
+    }
+
+    uint32_t
+    ssid(size_t index) const
+    {
+        auto it = ssit.find(index);
+        return it == ssit.end() ? kNoSsid : it->second;
+    }
+
+    void
+    tickClear()
+    {
+        if (cfg.ssitClearInterval == 0)
+            return;
+        if (++eventsSinceClear < cfg.ssitClearInterval)
+            return;
+        eventsSinceClear = 0;
+        ssit.clear();
+        for (auto &[slot, e] : lfst) {
+            for (LoadId l : e.waiters) {
+                released.push_back(l);
+                ++st.evictionReleases;
+            }
+        }
+        lfst.clear();
+        nextSsid = 0;
+    }
+
+    SyncUnitConfig cfg;
+    std::map<size_t, uint32_t> ssit;
+    std::map<uint32_t, Slot> lfst;
+    uint32_t nextSsid = 0;
+    uint64_t eventsSinceClear = 0;
+    std::vector<LoadId> released;
+    SyncStats st;
+};
+
+/** Naive load-wait model: a map of plain saturating counts. */
+class RefLoadWait
+{
+  public:
+    explicit RefLoadWait(const SyncUnitConfig &config)
+        : cfg(config), maxVal((1u << cfg.loadWaitBits) - 1)
+    {
+    }
+
+    LoadCheck
+    loadReady(Addr ldpc, LoadId ldid)
+    {
+        ++st.loadChecks;
+        tickClear();
+
+        LoadCheck r;
+        if (count(tableIndex(ldpc)) < cfg.loadWaitThreshold)
+            return r;
+        r.predicted = true;
+        r.wait = true;
+        ++st.loadsPredicted;
+        ++st.loadsWaited;
+        waiters.push_back(ldid);
+        return r;
+    }
+
+    void storeReady() { ++st.storeChecks; }
+
+    void
+    misSpeculation(Addr ldpc)
+    {
+        ++st.misSpecsRecorded;
+        uint32_t &c = counters[tableIndex(ldpc)];
+        if (c < maxVal)
+            ++c;
+    }
+
+    void
+    frontierRelease(LoadId ldid)
+    {
+        ++st.frontierReleases;
+        std::erase(waiters, ldid);
+    }
+
+    void
+    squash(LoadId min_ldid)
+    {
+        size_t before = waiters.size();
+        std::erase_if(waiters, [&](LoadId l) { return l >= min_ldid; });
+        st.squashFrees += before - waiters.size();
+    }
+
+    size_t waiting() const { return waiters.size(); }
+
+    const SyncStats &stats() const { return st; }
+
+  private:
+    size_t
+    tableIndex(Addr pc) const
+    {
+        return static_cast<size_t>(mix64(pc)) % cfg.loadWaitEntries;
+    }
+
+    uint32_t
+    count(size_t index) const
+    {
+        auto it = counters.find(index);
+        return it == counters.end() ? 0 : it->second;
+    }
+
+    void
+    tickClear()
+    {
+        if (cfg.loadWaitClearInterval == 0)
+            return;
+        if (++checksSinceClear < cfg.loadWaitClearInterval)
+            return;
+        checksSinceClear = 0;
+        counters.clear();
+    }
+
+    SyncUnitConfig cfg;
+    uint32_t maxVal;
+    std::map<size_t, uint32_t> counters;
+    std::vector<LoadId> waiters;
+    uint64_t checksSinceClear = 0;
+    SyncStats st;
+};
+
+} // namespace
+
+TEST(StoreSetUnit, WakeHandshakeAndFullFlag)
+{
+    SyncUnitConfig cfg;
+    cfg.ssitEntries = 64;
+    cfg.lfstEntries = 8;
+    cfg.ssitClearInterval = 0;
+    StoreSetUnit u(cfg);
+    const Addr ldpc = 0x100;
+    const Addr stpc = 0x200;
+
+    // Untrained: the first load issues unhindered.
+    LoadCheck c = u.loadReady(ldpc, 0, 0, 1, nullptr);
+    EXPECT_FALSE(c.predicted);
+
+    u.misSpeculation(ldpc, stpc, 1, 0);
+    c = u.loadReady(ldpc, 0, 0, 2, nullptr);
+    EXPECT_TRUE(c.predicted);
+    EXPECT_TRUE(c.wait);
+
+    std::vector<LoadId> wakeups;
+    u.storeReady(stpc, 0, 0, 1, wakeups);
+    ASSERT_EQ(wakeups, std::vector<LoadId>{2});
+
+    // The woken load re-checks at issue and consumes the full flag.
+    c = u.loadReady(ldpc, 0, 0, 2, nullptr);
+    EXPECT_TRUE(c.fullBypass);
+    EXPECT_FALSE(c.wait);
+
+    // Flag consumed: the next set load parks again.
+    c = u.loadReady(ldpc, 0, 0, 3, nullptr);
+    EXPECT_TRUE(c.wait);
+    EXPECT_EQ(u.stats().signalsDelivered, 1u);
+    EXPECT_EQ(u.stats().fullBypasses, 1u);
+    EXPECT_EQ(u.liveSets(), 1u);
+}
+
+TEST(StoreSetUnit, CyclicClearEvictsWaiters)
+{
+    SyncUnitConfig cfg;
+    cfg.ssitEntries = 64;
+    cfg.lfstEntries = 8;
+    cfg.ssitClearInterval = 4;
+    StoreSetUnit u(cfg);
+    const Addr ldpc = 0x100;
+    const Addr other = 0x300;
+
+    u.misSpeculation(ldpc, 0x200, 1, 0); // no table event
+    LoadCheck c = u.loadReady(ldpc, 0, 0, 7, nullptr); // event 1: parks
+    ASSERT_TRUE(c.wait);
+    u.loadReady(other, 0, 0, 8, nullptr); // event 2
+    u.loadReady(other, 0, 0, 9, nullptr); // event 3
+    // Event 4 clears both tables before its own lookup, so this load
+    // is unpredicted and load 7 surfaces as an eviction release.
+    c = u.loadReady(ldpc, 0, 0, 10, nullptr);
+    EXPECT_FALSE(c.predicted);
+
+    std::vector<LoadId> released;
+    u.drainReleasedLoads(released);
+    EXPECT_EQ(released, std::vector<LoadId>{7});
+    EXPECT_EQ(u.stats().evictionReleases, 1u);
+    EXPECT_EQ(u.liveSets(), 0u);
+}
+
+TEST(StoreSetUnit, SquashFiltersByStoreId)
+{
+    SyncUnitConfig cfg;
+    cfg.ssitEntries = 64;
+    cfg.lfstEntries = 8;
+    cfg.ssitClearInterval = 0;
+    StoreSetUnit u(cfg);
+    const Addr ldpc = 0x100;
+    const Addr stpc = 0x200;
+
+    u.misSpeculation(ldpc, stpc, 1, 0);
+    std::vector<LoadId> wakeups;
+    u.storeReady(stpc, 0, 0, /*store_id=*/5, wakeups); // leaves full flag
+    EXPECT_TRUE(wakeups.empty());
+
+    // Squash below the flag's store id keeps it...
+    u.squash(/*min_ldid=*/100, /*min_store_id=*/6);
+    LoadCheck c = u.loadReady(ldpc, 0, 0, 1, nullptr);
+    EXPECT_TRUE(c.fullBypass);
+
+    // ...and a squash at or below it frees the flag, so the next load
+    // parks instead of bypassing.
+    u.storeReady(stpc, 0, 0, /*store_id=*/7, wakeups);
+    u.squash(/*min_ldid=*/100, /*min_store_id=*/7);
+    c = u.loadReady(ldpc, 0, 0, 2, nullptr);
+    EXPECT_TRUE(c.wait);
+}
+
+TEST(LoadWaitUnit, TrainsToThresholdAndReleases)
+{
+    SyncUnitConfig cfg;
+    cfg.loadWaitEntries = 16;
+    cfg.loadWaitBits = 2;
+    cfg.loadWaitThreshold = 2;
+    cfg.loadWaitClearInterval = 0;
+    LoadWaitUnit u(cfg);
+    const Addr ldpc = 0x100;
+
+    EXPECT_FALSE(u.loadReady(ldpc, 0, 0, 1, nullptr).predicted);
+    u.misSpeculation(ldpc, 0x200, 1, 0); // counter 1 < threshold 2
+    EXPECT_FALSE(u.loadReady(ldpc, 0, 0, 2, nullptr).predicted);
+    u.misSpeculation(ldpc, 0x200, 1, 0); // counter 2 == threshold
+    LoadCheck c = u.loadReady(ldpc, 0, 0, 3, nullptr);
+    EXPECT_TRUE(c.predicted);
+    EXPECT_TRUE(c.wait);
+    EXPECT_EQ(u.waiting(), 1u);
+
+    u.frontierRelease(3);
+    EXPECT_EQ(u.waiting(), 0u);
+    EXPECT_EQ(u.stats().frontierReleases, 1u);
+
+    // No store-side signalling at all.
+    std::vector<LoadId> wakeups;
+    u.storeReady(0x200, 0, 0, 1, wakeups);
+    EXPECT_TRUE(wakeups.empty());
+}
+
+TEST(LoadWaitUnit, PeriodicClearDecaysCounters)
+{
+    SyncUnitConfig cfg;
+    cfg.loadWaitEntries = 16;
+    cfg.loadWaitBits = 2;
+    cfg.loadWaitThreshold = 1;
+    cfg.loadWaitClearInterval = 3;
+    LoadWaitUnit u(cfg);
+    const Addr ldpc = 0x100;
+
+    u.misSpeculation(ldpc, 0x200, 1, 0);
+    EXPECT_TRUE(u.loadReady(ldpc, 0, 0, 1, nullptr).wait);  // check 1
+    EXPECT_TRUE(u.loadReady(ldpc, 0, 0, 2, nullptr).wait);  // check 2
+    // Check 3 zeroes the table before its own lookup.
+    EXPECT_FALSE(u.loadReady(ldpc, 0, 0, 3, nullptr).predicted);
+}
+
+TEST(StoreSetUnit, RandomizedEquivalenceVsReference)
+{
+    SyncUnitConfig cfg;
+    cfg.ssitEntries = 32;   // small tables force index aliasing
+    cfg.lfstEntries = 4;    // and SSID-slot collisions
+    cfg.ssitClearInterval = 64;
+
+    for (uint64_t seed : {3u, 11u, 99u}) {
+        StoreSetUnit dut(cfg);
+        RefStoreSet ref(cfg);
+        std::mt19937_64 rng(seed);
+        LoadId nextLd = 1;
+        uint64_t nextSt = 1;
+
+        for (int op = 0; op < 20000; ++op) {
+            SCOPED_TRACE(testing::Message()
+                         << "seed " << seed << " op " << op);
+            const Addr ldpc = 0x1000 + (rng() % 12) * 4;
+            const Addr stpc = 0x2000 + (rng() % 12) * 4;
+            switch (rng() % 8) {
+              case 0:
+              case 1:
+              case 2: {
+                LoadId id = nextLd++;
+                LoadCheck a = dut.loadReady(ldpc, 0, 0, id, nullptr);
+                LoadCheck b = ref.loadReady(ldpc, id);
+                ASSERT_EQ(a.predicted, b.predicted);
+                ASSERT_EQ(a.wait, b.wait);
+                ASSERT_EQ(a.fullBypass, b.fullBypass);
+                break;
+              }
+              case 3:
+              case 4: {
+                uint64_t id = nextSt++;
+                std::vector<LoadId> wa, wb;
+                dut.storeReady(stpc, 0, 0, id, wa);
+                ref.storeReady(stpc, id, wb);
+                ASSERT_EQ(wa, wb);
+                break;
+              }
+              case 5:
+                dut.misSpeculation(ldpc, stpc, 1, 0);
+                ref.misSpeculation(ldpc, stpc);
+                break;
+              case 6: {
+                LoadId id = rng() % nextLd; // absent ids are no-ops
+                dut.frontierRelease(id);
+                ref.frontierRelease(id);
+                break;
+              }
+              case 7: {
+                LoadId minLd = rng() % (nextLd + 1);
+                uint64_t minSt = rng() % (nextSt + 1);
+                dut.squash(minLd, minSt);
+                ref.squash(minLd, minSt);
+                break;
+              }
+            }
+            if (op % 97 == 0) {
+                std::vector<LoadId> da, db;
+                dut.drainReleasedLoads(da);
+                ref.drainReleasedLoads(db);
+                ASSERT_EQ(da, db);
+            }
+            ASSERT_EQ(dut.liveSets(), ref.liveSets());
+            ASSERT_NO_FATAL_FAILURE(
+                expectSameStats(dut.stats(), ref.stats()));
+        }
+
+        std::vector<LoadId> da, db;
+        dut.drainReleasedLoads(da);
+        ref.drainReleasedLoads(db);
+        EXPECT_EQ(da, db) << "seed " << seed;
+    }
+}
+
+TEST(LoadWaitUnit, RandomizedEquivalenceVsReference)
+{
+    SyncUnitConfig cfg;
+    cfg.loadWaitEntries = 16;
+    cfg.loadWaitBits = 2;
+    cfg.loadWaitThreshold = 1;
+    cfg.loadWaitClearInterval = 32;
+
+    for (uint64_t seed : {3u, 11u, 99u}) {
+        LoadWaitUnit dut(cfg);
+        RefLoadWait ref(cfg);
+        std::mt19937_64 rng(seed);
+        LoadId nextLd = 1;
+        uint64_t nextSt = 1;
+
+        for (int op = 0; op < 20000; ++op) {
+            SCOPED_TRACE(testing::Message()
+                         << "seed " << seed << " op " << op);
+            const Addr ldpc = 0x1000 + (rng() % 24) * 4;
+            switch (rng() % 8) {
+              case 0:
+              case 1:
+              case 2:
+              case 3: {
+                LoadId id = nextLd++;
+                LoadCheck a = dut.loadReady(ldpc, 0, 0, id, nullptr);
+                LoadCheck b = ref.loadReady(ldpc, id);
+                ASSERT_EQ(a.predicted, b.predicted);
+                ASSERT_EQ(a.wait, b.wait);
+                ASSERT_EQ(a.fullBypass, b.fullBypass);
+                break;
+              }
+              case 4: {
+                std::vector<LoadId> wakeups;
+                dut.storeReady(ldpc, 0, 0, nextSt++, wakeups);
+                ref.storeReady();
+                ASSERT_TRUE(wakeups.empty());
+                break;
+              }
+              case 5:
+                dut.misSpeculation(ldpc, 0x9000, 1, 0);
+                ref.misSpeculation(ldpc);
+                break;
+              case 6: {
+                LoadId id = rng() % nextLd;
+                dut.frontierRelease(id);
+                ref.frontierRelease(id);
+                break;
+              }
+              case 7: {
+                LoadId minLd = rng() % (nextLd + 1);
+                dut.squash(minLd, 0);
+                ref.squash(minLd);
+                break;
+              }
+            }
+            ASSERT_EQ(dut.waiting(), ref.waiting());
+            ASSERT_NO_FATAL_FAILURE(
+                expectSameStats(dut.stats(), ref.stats()));
+        }
+    }
+}

@@ -164,6 +164,37 @@ def check_same_bench_set(labeled):
                 + ", ".join(missing))
 
 
+def zoo_policy_rows(doc):
+    """Parse the per-policy rows out of an ablation_zoo report's main
+    table.  Returns a list of row dicts, or None when the table is
+    absent or does not carry the expected columns (an older report)."""
+    table = doc.get("tables", {}).get("main")
+    if not isinstance(table, dict):
+        return None
+    header = table.get("header", [])
+    try:
+        cols = {name: header.index(name)
+                for name in ("policy", "lineage", "IPC (gm)",
+                             "vs ALWAYS")}
+    except ValueError:
+        return None
+    rows = []
+    for raw in table.get("rows", []):
+        if len(raw) < len(header):
+            return None
+        try:
+            rows.append({
+                "policy": raw[cols["policy"]],
+                "lineage": raw[cols["lineage"]],
+                "ipc_geomean": float(raw[cols["IPC (gm)"]]),
+                "vs_always_pct":
+                    float(raw[cols["vs ALWAYS"]].rstrip("%")),
+            })
+        except ValueError:
+            return None
+    return rows or None
+
+
 def merge_labeled(labeled, failed):
     """Fold {label: reports} into per-bench summary entries; append
     'label/bench' to failed for every failed shape check."""
@@ -184,6 +215,14 @@ def merge_labeled(labeled, failed):
             if isinstance(doc.get("cycle_stats"), dict):
                 entry["runs"][label]["cycle_stats"] = \
                     doc["cycle_stats"]
+            # The policy-zoo table rides along in the summary so
+            # --trend can report the policy race longitudinally.
+            # Labels of one summary run the same binary, so the first
+            # parsed table wins (cold and warm rows are identical).
+            if bench == "ablation_zoo" and "zoo_policies" not in entry:
+                rows = zoo_policy_rows(doc)
+                if rows is not None:
+                    entry["zoo_policies"] = rows
             if not doc.get("all_checks_ok", False):
                 entry["all_checks_ok"] = False
                 bad = [c["what"] for c in doc.get("shape_checks", [])
@@ -372,8 +411,26 @@ def trend_entries(paths):
         totals = doc.get("cycle_totals") or cycle_totals(doc)
         if totals:
             entry["cycle_totals"] = totals
+        zoo = doc.get("benches", {}).get("ablation_zoo", {}) \
+            .get("zoo_policies")
+        if zoo:
+            entry["zoo"] = zoo_headline(zoo)
         entries.append(entry)
     return entries
+
+
+def zoo_headline(rows):
+    """Condense the zoo policy table into the trend columns: policy
+    count, the best policy overall, and the best descendant."""
+    def fmt(row):
+        return f"{row['policy']} {row['vs_always_pct']:+.1f}%"
+    best = max(rows, key=lambda r: r["vs_always_pct"])
+    descendants = [r for r in rows if r["lineage"] == "descendant"]
+    headline = {"policies": len(rows), "best": fmt(best)}
+    if descendants:
+        headline["best_descendant"] = fmt(
+            max(descendants, key=lambda r: r["vs_always_pct"]))
+    return headline
 
 
 def print_trend(entries):
@@ -383,9 +440,11 @@ def print_trend(entries):
                      for label in e["wall_seconds"]})
     has_skip = any("cycle_totals" in e for e in entries)
     has_serve = any("serve_batch" in e for e in entries)
+    has_zoo = any("zoo" in e for e in entries)
     header = ["summary"] + labels + \
         (["req/s", "passes/configs", "amortization"]
          if has_serve else []) + \
+        (["zoo best", "zoo best descendant"] if has_zoo else []) + \
         (["skip_rate"] if has_skip else [])
     rows = [header]
     for e in entries:
@@ -404,6 +463,13 @@ def print_trend(entries):
                     f"{serve['configs_evaluated']}",
                     f"{serve['amortization_factor']:.2f}x",
                 ]
+        if has_zoo:
+            zoo = e.get("zoo")
+            if zoo is None:
+                row += ["-", "-"]
+            else:
+                row += [zoo["best"],
+                        zoo.get("best_descendant", "-")]
         if has_skip:
             totals = e.get("cycle_totals")
             row.append("-" if totals is None

@@ -17,6 +17,7 @@
 #include "base/stats.hh"
 #include "base/table.hh"
 #include "harness/experiment.hh"
+#include "mdp/dep_policy.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/sim_stats.hh"
@@ -90,6 +91,8 @@ main(int argc, char **argv)
 {
     ArgParser args("mdp_sim");
     args.addFlag("list", "list registered workloads and exit");
+    args.addFlag("list-policies",
+                 "list registered dependence policies and exit");
     args.addFlag("help", "show this help");
     args.addOption("workload", "espresso", "registered workload name");
     args.addOption("load-trace", "", "read the trace from a file");
@@ -100,7 +103,7 @@ main(int argc, char **argv)
     args.addOption("model", "multiscalar",
                    "multiscalar | ooo | window");
     args.addOption("policy", "esync",
-                   "never|always|wait|psync|sync|esync|vsync");
+                   "dependence policy (--list-policies)");
     args.addOption("stages", "8", "Multiscalar processing stages");
     args.addOption("entries", "64", "MDPT entries");
     args.addOption("org", "combined", "combined | split | distributed");
@@ -131,6 +134,25 @@ main(int argc, char **argv)
         }
         return 0;
     }
+    if (args.flag("list-policies")) {
+        // First column is the registry key; CI scripts parse it with
+        // awk '{print $1}' to build their policy matrices.
+        for (const PolicyInfo &info : dependencePolicies())
+            std::printf("%-10s %s\n", info.name.c_str(),
+                        info.summary.c_str());
+        return 0;
+    }
+
+    // Resolve the policy through the registry: paper policies also set
+    // the legacy enum (some config derivations key on it); descendant
+    // policies are registry-only and ride the policyName override.
+    const std::string policy_arg = args.get("policy");
+    if (!knownDependencePolicy(policy_arg))
+        mdp_fatal("unknown policy '%s' (--list-policies prints the "
+                  "registry)",
+                  policy_arg.c_str());
+    SpecPolicy legacy_policy = SpecPolicy::Sync;
+    tryParsePolicy(policy_arg, legacy_policy);
 
     // ---- obtain the shared workload context -------------------------
     // Default-seed generated workloads go through the process-wide
@@ -196,7 +218,8 @@ main(int argc, char **argv)
     if (model == "ooo") {
         OooConfig cfg;
         cfg.windowSize = static_cast<unsigned>(args.getLong("window"));
-        cfg.policy = parsePolicy(args.get("policy"));
+        cfg.policy = legacy_policy;
+        cfg.policyName = policy_arg;
         cfg.sync.numEntries =
             static_cast<size_t>(args.getLong("entries"));
         cfg.sync.tags = parseTags(args.get("tags"));
@@ -214,7 +237,8 @@ main(int argc, char **argv)
 
     MultiscalarConfig cfg = makeMultiscalarConfig(
         *ctx, static_cast<unsigned>(args.getLong("stages")),
-        parsePolicy(args.get("policy")));
+        legacy_policy);
+    cfg.policyName = policy_arg;
     cfg.sync.numEntries = static_cast<size_t>(args.getLong("entries"));
     cfg.sync.tags = parseTags(args.get("tags"));
     cfg.organization = parseOrg(args.get("org"));
@@ -222,7 +246,10 @@ main(int argc, char **argv)
         cfg.preloadEdges = analyzeStaticEdges(*ctx);
 
     SimResult r = runMultiscalar(*ctx, cfg);
-    emitResult("multiscalar results (" + policyName(cfg.policy) + ")",
+    emitResult("multiscalar results (" +
+                   policyDisplayName(resolvePolicyName(cfg.policyName,
+                                                       cfg.policy)) +
+                   ")",
                multiscalarStats(r), csv);
     maybeWriteJson(json_out, model, scale, multiscalarStats(r));
     return 0;

@@ -4,8 +4,9 @@
 Two subcommands, both used by the serve-integration CI job:
 
 sweep
-    Submit a fig5-style policy sweep (stages {4,8} x policies
-    {never,always,wait,psync} per workload), trigger {"op":"run"},
+    Submit a fig5-style policy sweep (--stages x --policies per
+    workload; CI derives --policies from the output of
+    `mdp_sim --list-policies`), trigger {"op":"run"},
     wait for every result, and assert:
       - every request completes exactly once, in submission order,
       - the run summary's amortization factor (configs evaluated per
@@ -36,8 +37,8 @@ import sys
 import threading
 import time
 
-POLICIES = ("never", "always", "wait", "psync")
-STAGES = (4, 8)
+DEFAULT_POLICIES = "never,always,wait,psync"
+DEFAULT_STAGES = "4,8"
 
 
 class LineClient:
@@ -69,10 +70,10 @@ class LineClient:
         self.sock.close()
 
 
-def sweep_requests(workloads, scale):
+def sweep_requests(workloads, scale, stages_list, policies):
     for wl in workloads:
-        for stages in STAGES:
-            for policy in POLICIES:
+        for stages in stages_list:
+            for policy in policies:
                 yield {
                     "id": f"{wl}-{stages}-{policy}",
                     "workload": wl,
@@ -84,8 +85,10 @@ def sweep_requests(workloads, scale):
 
 def run_sweep(args):
     client = LineClient(args.socket)
-    requests = list(sweep_requests(args.workloads.split(","),
-                                   args.scale))
+    requests = list(sweep_requests(
+        args.workloads.split(","), args.scale,
+        [int(s) for s in args.stages.split(",")],
+        args.policies.split(",")))
     submitted = []
     for req in requests:
         client.send(req)
@@ -275,6 +278,11 @@ def main():
     sweep.add_argument("--socket", required=True)
     sweep.add_argument("--workloads", default="espresso",
                        help="comma-separated workload names")
+    sweep.add_argument("--policies", default=DEFAULT_POLICIES,
+                       help="comma-separated policy names; CI passes "
+                            "the output of mdp_sim --list-policies")
+    sweep.add_argument("--stages", default=DEFAULT_STAGES,
+                       help="comma-separated stage counts")
     sweep.add_argument("--scale", type=float, default=0.1)
     sweep.add_argument("--min-amortization", type=float,
                        default=8.0 / 1.5,
