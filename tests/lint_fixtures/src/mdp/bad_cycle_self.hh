@@ -1,0 +1,18 @@
+// Fixture: the smallest possible include cycle -- a header that
+// includes itself.  The include guard makes it harmless to a real
+// compiler, which is exactly why only the graph pass can catch it.
+#ifndef MDP_MDP_BAD_CYCLE_SELF_HH
+#define MDP_MDP_BAD_CYCLE_SELF_HH
+
+#include "mdp/bad_cycle_self.hh" // expect: include-cycle
+
+namespace mdp
+{
+
+struct SelfReferential {
+    int depth = 0;
+};
+
+} // namespace mdp
+
+#endif // MDP_MDP_BAD_CYCLE_SELF_HH

@@ -1,0 +1,29 @@
+// Fixture: nondeterminism laundered through locals.  The raw
+// reinterpret_cast is not itself banned (no nondet-source marker) --
+// the taint pass must track the value through `key` and `mixed` and
+// fire only where it reaches model state.
+#include <cstdint>
+
+namespace mdp
+{
+
+struct TaintStats {
+    long cycles = 0;
+};
+
+class TaintModel
+{
+  public:
+    void
+    tick(void *slot)
+    {
+        auto key = reinterpret_cast<uintptr_t>(slot);
+        uintptr_t mixed = key ^ (key >> 7);
+        stats_.cycles = static_cast<long>(mixed); // expect: nondet-taint
+    }
+
+  private:
+    TaintStats stats_;
+};
+
+} // namespace mdp

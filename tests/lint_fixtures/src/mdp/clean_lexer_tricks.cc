@@ -1,0 +1,34 @@
+// Fixture: every banned token, hidden where only a real lexer can
+// tell it is harmless -- raw strings, spliced comments, escaped
+// quotes, block comments.  The PR-3 line scanner had no concept of
+// raw strings; the token-based rules must report nothing here.
+
+namespace mdp
+{
+
+// A raw string literal: its contents are data, not code.
+const char *const kDoc = R"doc(
+    std::rand() and steady_clock::now() inside a raw string;
+    for (auto &kv : table) over an std::unordered_map<int, int>;
+    #pragma once
+    using namespace std;
+    std::map<int *, int> by_pointer;
+)doc";
+
+// A line comment continued by a backslash splice stays a comment: \
+   srand(42); random_device rd; gettimeofday(&tv, nullptr);
+
+// An escaped quote does not end the literal early.
+const char *const kTricky =
+    "std::mt19937 gen; \" getpid() this_thread::get_id()";
+
+/* Block comment mentioning clock_gettime() and timespec_get(),
+ * plus a decoy `for (auto &kv : hidden_map)` walk. */
+
+int
+lexerTricksAreData()
+{
+    return 0;
+}
+
+} // namespace mdp

@@ -1,0 +1,35 @@
+// Fixture: a pure DependencePolicy, the contract every registry
+// entry must honor.  `static const` naming, context consumed within
+// the call, decision state kept in locals and members of the policy
+// itself.  Expected clean.
+#include "mdp/dep_policy.hh"
+
+#include <string>
+
+namespace mdp
+{
+
+class TidyPolicy final : public DependencePolicy
+{
+  public:
+    const std::string &
+    name() const override
+    {
+        static const std::string n = "tidy";
+        return n;
+    }
+
+    LoadDecision
+    onLoad(const LoadIssueContext &ctx)
+    {
+        LoadDecision d;
+        d.speculate = ctx.load_pc != last_pc_;
+        last_pc_ = ctx.load_pc;
+        return d;
+    }
+
+  private:
+    uint64_t last_pc_ = 0;
+};
+
+} // namespace mdp

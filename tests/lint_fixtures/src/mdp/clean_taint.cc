@@ -1,0 +1,22 @@
+// Fixture: a tainted value that never reaches a sink.  Returning a
+// pointer-derived hash keeps the decision at the caller -- the write
+// site, not the return, is where a diagnostic belongs -- so this
+// file is expected clean.
+#include <cstdint>
+
+namespace mdp
+{
+
+class TaintFree
+{
+  public:
+    uint64_t
+    hashSlot(void *slot) const
+    {
+        auto key = reinterpret_cast<uintptr_t>(slot);
+        uint64_t spread = key * 0x9e3779b97f4a7c15ull;
+        return spread ^ (spread >> 32);
+    }
+};
+
+} // namespace mdp

@@ -1,0 +1,18 @@
+// Fixture: a trace-layer file reaching UP the stack.  trace is layer
+// 1; workloads (layer 2) and ooo (layer 4) sit above it, so both
+// includes violate tools/lint/layers.txt.  The base include is
+// downward and fine.
+#include "base/hash.hh"
+#include "workloads/generator.hh" // expect: layering
+#include "ooo/ooo_model.hh" // expect: layering
+
+namespace mdp
+{
+
+int
+traceDependsUpward()
+{
+    return 1;
+}
+
+} // namespace mdp

@@ -1,0 +1,17 @@
+// Fixture: downward and same-directory includes respect the layering
+// spec; system headers are never layered.  Expected clean.
+#include <vector>
+
+#include "base/hash.hh"
+#include "trace/trace_format.hh"
+
+namespace mdp
+{
+
+int
+traceDependsDownward()
+{
+    return 0;
+}
+
+} // namespace mdp

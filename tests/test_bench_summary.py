@@ -366,6 +366,55 @@ class BenchSummaryTest(unittest.TestCase):
         self.assertAlmostEqual(entry["wall_seconds"]["cold"], 3.5)
         self.assertNotIn("cycle_totals", entry)
 
+    # ---- suppression debt -------------------------------------------
+
+    def test_summary_stamps_suppression_debt(self):
+        self.write("cold/a.json", good_report("bench_a"))
+        summary = self.write_summary("BENCH_a.json",
+                                     [f"cold={self.root}/cold"])
+        doc = json.loads(summary.read_text())
+        self.assertIsInstance(doc.get("lint_suppressions"), int)
+        self.assertGreaterEqual(doc["lint_suppressions"], 0)
+
+    def test_trend_shows_suppression_debt_column(self):
+        self.write("cold/a.json", good_report("bench_a"))
+        old = self.write_summary("BENCH_old.json",
+                                 [f"cold={self.root}/cold"])
+        doc = json.loads(old.read_text())
+        doc["lint_suppressions"] = 7
+        old.write_text(json.dumps(doc))
+        new = self.write_summary("BENCH_new.json",
+                                 [f"cold={self.root}/cold"])
+        doc = json.loads(new.read_text())
+        doc.pop("lint_suppressions", None)  # pre-column summary
+        new.write_text(json.dumps(doc))
+
+        proc = self.run_trend(str(old), str(new))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        lines = proc.stdout.splitlines()
+        header = next(l for l in lines if "summary" in l)
+        self.assertIn("lint allows", header)
+        old_row = next(l for l in lines if "BENCH_old.json" in l)
+        new_row = next(l for l in lines if "BENCH_new.json" in l)
+        self.assertEqual(old_row.split()[-1], "7")
+        self.assertEqual(new_row.split()[-1], "-")
+
+    def test_count_suppressions_counts_cpp_tree_only(self):
+        sys.path.insert(0, str(REPO / "tools"))
+        try:
+            from bench_summary import count_suppressions
+        finally:
+            sys.path.pop(0)
+        marker = "// mdp-lint" + ": allow(nondet-source): why\n"
+        self.write("tree/src/mdp/a.cc", "int x;\n" + marker + marker)
+        self.write("tree/tools/t.hh", marker)
+        # Not counted: fixtures exist to contain violations, build
+        # trees are generated, and non-C++ files are out of scope.
+        self.write("tree/tests/lint_fixtures/src/f.cc", marker)
+        self.write("tree/build/gen.cc", marker)
+        self.write("tree/src/notes.md", marker)
+        self.assertEqual(count_suppressions(self.root / "tree"), 3)
+
     # ---- --trend with mdp_served batch reports ----------------------
 
     def batch_report(self, completed=8, passes=1, wall=2.0):

@@ -1,0 +1,191 @@
+// Include-graph suite: the layering spec and the cycle detector,
+// exercised on synthetic batches (no filesystem needed — the checker
+// takes a path -> edges map) plus the parity assertion that keeps
+// tools/lint/layers.txt (the human-readable source of truth) and the
+// compiled-in defaultLayers() from drifting apart.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/include_graph.hh"
+#include "lint/lexer.hh"
+
+using mdp::lint::GraphDiag;
+using mdp::lint::IncludeEdge;
+using mdp::lint::LayerSpec;
+using mdp::lint::checkIncludeGraph;
+using mdp::lint::collectIncludes;
+using mdp::lint::defaultLayers;
+using mdp::lint::lex;
+
+namespace
+{
+
+using EdgeMap = std::map<std::string, std::vector<IncludeEdge>>;
+
+IncludeEdge
+quoted(const std::string &path, int line)
+{
+    IncludeEdge e;
+    e.path = path;
+    e.line = line;
+    e.angled = false;
+    return e;
+}
+
+std::vector<GraphDiag>
+ofRule(const std::vector<GraphDiag> &diags, const std::string &rule)
+{
+    std::vector<GraphDiag> out;
+    for (const GraphDiag &d : diags)
+        if (d.rule == rule)
+            out.push_back(d);
+    return out;
+}
+
+} // namespace
+
+TEST(IncludeGraph, CollectIncludesStripsDelimiters)
+{
+    auto toks = lex("#include <vector>\n"
+                    "#include \"mdp/mdpt.hh\"  // trailing\n"
+                    "int x; // #include \"not/real.hh\"\n");
+    auto edges = collectIncludes(toks);
+    ASSERT_EQ(edges.size(), 2u);
+    EXPECT_EQ(edges[0].path, "vector");
+    EXPECT_TRUE(edges[0].angled);
+    EXPECT_EQ(edges[0].line, 1);
+    EXPECT_EQ(edges[1].path, "mdp/mdpt.hh");
+    EXPECT_FALSE(edges[1].angled);
+    EXPECT_EQ(edges[1].line, 2);
+}
+
+TEST(IncludeGraph, LayersFileAgreesWithDefaultSpec)
+{
+    std::ifstream in(std::string(MDP_SOURCE_DIR) +
+                     "/tools/lint/layers.txt");
+    ASSERT_TRUE(in.good()) << "tools/lint/layers.txt missing";
+    std::stringstream ss;
+    ss << in.rdbuf();
+    LayerSpec parsed = LayerSpec::parse(ss.str());
+    EXPECT_EQ(parsed.rank_of_dir, defaultLayers().rank_of_dir)
+        << "layers.txt and defaultLayers() have drifted apart; "
+           "update both together";
+}
+
+TEST(IncludeGraph, RankOfFollowsSrcDirectory)
+{
+    const LayerSpec &spec = defaultLayers();
+    EXPECT_EQ(spec.rankOf("src/base/hash.hh"), 0);
+    EXPECT_EQ(spec.rankOf("src/trace/trace_format.hh"), 1);
+    EXPECT_EQ(spec.rankOf("src/mdp/mdpt.hh"),
+              spec.rankOf("src/window/lsq.hh"));
+    EXPECT_EQ(spec.rankOf("src/serve/server.hh"), 5);
+    // Unranked: outside src/, or an unknown subdirectory.
+    EXPECT_EQ(spec.rankOf("tools/mdp_lint.cc"), -1);
+    EXPECT_EQ(spec.rankOf("src/unknown/x.hh"), -1);
+    EXPECT_EQ(spec.rankOf("bench/bench_mdpt.cc"), -1);
+}
+
+TEST(IncludeGraph, UpwardIncludeFiresDownwardAndPeerDoNot)
+{
+    EdgeMap batch;
+    batch["src/trace/reader.cc"] = {
+        quoted("base/hash.hh", 3),       // downward: fine
+        quoted("workloads/gen.hh", 4),   // upward: diagnostic
+    };
+    batch["src/mdp/mdpt.cc"] = {
+        quoted("mdp/mdpt.hh", 2),     // same dir: fine
+        quoted("window/lsq.hh", 3),   // peer rank: fine
+        quoted("ooo/model.hh", 4),    // upward: diagnostic
+    };
+    batch["src/base/hash.cc"] = {quoted("base/hash.hh", 1)};
+
+    auto diags = ofRule(checkIncludeGraph(batch, defaultLayers()),
+                        "layering");
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_EQ(diags[0].file, "src/mdp/mdpt.cc");
+    EXPECT_EQ(diags[0].line, 4);
+    EXPECT_EQ(diags[1].file, "src/trace/reader.cc");
+    EXPECT_EQ(diags[1].line, 4);
+}
+
+TEST(IncludeGraph, LayeringUsesTextualFallbackOutsideBatch)
+{
+    // The included header is NOT in the batch (partial lint); the
+    // layering rule still reads the include path src-relative.
+    EdgeMap batch;
+    batch["src/trace/alone.cc"] = {quoted("ooo/model.hh", 7)};
+    auto diags = ofRule(checkIncludeGraph(batch, defaultLayers()),
+                        "layering");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].file, "src/trace/alone.cc");
+    EXPECT_EQ(diags[0].line, 7);
+}
+
+TEST(IncludeGraph, UnrankedFilesMayIncludeAnything)
+{
+    EdgeMap batch;
+    batch["tools/mdp_lint.cc"] = {quoted("serve/server.hh", 2)};
+    batch["bench/bench_x.cc"] = {quoted("harness/runner.hh", 3)};
+    auto diags = checkIncludeGraph(batch, defaultLayers());
+    EXPECT_TRUE(diags.empty());
+}
+
+TEST(IncludeGraph, ThreeFileCycleReportedOnceAtSmallestMember)
+{
+    EdgeMap batch;
+    batch["src/mdp/a.hh"] = {quoted("mdp/b.hh", 5)};
+    batch["src/mdp/b.hh"] = {quoted("mdp/c.hh", 6)};
+    batch["src/mdp/c.hh"] = {quoted("mdp/a.hh", 7)};
+    batch["src/mdp/off_cycle.hh"] = {quoted("mdp/a.hh", 2)};
+
+    auto diags = ofRule(checkIncludeGraph(batch, defaultLayers()),
+                        "include-cycle");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].file, "src/mdp/a.hh");
+    EXPECT_NE(diags[0].msg.find("b.hh"), std::string::npos);
+    EXPECT_NE(diags[0].msg.find("c.hh"), std::string::npos);
+}
+
+TEST(IncludeGraph, SelfIncludeIsAOneCycle)
+{
+    EdgeMap batch;
+    batch["src/window/self.hh"] = {quoted("window/self.hh", 4)};
+    auto diags = ofRule(checkIncludeGraph(batch, defaultLayers()),
+                        "include-cycle");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].file, "src/window/self.hh");
+    EXPECT_EQ(diags[0].line, 4);
+}
+
+TEST(IncludeGraph, CycleEdgesResolveViaOwnDirectory)
+{
+    // `#include "b.hh"` from src/mdp/a.hh resolves against the
+    // including file's directory, like the compiler's quoted lookup.
+    EdgeMap batch;
+    batch["src/mdp/a.hh"] = {quoted("b.hh", 1)};
+    batch["src/mdp/b.hh"] = {quoted("a.hh", 1)};
+    auto diags = ofRule(checkIncludeGraph(batch, defaultLayers()),
+                        "include-cycle");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].file, "src/mdp/a.hh");
+}
+
+TEST(IncludeGraph, AngledIncludesNeverResolveInRepo)
+{
+    EdgeMap batch;
+    IncludeEdge sys;
+    sys.path = "mdp/mdpt.hh";  // same text as a repo header, but
+    sys.angled = true;         // angled: treated as system include
+    sys.line = 1;
+    batch["src/mdp/mdpt.cc"] = {sys};
+    batch["src/mdp/mdpt.hh"] = {};
+    auto diags = checkIncludeGraph(batch, defaultLayers());
+    EXPECT_TRUE(diags.empty());
+}

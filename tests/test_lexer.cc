@@ -1,0 +1,377 @@
+// The lexer differential / fuzz suite.
+//
+// Every mdp_lint rule sits on top of tools/lint/lexer.cc, so the
+// whole analysis pipeline is only as sound as the token stream.  The
+// load-bearing guarantee (documented in lexer.hh) is the offset
+// round-trip: tokens are strictly increasing, non-overlapping byte
+// ranges, every byte between tokens is whitespace, `line` is the
+// 1-based line of the first byte, and `spelling` is the raw text
+// with line continuations removed (raw strings excepted — splicing
+// is disabled inside them).  We assert that invariant three ways:
+// on hand-written edge cases, on every real source file and lint
+// fixture in the repo, and on seeded-PRNG token soup.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hh"
+
+namespace fs = std::filesystem;
+using mdp::lint::Tok;
+using mdp::lint::Token;
+using mdp::lint::codeTokens;
+using mdp::lint::findIdentSeq;
+using mdp::lint::isIdent;
+using mdp::lint::isPunct;
+using mdp::lint::lex;
+using mdp::lint::matchAngleTokens;
+using mdp::lint::matchGroup;
+
+namespace
+{
+
+std::string
+spliceStripped(const std::string &raw)
+{
+    std::string out;
+    for (size_t i = 0; i < raw.size();) {
+        if (raw[i] == '\\' && i + 1 < raw.size() &&
+            raw[i + 1] == '\n') {
+            i += 2;
+        } else if (raw[i] == '\\' && i + 2 < raw.size() &&
+                   raw[i + 1] == '\r' && raw[i + 2] == '\n') {
+            i += 3;
+        } else {
+            out += raw[i++];
+        }
+    }
+    return out;
+}
+
+/** Is text[b] whitespace in the translation-phase-2 sense?  A line
+ *  continuation (backslash-newline, optionally with \r) between
+ *  tokens counts: it is deleted before tokenization. */
+bool
+gapByteOk(const std::string &text, size_t b)
+{
+    if (std::isspace(static_cast<unsigned char>(text[b])))
+        return true;
+    if (text[b] != '\\')
+        return false;
+    size_t n = b + 1;
+    if (n < text.size() && text[n] == '\r')
+        ++n;
+    return n < text.size() && text[n] == '\n';
+}
+
+/** Assert every round-trip invariant on one input. */
+void
+expectRoundTrip(const std::string &text, const std::string &label)
+{
+    SCOPED_TRACE(label);
+    std::vector<Token> toks = lex(text);
+
+    size_t prev_end = 0;
+    size_t pos = 0;
+    int line = 1;
+    for (size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        ASSERT_LE(prev_end, t.begin) << "token " << i << " overlaps";
+        ASSERT_LT(t.begin, t.end) << "token " << i << " is empty";
+        ASSERT_LE(t.end, text.size()) << "token " << i << " past EOF";
+        for (size_t b = prev_end; b < t.begin; ++b)
+            ASSERT_TRUE(gapByteOk(text, b))
+                << "non-whitespace byte " << b << " between tokens";
+        while (pos < t.begin) {
+            if (text[pos] == '\n')
+                ++line;
+            ++pos;
+        }
+        ASSERT_EQ(t.line, line) << "token " << i << " line";
+
+        std::string raw = text.substr(t.begin, t.end - t.begin);
+        EXPECT_TRUE(t.spelling == raw ||
+                    t.spelling == spliceStripped(raw))
+            << "token " << i << " spelling '" << t.spelling
+            << "' is neither the raw bytes nor their splice-free "
+            << "form; raw: '" << raw << "'";
+        prev_end = t.end;
+    }
+    for (size_t b = prev_end; b < text.size(); ++b)
+        ASSERT_TRUE(gapByteOk(text, b))
+            << "non-whitespace byte " << b << " after last token";
+}
+
+std::string
+readFile(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+// ---- hand-written edge cases ---------------------------------------
+
+TEST(Lexer, SpliceStrippedIdentifierSpelling)
+{
+    std::vector<Token> toks = codeTokens(lex("ab\\\ncd = 1;"));
+    ASSERT_GE(toks.size(), 4u);
+    EXPECT_EQ(toks[0].kind, Tok::Ident);
+    EXPECT_EQ(toks[0].spelling, "abcd");
+    EXPECT_EQ(toks[0].line, 1);
+    // The next token sits on line 2 of the original text.
+    EXPECT_EQ(toks[1].spelling, "=");
+    EXPECT_EQ(toks[1].line, 2);
+}
+
+TEST(Lexer, LineCommentContinuesAcrossSplice)
+{
+    std::vector<Token> toks =
+        codeTokens(lex("// a comment \\\nstd::rand();\nint x;"));
+    ASSERT_GE(toks.size(), 2u);
+    EXPECT_TRUE(isIdent(toks[0], "int"));
+    EXPECT_EQ(toks[0].line, 3);
+    EXPECT_EQ(findIdentSeq(toks, "std::rand", 0), SIZE_MAX);
+}
+
+TEST(Lexer, BlockCommentsDoNotNest)
+{
+    std::vector<Token> toks =
+        codeTokens(lex("/* outer /* inner */ int x;"));
+    ASSERT_GE(toks.size(), 3u);
+    EXPECT_TRUE(isIdent(toks[0], "int"));
+    EXPECT_TRUE(isIdent(toks[1], "x"));
+}
+
+TEST(Lexer, RawStringSwallowsCodeAndFalseClosers)
+{
+    std::string text =
+        "const char *s = R\"x( std::rand(); )\" // not a comment "
+        ")x\";\nint y;";
+    std::vector<Token> toks = codeTokens(lex(text));
+    size_t str = SIZE_MAX;
+    for (size_t i = 0; i < toks.size(); ++i)
+        if (toks[i].kind == Tok::Str)
+            str = i;
+    ASSERT_NE(str, SIZE_MAX);
+    // The literal runs all the way to )x" — the plain )" inside is
+    // not a closer for delimiter x.
+    EXPECT_NE(toks[str].spelling.find("not a comment"),
+              std::string::npos);
+    EXPECT_EQ(toks[str].spelling.substr(toks[str].spelling.size() - 3),
+              ")x\"");
+    EXPECT_EQ(findIdentSeq(toks, "std::rand", 0), SIZE_MAX);
+    EXPECT_TRUE(isIdent(toks.back(), "y") ||
+                isPunct(toks.back(), ";"));
+}
+
+TEST(Lexer, RawStringKeepsBackslashNewlineRaw)
+{
+    // Splicing is disabled inside raw strings: the backslash-newline
+    // stays in the spelling byte-for-byte.
+    std::string text = "auto s = R\"(a\\\nb)\";";
+    std::vector<Token> toks = codeTokens(lex(text));
+    size_t str = SIZE_MAX;
+    for (size_t i = 0; i < toks.size(); ++i)
+        if (toks[i].kind == Tok::Str)
+            str = i;
+    ASSERT_NE(str, SIZE_MAX);
+    EXPECT_NE(toks[str].spelling.find("\\\n"), std::string::npos);
+}
+
+TEST(Lexer, EscapedQuoteDoesNotEndString)
+{
+    std::vector<Token> toks =
+        codeTokens(lex("auto s = \"a \\\" mt19937\"; int z;"));
+    EXPECT_EQ(findIdentSeq(toks, "mt19937", 0), SIZE_MAX);
+    size_t z = findIdentSeq(toks, "z", 0);
+    ASSERT_NE(z, SIZE_MAX);
+}
+
+TEST(Lexer, IncludeOperandIsOneToken)
+{
+    std::vector<Token> toks =
+        lex("#include <vector>\n#include \"mdp/mdpt.hh\"\n");
+    std::vector<std::string> paths;
+    for (const Token &t : toks)
+        if (t.kind == Tok::IncludePath)
+            paths.push_back(t.spelling);
+    ASSERT_EQ(paths.size(), 2u);
+    EXPECT_EQ(paths[0], "<vector>");
+    EXPECT_EQ(paths[1], "\"mdp/mdpt.hh\"");
+    // Every token of a directive is flagged pp.
+    for (const Token &t : toks)
+        EXPECT_TRUE(t.pp);
+}
+
+TEST(Lexer, GreaterIsAlwaysSingleButLeftShiftCombines)
+{
+    std::vector<Token> toks = codeTokens(lex("set<set<int>> v; a << b;"));
+    int closers = 0, shifts = 0;
+    for (const Token &t : toks) {
+        if (isPunct(t, ">"))
+            ++closers;
+        if (isPunct(t, "<<"))
+            ++shifts;
+    }
+    EXPECT_EQ(closers, 2);
+    EXPECT_EQ(shifts, 1);
+
+    size_t open = SIZE_MAX;
+    for (size_t i = 0; i < toks.size(); ++i)
+        if (isPunct(toks[i], "<")) {
+            open = i;
+            break;
+        }
+    ASSERT_NE(open, SIZE_MAX);
+    size_t close = matchAngleTokens(toks, open);
+    ASSERT_NE(close, SIZE_MAX);
+    EXPECT_TRUE(isPunct(toks[close], ">"));
+    // The outer close is the *last* '>' before v.
+    EXPECT_TRUE(isIdent(toks[close + 1], "v"));
+}
+
+TEST(Lexer, MatchGroupBalancesNestedBraces)
+{
+    std::vector<Token> toks =
+        codeTokens(lex("void f() { if (x) { y(); } }"));
+    size_t open = SIZE_MAX;
+    for (size_t i = 0; i < toks.size(); ++i)
+        if (isPunct(toks[i], "{")) {
+            open = i;
+            break;
+        }
+    ASSERT_NE(open, SIZE_MAX);
+    size_t close = matchGroup(toks, open);
+    ASSERT_EQ(close, toks.size() - 1);
+}
+
+TEST(Lexer, FindIdentSeqMatchesQualifiedTail)
+{
+    // A bare name deliberately matches the tail of a qualified use
+    // (the PR-3 substring scanner did, and the rules rely on it).
+    std::vector<Token> toks =
+        codeTokens(lex("auto t = std::chrono::steady_clock::now();"));
+    EXPECT_NE(findIdentSeq(toks, "steady_clock", 0), SIZE_MAX);
+    EXPECT_NE(findIdentSeq(toks, "std::chrono::steady_clock", 0),
+              SIZE_MAX);
+    EXPECT_EQ(findIdentSeq(toks, "system_clock", 0), SIZE_MAX);
+}
+
+TEST(Lexer, DigitSeparatorsAndExponentsAreOneNumber)
+{
+    std::vector<Token> toks =
+        codeTokens(lex("auto a = 1'000'000; auto b = 1.5e-3;"));
+    int numbers = 0;
+    for (const Token &t : toks)
+        if (t.kind == Tok::Number)
+            ++numbers;
+    EXPECT_EQ(numbers, 2);
+}
+
+TEST(Lexer, MalformedInputDegradesWithoutLoss)
+{
+    // Unterminated constructs still round-trip; the lexer never
+    // fails and never drops bytes silently.
+    expectRoundTrip("auto s = \"unterminated", "unterminated-str");
+    expectRoundTrip("/* unterminated block", "unterminated-comment");
+    expectRoundTrip("auto r = R\"x(never closed", "unterminated-raw");
+    expectRoundTrip("#include <no-newline", "unterminated-include");
+}
+
+// ---- differential: every real file round-trips ---------------------
+
+TEST(Lexer, EveryRepoSourceRoundTrips)
+{
+    const fs::path root = MDP_SOURCE_DIR;
+    int checked = 0;
+    for (const char *sub :
+         {"src", "bench", "tools", "tests/lint_fixtures"}) {
+        for (const auto &entry :
+             fs::recursive_directory_iterator(root / sub)) {
+            if (!entry.is_regular_file())
+                continue;
+            fs::path p = entry.path();
+            if (p.extension() != ".cc" && p.extension() != ".hh")
+                continue;
+            expectRoundTrip(readFile(p), p.string());
+            ++checked;
+        }
+    }
+    // The corpus must be real: the whole simulator plus fixtures.
+    EXPECT_GE(checked, 100);
+}
+
+// ---- fuzz: seeded token soup ---------------------------------------
+
+TEST(Lexer, RandomTokenSoupRoundTrips)
+{
+    const std::vector<std::string> pieces = {
+        "ident",
+        "x42",
+        "_u",
+        "0x1fULL",
+        "1'000'000",
+        "3.14e-2",
+        "0b1010",
+        "\"plain string\"",
+        "\"escaped \\\" quote\"",
+        "'c'",
+        "'\\n'",
+        "u8\"utf8\"",
+        "L\"wide\"",
+        "R\"(raw)\"",
+        "R\"d(tricky )\" )d\"",
+        "// line comment\n",
+        "// spliced comment \\\ncontinued\n",
+        "/* block */",
+        "/* multi\nline */",
+        "#include <vector>\n",
+        "#include \"a/b.hh\"\n",
+        "#define X 1\n",
+        "#if defined(Y) \\\n    && Z\n#endif\n",
+        "ab\\\ncd",
+        "<<",
+        ">>",
+        "::",
+        "->",
+        "...",
+        "<<=",
+        "->*",
+        "&&",
+        "{",
+        "}",
+        "(",
+        ")",
+        "[",
+        "]",
+        ";",
+        ",",
+        "<",
+        ">",
+    };
+    const std::vector<std::string> seps = {" ", "  ", "\n", "\t",
+                                           "\n\n", " \n "};
+
+    std::mt19937 rng(20260809);
+    for (int iter = 0; iter < 200; ++iter) {
+        std::string text;
+        int n = 5 + static_cast<int>(rng() % 60);
+        for (int i = 0; i < n; ++i) {
+            text += pieces[rng() % pieces.size()];
+            text += seps[rng() % seps.size()];
+        }
+        expectRoundTrip(text,
+                        "soup iter " + std::to_string(iter));
+    }
+}

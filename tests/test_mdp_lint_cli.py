@@ -1,0 +1,189 @@
+"""mdp_lint CLI contract tests.
+
+The documented exit codes (0 clean, 1 findings, 2 usage/IO error) are
+what CI keys off, so they are asserted here through the real binary,
+along with the rule filters, --list-rules docs, SARIF output, and the
+baseline write/apply round-trip.  The binary path arrives via the
+MDP_LINT_BIN environment variable (set by CMake).
+"""
+
+import json
+import os
+import subprocess
+import tempfile
+import unittest
+
+LINT = os.environ.get("MDP_LINT_BIN", "")
+
+# One nondet-source finding on line 4.
+BAD_CC = """\
+#include <cstdlib>
+
+int badEntropy() {
+    return std::rand();
+}
+"""
+
+CLEAN_CC = """\
+int answer() {
+    return 42;
+}
+"""
+
+
+def run(args, cwd=None):
+    return subprocess.run(
+        [LINT] + args, cwd=cwd, capture_output=True, text=True
+    )
+
+
+class MdpLintCliTest(unittest.TestCase):
+    def setUp(self):
+        if not LINT or not os.path.exists(LINT):
+            self.skipTest("MDP_LINT_BIN not set or missing")
+        self.tmp = tempfile.TemporaryDirectory()
+        self.root = self.tmp.name
+        os.makedirs(os.path.join(self.root, "src", "mdp"))
+        os.makedirs(os.path.join(self.root, "src", "base"))
+        self.write("src/mdp/bad.cc", BAD_CC)
+        self.write("src/base/ok.cc", CLEAN_CC)
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def write(self, rel, content):
+        with open(os.path.join(self.root, rel), "w") as f:
+            f.write(content)
+
+    def lint(self, *extra):
+        return run(["--root", self.root, "--no-cache"] + list(extra))
+
+    # ---- exit codes -------------------------------------------------
+
+    def test_exit_1_on_findings(self):
+        r = self.lint()
+        self.assertEqual(r.returncode, 1, r.stderr)
+        self.assertIn("src/mdp/bad.cc:4: [nondet-source]", r.stdout)
+        self.assertIn("diagnostic(s)", r.stderr)
+
+    def test_exit_0_on_clean_tree(self):
+        os.remove(os.path.join(self.root, "src", "mdp", "bad.cc"))
+        r = self.lint()
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("clean", r.stdout)
+
+    def test_exit_2_on_unknown_option(self):
+        r = run(["--bogus"])
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("unknown option", r.stderr)
+
+    def test_exit_2_on_unknown_rule_id(self):
+        r = self.lint("--rule", "no-such-rule")
+        self.assertEqual(r.returncode, 2)
+
+    def test_exit_2_on_missing_option_value(self):
+        r = run(["--sarif"])
+        self.assertEqual(r.returncode, 2)
+
+    def test_exit_2_on_unreadable_baseline(self):
+        r = self.lint("--baseline", self.root + "/nope.txt")
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("baseline", r.stderr)
+
+    # ---- rule listing and filters -----------------------------------
+
+    def test_list_rules_documents_every_rule(self):
+        r = run(["--list-rules"])
+        self.assertEqual(r.returncode, 0)
+        lines = [l for l in r.stdout.splitlines() if l.strip()]
+        ids = [l.split()[0] for l in lines]
+        for rule in [
+            "bench-discipline", "fastforward-order", "header-guard",
+            "include-cycle", "layering", "lint-allow",
+            "lockstep-blocking", "nondet-source", "nondet-taint",
+            "policy-ctx-escape", "policy-static-state", "ptr-order",
+            "unordered-iter", "using-namespace-header",
+        ]:
+            self.assertIn(rule, ids)
+        for l in lines:  # every rule has a one-line doc
+            self.assertGreater(len(l.split(None, 1)), 1, l)
+
+    def test_rule_filter_keeps_only_named_rule(self):
+        r = self.lint("--rule", "nondet-source")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("[nondet-source]", r.stdout)
+        r = self.lint("--rule", "header-guard")
+        self.assertEqual(r.returncode, 0, r.stdout)
+
+    def test_exclude_rule_drops_findings(self):
+        r = self.lint("--exclude-rule", "nondet-source")
+        self.assertEqual(r.returncode, 0, r.stdout)
+
+    # ---- file arguments are a report filter -------------------------
+
+    def test_named_clean_file_reports_nothing(self):
+        r = self.lint("src/base/ok.cc")
+        self.assertEqual(r.returncode, 0, r.stdout)
+
+    def test_named_bad_file_reports_its_findings(self):
+        r = self.lint("src/mdp/bad.cc")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("src/mdp/bad.cc:4:", r.stdout)
+
+    # ---- SARIF ------------------------------------------------------
+
+    def test_sarif_to_stdout_is_valid_and_complete(self):
+        r = self.lint("--sarif", "-")
+        self.assertEqual(r.returncode, 1)
+        json_start = r.stdout.index("{")
+        json_end = r.stdout.rindex("}") + 1
+        doc = json.loads(r.stdout[json_start:json_end])
+        self.assertEqual(doc["version"], "2.1.0")
+        runs = doc["runs"]
+        self.assertEqual(len(runs), 1)
+        driver = runs[0]["tool"]["driver"]
+        self.assertEqual(driver["name"], "mdp_lint")
+        self.assertGreaterEqual(len(driver["rules"]), 14)
+        results = runs[0]["results"]
+        self.assertEqual(len(results), 1)
+        res = results[0]
+        self.assertEqual(res["ruleId"], "nondet-source")
+        loc = res["locations"][0]["physicalLocation"]
+        self.assertEqual(
+            loc["artifactLocation"]["uri"], "src/mdp/bad.cc")
+        self.assertEqual(loc["region"]["startLine"], 4)
+
+    def test_sarif_file_written(self):
+        out = os.path.join(self.root, "lint.sarif")
+        r = self.lint("--sarif", out)
+        self.assertEqual(r.returncode, 1)
+        with open(out) as f:
+            doc = json.load(f)
+        self.assertEqual(doc["version"], "2.1.0")
+
+    # ---- baseline ---------------------------------------------------
+
+    def test_baseline_round_trip(self):
+        base = os.path.join(self.root, "lint.baseline")
+        r = self.lint("--write-baseline", base)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertTrue(os.path.exists(base))
+
+        # The recorded debt no longer fails the gate.
+        r = self.lint("--baseline", base)
+        self.assertEqual(r.returncode, 0, r.stdout)
+        self.assertIn("after baseline", r.stdout)
+
+        # A NEW finding still does.
+        self.write(
+            "src/mdp/worse.cc",
+            "#include <cstdlib>\nint f() { return std::rand(); }\n",
+        )
+        r = self.lint("--baseline", base)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("src/mdp/worse.cc", r.stdout)
+        self.assertNotIn("src/mdp/bad.cc:4", r.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

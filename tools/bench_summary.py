@@ -75,6 +75,40 @@ ACQUIRE_PHASES = ("trace_cache_load", "trace_generate")
 # does not gate on them (their ratios are still recorded).
 MICRO_COMPARE_FLOOR_SECONDS = 1e-3
 
+# The lint suppression marker, composed so mdp_lint's own scanner
+# never mistakes this file for a suppression site.
+SUPPRESSION_MARKER = "mdp-lint" + ": allow("
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def count_suppressions(root):
+    """Count lint-suppression markers across the C++ tree: the repo's
+    accepted debt.  Mirrors mdp_lint's file discovery (src/, bench/,
+    tools/, tests/, examples/) minus the fixture corpus, which exists
+    to contain violations."""
+    root = Path(root)
+    total = 0
+    for sub in ("src", "bench", "tools", "tests", "examples"):
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".cc", ".hh"):
+                continue
+            rel = path.relative_to(root).as_posix()
+            if rel.startswith("tests/lint_fixtures/"):
+                continue
+            if any(part in ("build", "build-asan", "build-tsan")
+                   for part in path.parts):
+                continue
+            try:
+                text = path.read_text(errors="replace")
+            except OSError:
+                continue
+            total += text.count(SUPPRESSION_MARKER)
+    return total
+
 
 def validate_report(path, doc):
     """Reject a structurally broken bench report loudly."""
@@ -415,6 +449,8 @@ def trend_entries(paths):
             .get("zoo_policies")
         if zoo:
             entry["zoo"] = zoo_headline(zoo)
+        if isinstance(doc.get("lint_suppressions"), int):
+            entry["lint_suppressions"] = doc["lint_suppressions"]
         entries.append(entry)
     return entries
 
@@ -441,11 +477,13 @@ def print_trend(entries):
     has_skip = any("cycle_totals" in e for e in entries)
     has_serve = any("serve_batch" in e for e in entries)
     has_zoo = any("zoo" in e for e in entries)
+    has_debt = any("lint_suppressions" in e for e in entries)
     header = ["summary"] + labels + \
         (["req/s", "passes/configs", "amortization"]
          if has_serve else []) + \
         (["zoo best", "zoo best descendant"] if has_zoo else []) + \
-        (["skip_rate"] if has_skip else [])
+        (["skip_rate"] if has_skip else []) + \
+        (["lint allows"] if has_debt else [])
     rows = [header]
     for e in entries:
         row = [Path(e["summary"]).name]
@@ -474,6 +512,9 @@ def print_trend(entries):
             totals = e.get("cycle_totals")
             row.append("-" if totals is None
                        else f"{100.0 * totals['skip_rate']:.1f}%")
+        if has_debt:
+            debt = e.get("lint_suppressions")
+            row.append("-" if debt is None else str(debt))
         rows.append(row)
     widths = [max(len(row[i]) for row in rows)
               for i in range(len(header))]
@@ -587,6 +628,11 @@ def main():
     cycles = cycle_totals(summary)
     if cycles:
         summary["cycle_totals"] = cycles
+
+    # Stamp the tree's current suppression debt so --trend can chart
+    # it longitudinally alongside wall-clock.
+    if (REPO_ROOT / "src").is_dir():
+        summary["lint_suppressions"] = count_suppressions(REPO_ROOT)
 
     Path(args.out).write_text(json.dumps(summary, indent=2) + "\n")
 

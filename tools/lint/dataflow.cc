@@ -1,0 +1,467 @@
+#include "lint/dataflow.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace mdp::lint
+{
+
+namespace
+{
+
+/** Locals of these types are report/decision state: writing a
+ *  nondet value into one is a sink even though the object is local. */
+const char *const kSinkTypes[] = {
+    "LoadDecision", "SyncStats", "SimStats", "CycleStats",
+};
+
+/** Integer types whose reinterpret_cast target makes pointer
+ *  identity observable. */
+const char *const kIntTargets[] = {
+    "intptr_t", "uintptr_t", "size_t",   "ptrdiff_t",
+    "uint64_t", "int64_t",   "uint32_t", "int32_t",
+    "long",     "int",       "unsigned", "short",
+};
+
+bool
+isAssignOp(const Token &t)
+{
+    if (t.kind != Tok::Punct)
+        return false;
+    const std::string &s = t.spelling;
+    return s == "=" || s == "+=" || s == "-=" || s == "*=" ||
+           s == "/=" || s == "%=" || s == "&=" || s == "|=" ||
+           s == "^=" || s == "<<=";
+}
+
+/** Statement keywords that can never start a declaration. */
+bool
+isStmtKeyword(const std::string &s)
+{
+    return s == "return" || s == "break" || s == "continue" ||
+           s == "goto" || s == "delete" || s == "using" ||
+           s == "case" || s == "typedef" || s == "if" ||
+           s == "else" || s == "for" || s == "while" ||
+           s == "do" || s == "switch" || s == "throw" ||
+           s == "static_assert" || s == "co_return";
+}
+
+/** A flat run of tokens between statement boundaries. */
+struct Stmt {
+    size_t begin = 0, end = 0;  ///< [begin, end) indexes into code
+};
+
+struct Analysis {
+    const std::vector<Token> &code;
+    const std::set<std::string> &unordered_vars;
+    std::set<std::string> locals;
+    std::set<std::string> sink_locals;
+    std::map<std::string, std::string> tainted;  ///< var -> source
+    std::vector<TaintDiag> diags;
+
+    /**
+     * If the run [b, e) mentions a nondet source or a tainted
+     * variable, describe the source; empty string otherwise.
+     */
+    std::string
+    taintOf(size_t b, size_t e) const
+    {
+        for (size_t i = b; i < e; ++i) {
+            const Token &t = code[i];
+            if (t.kind != Tok::Ident)
+                continue;
+            // Member names don't carry their own taint: x.count is
+            // judged by x.
+            if (i > b && (isPunct(code[i - 1], ".") ||
+                          isPunct(code[i - 1], "->") ||
+                          isPunct(code[i - 1], "::")))
+                continue;
+            auto it = tainted.find(t.spelling);
+            if (it != tainted.end())
+                return it->second;
+        }
+        for (const std::string &src : nondetSourceTokens()) {
+            // Search from the unqualified tail so both "std::rand"
+            // and plain "rand()" spellings of the source match.
+            size_t tail = src.rfind("::");
+            std::string name =
+                tail == std::string::npos ? src : src.substr(tail + 2);
+            for (size_t i = b; i < e; ++i) {
+                if (!isIdent(code[i], name.c_str()))
+                    continue;
+                return src;
+            }
+        }
+        for (size_t i = b; i + 2 < e; ++i) {
+            if (!isIdent(code[i], "reinterpret_cast") ||
+                !isPunct(code[i + 1], "<"))
+                continue;
+            size_t close = matchAngleTokens(code, i + 1);
+            if (close == SIZE_MAX || close > e)
+                close = e;
+            for (size_t k = i + 2; k < close; ++k)
+                for (const char *ty : kIntTargets)
+                    if (isIdent(code[k], ty))
+                        return "reinterpret_cast of a pointer to " +
+                               code[k].spelling;
+        }
+        return "";
+    }
+
+    /** Index of the first top-level assignment operator in [b, e),
+     *  or SIZE_MAX. */
+    size_t
+    topLevelAssign(size_t b, size_t e) const
+    {
+        int depth = 0;
+        for (size_t i = b; i < e; ++i) {
+            const Token &t = code[i];
+            if (t.kind != Tok::Punct)
+                continue;
+            const std::string &s = t.spelling;
+            if (s == "(" || s == "[" || s == "{")
+                ++depth;
+            else if (s == ")" || s == "]" || s == "}")
+                --depth;
+            else if (depth == 0 && isAssignOp(t))
+                return i;
+        }
+        return SIZE_MAX;
+    }
+
+    bool
+    lhsHasMemberAccess(size_t b, size_t e) const
+    {
+        int depth = 0;
+        for (size_t i = b; i < e; ++i) {
+            const Token &t = code[i];
+            if (t.kind != Tok::Punct)
+                continue;
+            const std::string &s = t.spelling;
+            if (s == "(" || s == "[" || s == "{")
+                ++depth;
+            else if (s == ")" || s == "]" || s == "}")
+                --depth;
+            else if (depth == 0 && (s == "." || s == "->"))
+                return true;
+        }
+        return false;
+    }
+
+    std::string
+    spellRun(size_t b, size_t e) const
+    {
+        std::string out;
+        for (size_t i = b; i < e; ++i)
+            out += code[i].spelling;
+        return out;
+    }
+
+    bool
+    declaresSinkType(size_t b, size_t e) const
+    {
+        for (size_t i = b; i < e; ++i)
+            for (const char *ty : kSinkTypes)
+                if (isIdent(code[i], ty))
+                    return true;
+        return false;
+    }
+
+    /** One fixpoint sweep over the statements; true when any new
+     *  taint was learned. */
+    bool
+    sweep(const std::vector<Stmt> &stmts, bool emit)
+    {
+        bool changed = false;
+        for (const Stmt &st : stmts) {
+            if (st.begin >= st.end)
+                continue;
+            const Token &first = code[st.begin];
+
+            // Range-for over an unordered container taints the loop
+            // variable with iteration order.
+            if (isIdent(first, "for")) {
+                size_t colon = SIZE_MAX;
+                for (size_t i = st.begin; i < st.end; ++i)
+                    if (isPunct(code[i], ":")) {
+                        colon = i;
+                        break;
+                    }
+                if (colon != SIZE_MAX && colon > st.begin &&
+                    code[colon - 1].kind == Tok::Ident) {
+                    const std::string &var = code[colon - 1].spelling;
+                    locals.insert(var);
+                    bool over_unordered = false;
+                    for (size_t i = colon + 1; i < st.end; ++i)
+                        if (code[i].kind == Tok::Ident &&
+                            unordered_vars.count(code[i].spelling))
+                            over_unordered = true;
+                    if (over_unordered && !tainted.count(var)) {
+                        tainted[var] =
+                            "unordered-container iteration order";
+                        changed = true;
+                    }
+                }
+                continue;
+            }
+            if (first.kind == Tok::Ident &&
+                isStmtKeyword(first.spelling))
+                continue;
+
+            size_t eq = topLevelAssign(st.begin, st.end);
+            if (eq == SIZE_MAX) {
+                // Declaration without initializer, or ctor-style
+                // `Type name(args)` / `Type name{args}`.
+                size_t grp = SIZE_MAX;
+                for (size_t i = st.begin; i < st.end; ++i)
+                    if (isPunct(code[i], "(") ||
+                        isPunct(code[i], "{")) {
+                        grp = i;
+                        break;
+                    }
+                size_t name_end = grp == SIZE_MAX ? st.end : grp;
+                if (name_end - st.begin < 2 ||
+                    code[name_end - 1].kind != Tok::Ident ||
+                    lhsHasMemberAccess(st.begin, name_end))
+                    continue;
+                const Token &before = code[name_end - 2];
+                bool decl_shape =
+                    before.kind == Tok::Ident ||
+                    isPunct(before, ">") || isPunct(before, "&") ||
+                    isPunct(before, "*");
+                if (!decl_shape)
+                    continue;
+                const std::string &name =
+                    code[name_end - 1].spelling;
+                locals.insert(name);
+                if (declaresSinkType(st.begin, name_end - 1))
+                    sink_locals.insert(name);
+                if (grp != SIZE_MAX) {
+                    std::string src = taintOf(grp, st.end);
+                    if (!src.empty() && !tainted.count(name)) {
+                        tainted[name] = src;
+                        changed = true;
+                    }
+                }
+                continue;
+            }
+
+            std::string src = taintOf(eq + 1, st.end);
+            if (lhsHasMemberAccess(st.begin, eq)) {
+                // Member assignment: sink when the base object is
+                // not a plain local, or is a report-typed local.
+                const std::string &base = first.spelling;
+                bool is_sink =
+                    first.kind != Tok::Ident ||
+                    !locals.count(base) || sink_locals.count(base);
+                if (is_sink && !src.empty() && emit) {
+                    diags.push_back(
+                        {code[eq].line,
+                         "nondet value (" + src +
+                             ") reaches model/report state '" +
+                             spellRun(st.begin, eq) + "'"});
+                }
+                continue;
+            }
+
+            // Plain `name = expr` (or a declaration with
+            // initializer): taint flows into name.
+            if (code[eq - 1].kind != Tok::Ident)
+                continue;
+            const std::string &name = code[eq - 1].spelling;
+            bool is_decl = eq - st.begin >= 2 &&
+                           (code[eq - 2].kind == Tok::Ident ||
+                            isPunct(code[eq - 2], ">") ||
+                            isPunct(code[eq - 2], "&") ||
+                            isPunct(code[eq - 2], "*"));
+            if (is_decl) {
+                locals.insert(name);
+                if (declaresSinkType(st.begin, eq - 1))
+                    sink_locals.insert(name);
+            }
+            if (sink_locals.count(name) && !src.empty() && emit) {
+                diags.push_back(
+                    {code[eq].line,
+                     "nondet value (" + src +
+                         ") reaches report-typed local '" + name +
+                         "'"});
+            }
+            if (!src.empty() && !tainted.count(name)) {
+                tainted[name] = src;
+                changed = true;
+            }
+        }
+        return changed;
+    }
+
+    void
+    run(size_t open, size_t close)
+    {
+        locals.clear();
+        sink_locals.clear();
+        tainted.clear();
+
+        std::vector<Stmt> stmts;
+        size_t start = open + 1;
+        for (size_t i = open + 1; i < close; ++i) {
+            const Token &t = code[i];
+            bool boundary = t.kind == Tok::Punct &&
+                            (t.spelling == ";" || t.spelling == "{" ||
+                             t.spelling == "}");
+            if (boundary) {
+                if (i > start)
+                    stmts.push_back({start, i});
+                start = i + 1;
+            }
+        }
+        if (close > start)
+            stmts.push_back({start, close});
+
+        // Propagate to a fixpoint (loops can carry taint backward),
+        // then one final emitting sweep.
+        for (int iter = 0; iter < 8 && sweep(stmts, false); ++iter) {}
+        sweep(stmts, true);
+    }
+};
+
+} // namespace
+
+const std::vector<std::string> &
+nondetSourceTokens()
+{
+    static const std::vector<std::string> kSources = {
+        "std::rand",
+        "srand",
+        "random_device",
+        "mt19937",
+        "mt19937_64",
+        "minstd_rand",
+        "default_random_engine",
+        "ranlux24",
+        "ranlux48",
+        "system_clock",
+        "steady_clock",
+        "high_resolution_clock",
+        "gettimeofday",
+        "clock_gettime",
+        "timespec_get",
+        "getpid",
+        "this_thread::get_id",
+    };
+    return kSources;
+}
+
+std::vector<FunctionDef>
+functionDefs(const std::vector<Token> &code)
+{
+    std::vector<FunctionDef> out;
+    for (size_t i = 0; i < code.size(); ++i) {
+        if (!isPunct(code[i], "("))
+            continue;
+        if (i == 0 || code[i - 1].kind != Tok::Ident)
+            continue;
+        const std::string &name = code[i - 1].spelling;
+        if (name == "if" || name == "for" || name == "while" ||
+            name == "switch" || name == "catch" || name == "return" ||
+            name == "sizeof" || name == "alignof" ||
+            name == "decltype" || name == "assert" || name == "new")
+            continue;
+        size_t close = matchGroup(code, i);
+        if (close == SIZE_MAX)
+            continue;
+
+        // Skip trailing qualifiers / trailing return type / ctor
+        // init list up to the body's '{'.
+        size_t j = close + 1;
+        bool in_init_list = false;
+        while (j < code.size()) {
+            const Token &t = code[j];
+            if (t.kind == Tok::Ident) {
+                if (!in_init_list &&
+                    !(t.spelling == "const" ||
+                      t.spelling == "noexcept" ||
+                      t.spelling == "override" ||
+                      t.spelling == "final" ||
+                      t.spelling == "mutable" ||
+                      t.spelling == "try"))
+                    break;
+                ++j;
+            } else if (isPunct(t, "->") || isPunct(t, "::") ||
+                       isPunct(t, "<") || isPunct(t, ">") ||
+                       isPunct(t, "&") || isPunct(t, "*") ||
+                       isPunct(t, ",")) {
+                ++j;
+            } else if (isPunct(t, ":")) {
+                in_init_list = true;
+                ++j;
+            } else if (isPunct(t, "(")) {
+                size_t g = matchGroup(code, j);
+                if (g == SIZE_MAX || !in_init_list)
+                    break;
+                j = g + 1;
+            } else if (isPunct(t, "{")) {
+                // In an init list a brace directly after a name is a
+                // member brace-init, not the body.
+                if (in_init_list && j > 0 &&
+                    (code[j - 1].kind == Tok::Ident ||
+                     isPunct(code[j - 1], ">"))) {
+                    size_t g = matchGroup(code, j);
+                    if (g == SIZE_MAX)
+                        break;
+                    j = g + 1;
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        if (j >= code.size() || !isPunct(code[j], "{"))
+            continue;
+        size_t body_close = matchGroup(code, j);
+        if (body_close == SIZE_MAX)
+            continue;
+        out.push_back({i, close, j, body_close});
+        i = j;  // resume inside, in case of nested classes; nested
+                // ranges are dropped below.
+    }
+
+    // Drop definitions nested inside an earlier body so each
+    // statement is analyzed exactly once.
+    std::vector<FunctionDef> top;
+    for (const auto &r : out) {
+        if (!top.empty() && r.body_open < top.back().body_close)
+            continue;
+        top.push_back(r);
+    }
+    return top;
+}
+
+std::vector<TaintDiag>
+checkNondetTaint(const std::vector<Token> &code,
+                 const std::set<std::string> &unordered_vars)
+{
+    Analysis an{code, unordered_vars, {}, {}, {}, {}};
+    for (const FunctionDef &fd : functionDefs(code))
+        an.run(fd.body_open, fd.body_close);
+
+    // Dedupe (fixpoint emit can touch a line once per sweep) and
+    // order by line.
+    std::sort(an.diags.begin(), an.diags.end(),
+              [](const TaintDiag &a, const TaintDiag &b) {
+                  return std::tie(a.line, a.msg) <
+                         std::tie(b.line, b.msg);
+              });
+    an.diags.erase(std::unique(an.diags.begin(), an.diags.end(),
+                               [](const TaintDiag &a,
+                                  const TaintDiag &b) {
+                                   return a.line == b.line &&
+                                          a.msg == b.msg;
+                               }),
+                   an.diags.end());
+    return an.diags;
+}
+
+} // namespace mdp::lint

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Intra-procedural determinism-taint analysis for mdp_lint.
+ *
+ * The `nondet-source` rule bans nondeterminism at the call site; this
+ * pass catches what that misses when the value launders through a
+ * variable first:
+ *
+ *     auto seed = std::chrono::steady_clock::now()...;  // source
+ *     stats_.sync_cycles = seed;                        // sink: fires
+ *
+ * Sources taint locals; taint propagates through assignments to a
+ * fixpoint; a diagnostic fires when a tainted value reaches a sink.
+ *
+ *  - Sources: the nondet token list (wall clocks, random engines,
+ *    pids, ...), `reinterpret_cast` to an integer type (pointer
+ *    identity), and the loop variable of a range-for over a variable
+ *    known to be an unordered container (iteration order).
+ *  - Sinks: assignment through a member access whose base is not a
+ *    local declared in the function body (model/report state), and
+ *    any write into a local of a report type (LoadDecision,
+ *    SyncStats, SimStats, CycleStats).
+ *  - Returns are NOT sinks: returning a value keeps the decision at
+ *    the caller, which is where the write — and the diagnostic —
+ *    lands.
+ *
+ * The analysis is flow-insensitive within a function (statements are
+ * iterated to a fixpoint) and deliberately intra-procedural: calls
+ * neither generate nor launder taint.  lint_core scopes the pass to
+ * the model directories; harness/ and bench/ are report-only timing
+ * by design and are excluded there.
+ */
+
+#ifndef MDP_TOOLS_LINT_DATAFLOW_HH
+#define MDP_TOOLS_LINT_DATAFLOW_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hh"
+
+namespace mdp::lint
+{
+
+/** Identifier sequences whose appearance is a nondeterminism source
+ *  ("std::rand" form; shared with the nondet-source rule). */
+const std::vector<std::string> &nondetSourceTokens();
+
+struct TaintDiag {
+    int line = 0;
+    std::string msg;
+};
+
+/**
+ * Run the taint pass over one file's comment-free token stream.
+ * @p unordered_vars names variables declared (anywhere in the file's
+ * directory) with an unordered container type; iterating one of them
+ * taints the loop variable.
+ */
+std::vector<TaintDiag> checkNondetTaint(
+    const std::vector<Token> &code,
+    const std::set<std::string> &unordered_vars);
+
+/**
+ * One function definition located in a token stream: the parameter
+ * list parens and the body braces (all four are token indexes into
+ * the stream scanned).  A body qualifies when a matched `(...)`
+ * preceded by an identifier (not if/for/while/switch/catch) is
+ * followed — across cv/noexcept/override, a trailing return type, or
+ * a constructor init list — by a matched `{...}`.
+ */
+struct FunctionDef {
+    size_t params_open = 0, params_close = 0;
+    size_t body_open = 0, body_close = 0;
+};
+
+/** Every function definition in @p code, outermost only (a lambda or
+ *  local class inside a body is analyzed as part of that body).
+ *  Shared by the taint and purity passes. */
+std::vector<FunctionDef> functionDefs(const std::vector<Token> &code);
+
+} // namespace mdp::lint
+
+#endif // MDP_TOOLS_LINT_DATAFLOW_HH

@@ -1,0 +1,276 @@
+#include "lint/include_graph.hh"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace mdp::lint
+{
+
+namespace
+{
+
+/** "src/mdp/foo.hh" -> "mdp"; "" when not directly under src/. */
+std::string
+srcDirOf(const std::string &repo_path)
+{
+    const std::string prefix = "src/";
+    if (repo_path.compare(0, prefix.size(), prefix) != 0)
+        return "";
+    size_t slash = repo_path.find('/', prefix.size());
+    if (slash == std::string::npos)
+        return "";
+    return repo_path.substr(prefix.size(), slash - prefix.size());
+}
+
+std::string
+dirName(const std::string &path)
+{
+    size_t slash = path.rfind('/');
+    return slash == std::string::npos ? std::string()
+                                      : path.substr(0, slash);
+}
+
+/** Collapse "a/./b" and "a/x/../b" so joined candidates compare
+ *  equal to the batch's repo-relative keys. */
+std::string
+normalize(const std::string &path)
+{
+    std::vector<std::string> parts;
+    std::stringstream ss(path);
+    std::string part;
+    while (std::getline(ss, part, '/')) {
+        if (part.empty() || part == ".")
+            continue;
+        if (part == ".." && !parts.empty() && parts.back() != "..")
+            parts.pop_back();
+        else
+            parts.push_back(part);
+    }
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += '/';
+        out += parts[i];
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<IncludeEdge>
+collectIncludes(const std::vector<Token> &tokens)
+{
+    std::vector<IncludeEdge> out;
+    for (const Token &t : tokens) {
+        if (t.kind != Tok::IncludePath || t.spelling.size() < 2)
+            continue;
+        IncludeEdge e;
+        e.angled = t.spelling.front() == '<';
+        e.line = t.line;
+        // Strip the delimiters; an unterminated operand keeps its
+        // text as-is minus the opener.
+        char close = e.angled ? '>' : '"';
+        size_t end = t.spelling.back() == close ? t.spelling.size() - 1
+                                                : t.spelling.size();
+        e.path = t.spelling.substr(1, end - 1);
+        out.push_back(std::move(e));
+    }
+    return out;
+}
+
+LayerSpec
+LayerSpec::parse(const std::string &text)
+{
+    LayerSpec spec;
+    std::stringstream ss(text);
+    std::string line;
+    while (std::getline(ss, line)) {
+        std::stringstream ls(line);
+        int rank;
+        std::string dir;
+        if (ls >> rank >> dir)
+            spec.rank_of_dir[dir] = rank;
+    }
+    return spec;
+}
+
+int
+LayerSpec::rankOf(const std::string &repo_path) const
+{
+    std::string dir = srcDirOf(repo_path);
+    auto it = rank_of_dir.find(dir);
+    return it == rank_of_dir.end() ? -1 : it->second;
+}
+
+const LayerSpec &
+defaultLayers()
+{
+    static const LayerSpec spec = LayerSpec::parse(
+        "0 base\n"
+        "1 trace\n"
+        "2 workloads\n"
+        "3 mdp\n"
+        "3 window\n"
+        "4 ooo\n"
+        "4 multiscalar\n"
+        "5 harness\n"
+        "5 serve\n");
+    return spec;
+}
+
+std::vector<GraphDiag>
+checkIncludeGraph(
+    const std::map<std::string, std::vector<IncludeEdge>> &includes_of,
+    const LayerSpec &layers)
+{
+    std::vector<GraphDiag> diags;
+
+    // Resolve quoted edges to batch members.  The build's include
+    // roots are src/, bench/ and tools/; the preprocessor also tries
+    // the including file's own directory first.
+    struct Edge {
+        std::string target;
+        int line;
+    };
+    std::map<std::string, std::vector<Edge>> graph;
+    for (const auto &[file, edges] : includes_of) {
+        auto &out = graph[file];  // ensure every file is a node
+        for (const IncludeEdge &e : edges) {
+            if (e.angled)
+                continue;
+            std::string resolved;
+            const std::string candidates[] = {
+                normalize(dirName(file) + "/" + e.path),
+                normalize("src/" + e.path),
+                normalize("bench/" + e.path),
+                normalize("tools/" + e.path),
+                normalize(e.path),
+            };
+            for (const std::string &c : candidates) {
+                if (includes_of.count(c)) {
+                    resolved = c;
+                    break;
+                }
+            }
+            if (!resolved.empty())
+                out.push_back({resolved, e.line});
+
+            // Layering: the included file must not outrank the
+            // includer.  When the edge leaves the analyzed batch,
+            // fall back to the textual src-relative convention
+            // (#include "workloads/x.hh" means src/workloads/x.hh),
+            // so the rule holds even on partial batches.
+            std::string target =
+                resolved.empty() ? normalize("src/" + e.path)
+                                 : resolved;
+            int my_rank = layers.rankOf(file);
+            int their_rank = layers.rankOf(target);
+            if (my_rank < 0 || their_rank < 0)
+                continue;
+            std::string my_dir = srcDirOf(file);
+            std::string their_dir = srcDirOf(target);
+            if (their_dir == my_dir)
+                continue;
+            if (their_rank > my_rank) {
+                diags.push_back(
+                    {file, e.line, "layering",
+                     "upward include: src/" + my_dir + " (layer " +
+                         std::to_string(my_rank) + ") must not " +
+                         "include " + target + " (layer " +
+                         std::to_string(their_rank) + ")"});
+            }
+        }
+    }
+
+    // Cycle detection: Tarjan's SCC over the resolved graph.  Any
+    // SCC with more than one node — or a self-edge — is a cycle,
+    // reported once at its lexicographically smallest member.
+    struct Tarjan {
+        const std::map<std::string, std::vector<Edge>> &g;
+        std::map<std::string, int> index, low;
+        std::set<std::string> on_stack;
+        std::vector<std::string> stack;
+        int counter = 0;
+        std::vector<std::vector<std::string>> sccs;
+
+        void
+        visit(const std::string &v)
+        {
+            index[v] = low[v] = counter++;
+            stack.push_back(v);
+            on_stack.insert(v);
+            auto it = g.find(v);
+            if (it != g.end()) {
+                for (const Edge &e : it->second) {
+                    if (!index.count(e.target)) {
+                        visit(e.target);
+                        low[v] = std::min(low[v], low[e.target]);
+                    } else if (on_stack.count(e.target)) {
+                        low[v] = std::min(low[v], index[e.target]);
+                    }
+                }
+            }
+            if (low[v] == index[v]) {
+                std::vector<std::string> scc;
+                for (;;) {
+                    std::string w = stack.back();
+                    stack.pop_back();
+                    on_stack.erase(w);
+                    scc.push_back(w);
+                    if (w == v)
+                        break;
+                }
+                sccs.push_back(std::move(scc));
+            }
+        }
+    };
+    Tarjan tarjan{graph, {}, {}, {}, {}, 0, {}};
+    for (const auto &[file, edges] : graph)
+        if (!tarjan.index.count(file))
+            tarjan.visit(file);
+
+    for (auto &scc : tarjan.sccs) {
+        bool self_loop = false;
+        if (scc.size() == 1) {
+            for (const Edge &e : graph[scc[0]])
+                if (e.target == scc[0])
+                    self_loop = true;
+            if (!self_loop)
+                continue;
+        }
+        std::sort(scc.begin(), scc.end());
+        const std::string &head = scc[0];
+        // Anchor the diagnostic at head's first edge into the SCC.
+        int line = 0;
+        std::string via;
+        std::set<std::string> members(scc.begin(), scc.end());
+        for (const Edge &e : graph[head]) {
+            if (members.count(e.target)) {
+                line = e.line;
+                via = e.target;
+                break;
+            }
+        }
+        std::string msg = "include cycle: ";
+        for (size_t i = 0; i < scc.size(); ++i) {
+            if (i)
+                msg += " <-> ";
+            msg += scc[i];
+        }
+        if (self_loop)
+            msg = "include cycle: " + head + " includes itself";
+        diags.push_back({head, line, "include-cycle", msg});
+    }
+
+    std::sort(diags.begin(), diags.end(),
+              [](const GraphDiag &a, const GraphDiag &b) {
+                  return std::tie(a.file, a.line, a.rule, a.msg) <
+                         std::tie(b.file, b.line, b.rule, b.msg);
+              });
+    return diags;
+}
+
+} // namespace mdp::lint

@@ -1,0 +1,546 @@
+#include "lint/lexer.hh"
+
+#include <algorithm>
+#include <cctype>
+
+namespace mdp::lint
+{
+
+namespace
+{
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Cursor over the raw text that makes line continuations transparent:
+ * peek()/get() never show a backslash-newline pair (unless splicing
+ * is disabled, as inside raw strings), and get() keeps the 1-based
+ * line count in step with every byte actually consumed.
+ */
+struct Cursor {
+    const std::string &text;
+    size_t pos = 0;
+    int line = 1;
+    bool splice = true;
+
+    explicit Cursor(const std::string &t) : text(t) {}
+
+    /** Length of the line continuation at @p at (0 if none). */
+    size_t
+    spliceLen(size_t at) const
+    {
+        if (!splice || at >= text.size() || text[at] != '\\')
+            return 0;
+        size_t i = at + 1;
+        if (i < text.size() && text[i] == '\r')
+            ++i;
+        if (i < text.size() && text[i] == '\n')
+            return i + 1 - at;
+        return 0;
+    }
+
+    bool
+    eof() const
+    {
+        size_t p = pos;
+        size_t n;
+        while ((n = spliceLen(p)) != 0)
+            p += n;
+        return p >= text.size();
+    }
+
+    /** The k-th upcoming significant character ('\0' past the end). */
+    char
+    peek(size_t k = 0) const
+    {
+        size_t p = pos;
+        for (;;) {
+            size_t n;
+            while ((n = spliceLen(p)) != 0)
+                p += n;
+            if (p >= text.size())
+                return '\0';
+            if (k == 0)
+                return text[p];
+            --k;
+            ++p;
+        }
+    }
+
+    /** Consume and return one significant character. */
+    char
+    get()
+    {
+        size_t n;
+        while ((n = spliceLen(pos)) != 0)
+            advanceRaw(n);
+        if (pos >= text.size())
+            return '\0';
+        char c = text[pos];
+        advanceRaw(1);
+        return c;
+    }
+
+    /** Consume @p n raw bytes (no splice handling), counting lines. */
+    void
+    advanceRaw(size_t n)
+    {
+        for (size_t i = 0; i < n && pos < text.size(); ++i, ++pos)
+            if (text[pos] == '\n')
+                ++line;
+    }
+};
+
+/** Longest-match punctuator table ('>' deliberately absent from the
+ *  multi-char entries; see lexer.hh). */
+const char *const kPuncts3[] = {"<<=", "...", "->*"};
+const char *const kPuncts2[] = {
+    "::", "->", "<<", "<=", ">=", "==", "!=", "&&", "||", "++",
+    "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "##",
+    ".*",
+};
+
+struct Lexer {
+    Cursor cur;
+    std::vector<Token> out;
+    bool in_directive = false;
+    bool directive_is_include = false;
+    bool at_line_start = true;  ///< only whitespace since last newline
+
+    explicit Lexer(const std::string &t) : cur(t) {}
+
+    void
+    beginToken(Token &t, Tok kind)
+    {
+        t.kind = kind;
+        t.begin = cur.pos;
+        t.line = cur.line;
+        t.pp = in_directive;
+    }
+
+    void
+    endToken(Token &t)
+    {
+        t.end = cur.pos;
+        t.spelling.clear();
+        // Spelling = raw bytes minus line continuations.
+        for (size_t i = t.begin; i < t.end;) {
+            size_t n = cur.spliceLen(i);
+            // spliceLen consults cur.splice, which is back to true by
+            // the time any token ends; raw strings build their
+            // spelling from raw bytes below instead.
+            if (n != 0 && t.kind != Tok::Str) {
+                i += n;
+                continue;
+            }
+            t.spelling.push_back(cur.text[i]);
+            ++i;
+        }
+        out.push_back(std::move(t));
+    }
+
+    void
+    run()
+    {
+        while (!cur.eof())
+            next();
+    }
+
+    void
+    next()
+    {
+        char c = cur.peek();
+
+        if (c == '\n') {
+            cur.get();
+            in_directive = false;
+            directive_is_include = false;
+            at_line_start = true;
+            return;
+        }
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\v' ||
+            c == '\f') {
+            cur.get();
+            return;
+        }
+
+        if (c == '/' && cur.peek(1) == '/') {
+            lexLineComment();
+            return;
+        }
+        if (c == '/' && cur.peek(1) == '*') {
+            lexBlockComment();
+            return;
+        }
+
+        if (c == '#' && at_line_start) {
+            Token t;
+            beginToken(t, Tok::Punct);
+            cur.get();
+            if (cur.peek() == '#')
+                cur.get();
+            endToken(t);
+            in_directive = true;
+            // Re-mark: the '#' itself belongs to the directive.
+            out.back().pp = true;
+            at_line_start = false;
+            return;
+        }
+
+        at_line_start = false;
+
+        if (in_directive && directive_is_include &&
+            (c == '<' || c == '"')) {
+            lexIncludePath(c);
+            return;
+        }
+
+        // String/char literals, with optional encoding prefix and the
+        // raw-string R variants.
+        if (c == '"' || c == '\'') {
+            lexQuoted(c == '"' ? Tok::Str : Tok::Char, 0);
+            return;
+        }
+        if (identStart(c)) {
+            size_t plen = literalPrefixLen();
+            if (plen > 0) {
+                char q = cur.peek(plen);
+                if (q == '"' || q == '\'') {
+                    bool raw = cur.peek(plen - 1) == 'R';
+                    if (raw && q == '"')
+                        lexRawString(plen);
+                    else
+                        lexQuoted(q == '"' ? Tok::Str : Tok::Char,
+                                  plen);
+                    return;
+                }
+            }
+            lexIdent();
+            return;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' &&
+             std::isdigit(static_cast<unsigned char>(cur.peek(1))))) {
+            lexNumber();
+            return;
+        }
+        lexPunct();
+    }
+
+    /** Length of a string/char encoding prefix (u8, u, U, L, with an
+     *  optional trailing R) at the cursor, 0 when absent. */
+    size_t
+    literalPrefixLen()
+    {
+        char c0 = cur.peek();
+        size_t n = 0;
+        if (c0 == 'u') {
+            n = cur.peek(1) == '8' ? 2 : 1;
+        } else if (c0 == 'U' || c0 == 'L') {
+            n = 1;
+        } else if (c0 == 'R') {
+            return cur.peek(1) == '"' ? 1 : 0;
+        } else {
+            return 0;
+        }
+        if (cur.peek(n) == 'R' && cur.peek(n + 1) == '"')
+            return n + 1;
+        char q = cur.peek(n);
+        return (q == '"' || q == '\'') ? n : 0;
+    }
+
+    void
+    lexLineComment()
+    {
+        Token t;
+        beginToken(t, Tok::Comment);
+        // A spliced newline continues the comment (standard
+        // translation-phase-2 behavior), which Cursor handles.
+        while (!cur.eof() && cur.peek() != '\n')
+            cur.get();
+        endToken(t);
+    }
+
+    void
+    lexBlockComment()
+    {
+        Token t;
+        beginToken(t, Tok::Comment);
+        cur.get();
+        cur.get();
+        // C++ block comments do not nest: the first */ closes, no
+        // matter how many /* appeared inside.
+        while (!cur.eof()) {
+            char c = cur.get();
+            if (c == '*' && cur.peek() == '/') {
+                cur.get();
+                break;
+            }
+        }
+        endToken(t);
+    }
+
+    void
+    lexIdent()
+    {
+        Token t;
+        beginToken(t, Tok::Ident);
+        while (identChar(cur.peek()))
+            cur.get();
+        endToken(t);
+        if (in_directive && out.size() >= 2) {
+            const Token &prev = out[out.size() - 2];
+            if (prev.pp && prev.kind == Tok::Punct &&
+                prev.spelling == "#" &&
+                (out.back().spelling == "include" ||
+                 out.back().spelling == "include_next"))
+                directive_is_include = true;
+        }
+    }
+
+    void
+    lexNumber()
+    {
+        Token t;
+        beginToken(t, Tok::Number);
+        cur.get();
+        for (;;) {
+            char c = cur.peek();
+            if (identChar(c) || c == '.') {
+                char got = cur.get();
+                // Exponent signs: 1e+5, 0x1p-3.
+                if ((got == 'e' || got == 'E' || got == 'p' ||
+                     got == 'P') &&
+                    (cur.peek() == '+' || cur.peek() == '-'))
+                    cur.get();
+            } else if (c == '\'' && identChar(cur.peek(1))) {
+                cur.get();  // digit separator
+            } else {
+                break;
+            }
+        }
+        endToken(t);
+    }
+
+    void
+    lexQuoted(Tok kind, size_t prefix_len)
+    {
+        Token t;
+        beginToken(t, kind);
+        for (size_t i = 0; i < prefix_len; ++i)
+            cur.get();
+        char quote = cur.get();
+        while (!cur.eof()) {
+            char c = cur.peek();
+            if (c == '\n')
+                break;  // unterminated literal: stop at the line end
+            cur.get();
+            if (c == '\\' && !cur.eof() && cur.peek() != '\n')
+                cur.get();
+            else if (c == quote)
+                break;
+        }
+        endToken(t);
+    }
+
+    void
+    lexRawString(size_t prefix_len)
+    {
+        Token t;
+        beginToken(t, Tok::Str);
+        for (size_t i = 0; i < prefix_len; ++i)
+            cur.get();
+        cur.get();  // opening quote
+        // Raw strings disable line splicing entirely: a backslash at
+        // end of line is literal content.
+        cur.splice = false;
+        std::string delim;
+        while (!cur.eof()) {
+            char c = cur.peek();
+            if (c == '(' || c == '"' || c == '\\' || c == '\n' ||
+                delim.size() > 16)
+                break;
+            delim.push_back(cur.get());
+        }
+        std::string closer = ")" + delim + "\"";
+        if (!cur.eof() && cur.peek() == '(') {
+            cur.get();
+            size_t matched = 0;
+            while (!cur.eof()) {
+                char c = cur.get();
+                matched = (c == closer[matched])      ? matched + 1
+                          : (c == closer[0])          ? 1
+                                                      : 0;
+                if (matched == closer.size())
+                    break;
+            }
+        }
+        cur.splice = true;
+        t.end = cur.pos;
+        t.spelling.assign(cur.text, t.begin, t.end - t.begin);
+        out.push_back(std::move(t));
+    }
+
+    void
+    lexIncludePath(char open)
+    {
+        Token t;
+        beginToken(t, Tok::IncludePath);
+        char close = open == '<' ? '>' : '"';
+        cur.get();
+        while (!cur.eof() && cur.peek() != '\n') {
+            if (cur.get() == close)
+                break;
+        }
+        endToken(t);
+    }
+
+    void
+    lexPunct()
+    {
+        Token t;
+        beginToken(t, Tok::Punct);
+        auto matches = [&](const char *p) {
+            for (size_t i = 0; p[i]; ++i)
+                if (cur.peek(i) != p[i])
+                    return false;
+            return true;
+        };
+        size_t len = 1;
+        for (const char *p : kPuncts3)
+            if (matches(p)) {
+                len = 3;
+                break;
+            }
+        if (len == 1)
+            for (const char *p : kPuncts2)
+                if (matches(p)) {
+                    len = 2;
+                    break;
+                }
+        for (size_t i = 0; i < len; ++i)
+            cur.get();
+        endToken(t);
+    }
+};
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &text)
+{
+    Lexer lx(text);
+    lx.run();
+    return std::move(lx.out);
+}
+
+std::vector<Token>
+codeTokens(const std::vector<Token> &tokens)
+{
+    std::vector<Token> out;
+    out.reserve(tokens.size());
+    for (const Token &t : tokens)
+        if (t.kind != Tok::Comment)
+            out.push_back(t);
+    return out;
+}
+
+bool
+isIdent(const Token &t, const char *s)
+{
+    return t.kind == Tok::Ident && t.spelling == s;
+}
+
+bool
+isPunct(const Token &t, const char *s)
+{
+    return t.kind == Tok::Punct && t.spelling == s;
+}
+
+size_t
+matchAngleTokens(const std::vector<Token> &toks, size_t open)
+{
+    int depth = 0;
+    for (size_t i = open; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != Tok::Punct)
+            continue;
+        if (t.spelling == "<") {
+            ++depth;
+        } else if (t.spelling == ">") {
+            if (--depth == 0)
+                return i;
+        } else if (t.spelling == ";" || t.spelling == "{") {
+            return SIZE_MAX;  // not a template argument list
+        }
+    }
+    return SIZE_MAX;
+}
+
+size_t
+matchGroup(const std::vector<Token> &toks, size_t open)
+{
+    if (open >= toks.size() || toks[open].kind != Tok::Punct)
+        return SIZE_MAX;
+    const std::string &o = toks[open].spelling;
+    const char *close = o == "(" ? ")" : o == "{" ? "}" : nullptr;
+    if (close == nullptr)
+        return SIZE_MAX;
+    int depth = 0;
+    for (size_t i = open; i < toks.size(); ++i) {
+        if (isPunct(toks[i], o.c_str()))
+            ++depth;
+        else if (isPunct(toks[i], close) && --depth == 0)
+            return i;
+    }
+    return SIZE_MAX;
+}
+
+size_t
+findIdentSeq(const std::vector<Token> &toks, const std::string &seq,
+             size_t from)
+{
+    // Split "a::b::c" into its identifier parts once.
+    std::vector<std::string> parts;
+    size_t pos = 0;
+    for (;;) {
+        size_t sep = seq.find("::", pos);
+        if (sep == std::string::npos) {
+            parts.push_back(seq.substr(pos));
+            break;
+        }
+        parts.push_back(seq.substr(pos, sep - pos));
+        pos = sep + 2;
+    }
+    size_t span = parts.size() * 2 - 1;
+    if (toks.size() < span)
+        return SIZE_MAX;
+    for (size_t i = from; i + span <= toks.size(); ++i) {
+        bool ok = true;
+        for (size_t k = 0; ok && k < parts.size(); ++k) {
+            ok = isIdent(toks[i + 2 * k], parts[k].c_str());
+            if (ok && k + 1 < parts.size())
+                ok = isPunct(toks[i + 2 * k + 1], "::");
+        }
+        if (!ok)
+            continue;
+        // Token-level identifier boundaries are automatic; qualified
+        // spellings still match their tail (a search for
+        // "steady_clock" finds std::chrono::steady_clock, matching
+        // the linter's long-standing behavior).
+        return i;
+    }
+    return SIZE_MAX;
+}
+
+} // namespace mdp::lint

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * A preprocessing-aware C++ lexer for mdp_lint.
+ *
+ * The PR-3 linter scanned a comment/string-blanked copy of each file
+ * with substring searches; this lexer replaces that with a real token
+ * stream so rules match identifiers and punctuators, never prose or
+ * literal contents.  It understands everything the blanking pass did
+ * not: raw string literals (R"delim(...)delim" with any prefix),
+ * line continuations (backslash-newline inside tokens, comments and
+ * directives), digit separators, and preprocessor directives
+ * (tokens inside a directive are marked, and the operand of an
+ * #include is lexed as a single IncludePath token).
+ *
+ * Guarantees the rules and tests rely on:
+ *  - Offsets round-trip: tokens are non-overlapping, strictly
+ *    increasing [begin, end) byte ranges of the original text, and
+ *    every byte outside a token range is whitespace or part of a
+ *    line continuation (backslash-newline, deleted in phase 2).
+ *  - `line` is the 1-based line of the token's first byte.
+ *  - `spelling` is the token text with line continuations removed
+ *    (the spelling of `ab\<newline>c` is `abc`), so identifier
+ *    comparisons are splice-proof.
+ *  - The lexer never fails: malformed input (unterminated literals
+ *    or comments, stray bytes) degrades to reasonable tokens, so the
+ *    linter can be pointed at any file.
+ *
+ * Template-scanning conventions: '>' is always lexed alone (so
+ * `set<set<int>>` closes with two Greater tokens and angle matching
+ * needs no shift-splitting), while '<<' is kept combined (a left
+ * shift never opens a template argument list the rules care about).
+ */
+
+#ifndef MDP_TOOLS_LINT_LEXER_HH
+#define MDP_TOOLS_LINT_LEXER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mdp::lint
+{
+
+enum class Tok : uint8_t
+{
+    Ident,        ///< identifier or keyword
+    Number,       ///< pp-number (integers, floats, separators)
+    Str,          ///< string literal, any prefix, raw or not
+    Char,         ///< character literal
+    Punct,        ///< operator or punctuator
+    Comment,      ///< // or block comment, delimiters included
+    IncludePath,  ///< the "path" or <path> operand of an #include
+};
+
+struct Token {
+    Tok kind = Tok::Punct;
+    size_t begin = 0;      ///< byte offset of first byte
+    size_t end = 0;        ///< one past last byte
+    int line = 0;          ///< 1-based line of `begin`
+    bool pp = false;       ///< inside a preprocessor directive
+    std::string spelling;  ///< text with line continuations removed
+};
+
+/** Lex a whole file.  Never throws; see the header comment. */
+std::vector<Token> lex(const std::string &text);
+
+/** Tokens minus comments: what the rules scan. */
+std::vector<Token> codeTokens(const std::vector<Token> &tokens);
+
+/** Is @p t the identifier @p s ? */
+bool isIdent(const Token &t, const char *s);
+
+/** Is @p t the punctuator @p s ? */
+bool isPunct(const Token &t, const char *s);
+
+/**
+ * Match the '<' at index @p open to its closing '>' at the same
+ * depth, scanning tokens.  Returns the index of the '>' or SIZE_MAX
+ * when unbalanced or interrupted by ';' or '{' (not a template
+ * argument list).
+ */
+size_t matchAngleTokens(const std::vector<Token> &toks, size_t open);
+
+/** Index of the matching close for the paren/brace at @p open
+ *  ("(" or "{"); SIZE_MAX when unbalanced. */
+size_t matchGroup(const std::vector<Token> &toks, size_t open);
+
+/**
+ * Find the token sequence @p seq ("std::rand" splits on "::" into
+ * Ident "std", Punct "::", Ident "rand"; a single name matches one
+ * Ident) starting at token index @p from.  Returns the index of the
+ * first token of the match or SIZE_MAX.  Matches never start inside
+ * comments; callers pass codeTokens() output anyway.
+ */
+size_t findIdentSeq(const std::vector<Token> &toks,
+                    const std::string &seq, size_t from);
+
+} // namespace mdp::lint
+
+#endif // MDP_TOOLS_LINT_LEXER_HH

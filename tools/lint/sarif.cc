@@ -1,0 +1,92 @@
+#include "lint/sarif.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace mdp::lint
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+sarifDocument(const std::vector<SarifRule> &rules,
+              const std::vector<SarifResult> &results)
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-"
+          "tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\","
+          "\n"
+       << "  \"version\": \"2.1.0\",\n"
+       << "  \"runs\": [{\n"
+       << "    \"tool\": {\"driver\": {\n"
+       << "      \"name\": \"mdp_lint\",\n"
+       << "      \"informationUri\": "
+          "\"https://example.invalid/mdp_lint\",\n"
+       << "      \"rules\": [\n";
+    for (size_t i = 0; i < rules.size(); ++i) {
+        os << "        {\"id\": \"" << jsonEscape(rules[i].id)
+           << "\", \"shortDescription\": {\"text\": \""
+           << jsonEscape(rules[i].doc) << "\"}}"
+           << (i + 1 < rules.size() ? "," : "") << "\n";
+    }
+    os << "      ]\n"
+       << "    }},\n"
+       << "    \"results\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const SarifResult &r = results[i];
+        os << "      {\"ruleId\": \"" << jsonEscape(r.rule)
+           << "\", \"level\": \"error\", \"message\": {\"text\": \""
+           << jsonEscape(r.msg)
+           << "\"}, \"locations\": [{\"physicalLocation\": "
+              "{\"artifactLocation\": {\"uri\": \""
+           << jsonEscape(r.file)
+           << "\"}, \"region\": {\"startLine\": "
+           << (r.line > 0 ? r.line : 1) << "}}}]}"
+           << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "    ]\n"
+       << "  }]\n"
+       << "}\n";
+    return os.str();
+}
+
+} // namespace mdp::lint

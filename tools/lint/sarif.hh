@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Minimal SARIF 2.1.0 writer for mdp_lint diagnostics.
+ *
+ * Emits one run with the full rule table (so viewers can show the
+ * per-rule docs) and one result per diagnostic.  Only the subset of
+ * the schema that GitHub code scanning consumes is produced: tool
+ * driver, rules with shortDescription, results with ruleId, level,
+ * message and a single physicalLocation.
+ */
+
+#ifndef MDP_TOOLS_LINT_SARIF_HH
+#define MDP_TOOLS_LINT_SARIF_HH
+
+#include <string>
+#include <vector>
+
+namespace mdp::lint
+{
+
+struct SarifRule {
+    std::string id;
+    std::string doc;  ///< one-line description
+};
+
+struct SarifResult {
+    std::string rule;
+    std::string file;  ///< repo-relative path
+    int line = 0;
+    std::string msg;
+};
+
+/** Serialize a complete SARIF 2.1.0 document. */
+std::string sarifDocument(const std::vector<SarifRule> &rules,
+                          const std::vector<SarifResult> &results);
+
+} // namespace mdp::lint
+
+#endif // MDP_TOOLS_LINT_SARIF_HH

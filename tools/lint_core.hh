@@ -2,52 +2,16 @@
  * @file
  * Core of mdp_lint, the repo-specific determinism and hygiene linter.
  *
- * The linter is deliberately token-level (no full C++ parse): every
- * rule it enforces is a *repo convention* chosen to be mechanically
- * recognizable, so the implementation stays small enough to audit and
- * fast enough to gate CI.  Rules:
- *
- *   nondet-source          Banned nondeterminism sources (std::rand,
- *                          random_device, <random> engines, wall-clock
- *                          reads, getpid, thread ids) in src/ and
- *                          bench/.  All randomness must flow through
- *                          base/random.hh with an explicit seed.
- *   ptr-order              Ordered containers or comparators keyed on
- *                          pointer values (std::map<T *, ...>,
- *                          std::less<T *>) in src/ and bench/:
- *                          pointer order varies run to run.
- *   unordered-iter         Iteration (range-for or .begin()) over a
- *                          std::unordered_{map,set} in the model
- *                          directories src/{mdp,ooo,window,
- *                          multiscalar,trace,workloads}.  Iteration
- *                          order is implementation-defined and leaks
- *                          into state, stats, and reports; use an
- *                          ordered container or a sorted drain
- *                          (base/ordered.hh).
- *   fastforward-order      Iteration over an unordered container
- *                          inside a nextInterestingCycle definition
- *                          in the model directories.  The skip-target
- *                          scan steers which cycles the event-driven
- *                          fast-forward jumps over; hash order there
- *                          changes results across standard libraries.
- *                          Point lookups are fine.
- *   lockstep-blocking      Blocking calls (I/O, locks, sleeps) or
- *                          unordered-container iteration inside a
- *                          stepRound definition under src/serve/.
- *                          stepRound is the lockstep evaluator's
- *                          per-cycle path: one blocking call there
- *                          stalls every lane in the batch, and hash
- *                          order there leaks into lane scheduling.
- *   header-guard           Headers must carry the canonical include
- *                          guard MDP_<PATH>_HH (no #pragma once).
- *   using-namespace-header No `using namespace` in headers.
- *   bench-discipline       Every bench/bench_*.cc (except
- *                          google-benchmark suites) must acquire
- *                          workloads via cachedContext()/
- *                          ExperimentRunner and finish through
- *                          finishBench().
- *   lint-allow             A malformed suppression comment (missing
- *                          rule or justification).
+ * Since PR 8 the linter is a real analysis pipeline, not a line
+ * scanner: every file is lexed into a comment-, string-, raw-string-
+ * and preprocessor-aware token stream (lint/lexer.hh), rules match
+ * identifiers and punctuators, an include-graph pass enforces the
+ * layering spec (lint/include_graph.hh, tools/lint/layers.txt), an
+ * intra-procedural taint pass tracks nondeterminism from source to
+ * sink (lint/dataflow.hh), and a purity pass checks the
+ * DependencePolicy contract (lint/purity.hh).  Rule ids and their
+ * one-line docs live in ruleDocs(); `mdp_lint --list-rules` prints
+ * them.
  *
  * Suppression: `// mdp-lint: allow(<rule>): <justification>` silences
  * <rule> on its own line and the following line.  The justification
@@ -56,6 +20,11 @@
  * Paths under tests/lint_fixtures/ are scoped as if that prefix were
  * absent, so fixtures exercise path-scoped rules (e.g. a fixture at
  * tests/lint_fixtures/src/mdp/x.cc is linted as src/mdp/x.cc).
+ *
+ * lintTree() is the CLI entry point: file-parallel on the harness
+ * ThreadPool with an FNV-content-keyed result cache, so a no-change
+ * full-tree lint does not even re-lex.  lintSources()/lintPaths()
+ * run the same analysis serially with no cache (what the tests use).
  */
 
 #ifndef MDP_TOOLS_LINT_CORE_HH
@@ -81,6 +50,15 @@ struct SourceFile {
     std::string text;
 };
 
+/** A rule id and its one-line documentation. */
+struct RuleDoc {
+    std::string id;
+    std::string doc;
+};
+
+/** Every rule the linter can emit, sorted by id, with docs. */
+std::vector<RuleDoc> ruleDocs();
+
 /** The rule ids the linter can emit (sorted). */
 std::vector<std::string> ruleNames();
 
@@ -89,15 +67,16 @@ std::string expectedGuard(const std::string &rel_path);
 
 /**
  * Blank out comments and string/character literals, preserving the
- * line structure, so token scans cannot match prose or literals.
+ * line structure.  Retained for callers that want a quick masked
+ * view; the rules themselves operate on the token stream.
  */
 std::string codeView(const std::string &text);
 
 /**
- * Lint a set of sources as one unit.  Unordered-container
- * declarations are collected per directory across the whole set, so
- * a member declared in foo.hh is recognized when foo.cc iterates it.
- * Diagnostics come back sorted by (file, line, rule).
+ * Lint a set of sources as one unit.  Cross-file context —
+ * unordered-container declarations per directory, the include graph,
+ * the class hierarchy for policy resolution — is built across the
+ * whole set.  Diagnostics come back sorted by (file, line, rule).
  */
 std::vector<Diag> lintSources(const std::vector<SourceFile> &sources);
 
@@ -112,6 +91,42 @@ std::vector<std::string> discoverFiles(const std::string &root);
 /** Read the given root-relative paths and lint them. */
 std::vector<Diag> lintPaths(const std::string &root,
                             const std::vector<std::string> &rel_paths);
+
+/** Knobs for the parallel, cached tree lint. */
+struct LintOptions {
+    /** Worker threads; 0 means ThreadPool::defaultJobs(). */
+    unsigned jobs = 0;
+    /** On-disk result cache path; empty disables caching. */
+    std::string cache_path;
+};
+
+/**
+ * Lint @p rel_paths under @p root, file-parallel, reusing and
+ * refreshing the result cache at options.cache_path.  Identical
+ * output to lintPaths() on the same inputs.
+ */
+std::vector<Diag> lintTree(const std::string &root,
+                           const std::vector<std::string> &rel_paths,
+                           const LintOptions &options);
+
+/**
+ * Keep only diagnostics selected by --rule/--exclude-rule: when
+ * @p only is non-empty, a diag's rule must be in it; rules in
+ * @p exclude are always dropped.
+ */
+std::vector<Diag> filterRules(const std::vector<Diag> &diags,
+                              const std::vector<std::string> &only,
+                              const std::vector<std::string> &exclude);
+
+/**
+ * Baseline support (--write-baseline / --baseline): a baseline
+ * records how many findings of each (file, rule) pair are accepted;
+ * comparing returns only findings beyond the accepted count, so new
+ * debt fails while the recorded debt does not.
+ */
+std::string writeBaseline(const std::vector<Diag> &diags);
+std::vector<Diag> applyBaseline(const std::vector<Diag> &diags,
+                                const std::string &baseline_text);
 
 } // namespace mdp::lint
 
