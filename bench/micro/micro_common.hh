@@ -60,9 +60,12 @@ class MicroSuite
     /**
      * Time @p fn (a deterministic callable returning a uint64_t
      * checksum) over the configured repetitions.
+     * @return the kernel's checksum, so callers can shape-check that
+     * two implementations of the same computation agree (the AoS/SoA
+     * pairs in micro_model_cycle do).
      */
     template <typename Fn>
-    void
+    uint64_t
     kernel(const std::string &kname, Fn &&fn)
     {
         double best = 0.0;
@@ -96,7 +99,11 @@ class MicroSuite
         table.cell(kname);
         table.integer(reps);
         table.cell(hex);
+        return sum0;
     }
+
+    /** Extra suite-level shape check (e.g. cross-kernel identity). */
+    void check(bool ok, const std::string &what) { sc.check(ok, what); }
 
     /** Print the table + verdicts and return the process exit code. */
     int

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Packed structure-of-arrays storage for per-op timing-model state.
+ *
+ * Both timing models used to keep one `struct OpState { uint64_t
+ * doneCycle; uint16_t flags; }` per dynamic instruction.  The dense
+ * per-cycle loops (completion scan, wakeup match) touch only one of
+ * the two fields at a time, so the AoS layout wastes half of every
+ * cache line and defeats vectorization.  OpLanes stores the same
+ * state as two parallel lanes -- a completion-time lane and a status
+ * bitmask lane -- behind the same accessor vocabulary, and exposes
+ * the raw lane pointers only for handing to the compare-mask kernels
+ * in base/simd_kernels.hh.
+ *
+ * Raw-lane discipline: doneData()/flagsData() exist solely to be
+ * passed to those kernels.  Indexing or pointer arithmetic on them
+ * outside src/base is a lint finding (mdp_lint rule `soa-sync`);
+ * every per-element access goes through the accessors so the layout
+ * stays swappable and the parallel-phase readers are auditable.
+ */
+
+#ifndef MDP_BASE_SOA_LANES_HH
+#define MDP_BASE_SOA_LANES_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mdp
+{
+
+class LanePool;
+
+/**
+ * The per-op state pool: completion-time and status-flag lanes of one
+ * fixed size, zero-initialized.  Move-only (an OpLanes may own
+ * buffers borrowed from a LanePool, returned at destruction).
+ */
+class OpLanes
+{
+  public:
+    OpLanes() = default;
+
+    /** @param n pool size; @param pool optional recycling arena the
+     *  lane buffers are borrowed from and returned to. */
+    explicit OpLanes(size_t n, LanePool *pool = nullptr);
+
+    ~OpLanes();
+
+    OpLanes(const OpLanes &) = delete;
+    OpLanes &operator=(const OpLanes &) = delete;
+
+    OpLanes(OpLanes &&other) noexcept
+        : doneLane(std::move(other.doneLane)),
+          flagsLane(std::move(other.flagsLane)), pool(other.pool)
+    {
+        other.pool = nullptr;
+    }
+
+    OpLanes &
+    operator=(OpLanes &&other) noexcept
+    {
+        if (this != &other) {
+            releaseToPool();
+            doneLane = std::move(other.doneLane);
+            flagsLane = std::move(other.flagsLane);
+            pool = other.pool;
+            other.pool = nullptr;
+        }
+        return *this;
+    }
+
+    size_t size() const { return doneLane.size(); }
+
+    uint64_t done(size_t i) const { return doneLane[i]; }
+    void setDone(size_t i, uint64_t v) { doneLane[i] = v; }
+
+    uint16_t flags(size_t i) const { return flagsLane[i]; }
+    bool test(size_t i, uint16_t mask) const
+    {
+        return (flagsLane[i] & mask) != 0;
+    }
+    void set(size_t i, uint16_t mask) { flagsLane[i] |= mask; }
+    void clear(size_t i, uint16_t mask)
+    {
+        flagsLane[i] &= static_cast<uint16_t>(~mask);
+    }
+
+    /** Back to the freshly-constructed state (doneCycle 0, no flags). */
+    void
+    resetOp(size_t i)
+    {
+        doneLane[i] = 0;
+        flagsLane[i] = 0;
+    }
+
+    /**
+     * Raw lane pointers -- for the base/simd_kernels.hh compare-mask
+     * kernels only (see the file comment for the access discipline).
+     */
+    const uint64_t *doneData() const { return doneLane.data(); }
+    const uint16_t *flagsData() const { return flagsLane.data(); }
+
+    /**
+     * Immutable flags-lane view for fused scan loops.  Going through
+     * the pool accessor re-derives the lane base on every probe,
+     * because the compiler cannot prove loop-body stores leave the
+     * vector header alone; a view pins the base once.  Only valid
+     * until the pool is resized or moved, and reads through it see
+     * in-place flag updates (the lane never reallocates mid-scan).
+     */
+    class FlagsView
+    {
+      public:
+        bool
+        test(size_t i, uint16_t mask) const
+        {
+            return (lane[i] & mask) != 0;
+        }
+
+      private:
+        friend class OpLanes;
+        explicit FlagsView(const uint16_t *p) : lane(p) {}
+        const uint16_t *lane;
+    };
+
+    FlagsView flagsView() const { return FlagsView(flagsLane.data()); }
+
+  private:
+    friend class LanePool;
+
+    void releaseToPool();
+
+    std::vector<uint64_t> doneLane;
+    std::vector<uint16_t> flagsLane;
+    LanePool *pool = nullptr;
+};
+
+/**
+ * Recycling arena for OpLanes buffers.  The lockstep multi-config
+ * evaluator builds one processor per lane over the same trace; every
+ * lane's state pool has the same size, so recycling the backing
+ * vectors across lane construction/teardown keeps the one-pass sweep
+ * allocation-flat.  Not thread-safe: a pool must only be used from
+ * the thread that owns the evaluator, and it must outlive every
+ * OpLanes borrowed from it.
+ */
+class LanePool
+{
+  public:
+    /** Fill @p lanes with zeroed buffers of size @p n, reusing cached
+     *  capacity when available. */
+    void
+    acquire(size_t n, OpLanes &lanes)
+    {
+        if (!doneFree.empty()) {
+            lanes.doneLane = std::move(doneFree.back());
+            doneFree.pop_back();
+        }
+        lanes.doneLane.assign(n, 0);
+        if (!flagsFree.empty()) {
+            lanes.flagsLane = std::move(flagsFree.back());
+            flagsFree.pop_back();
+        }
+        lanes.flagsLane.assign(n, 0);
+        lanes.pool = this;
+    }
+
+    /** Take a lane's buffers back into the free lists. */
+    void
+    recycle(std::vector<uint64_t> &&done, std::vector<uint16_t> &&flags)
+    {
+        doneFree.push_back(std::move(done));
+        flagsFree.push_back(std::move(flags));
+    }
+
+    /** Cached buffer pairs (for tests). */
+    size_t cached() const { return doneFree.size(); }
+
+  private:
+    std::vector<std::vector<uint64_t>> doneFree;
+    std::vector<std::vector<uint16_t>> flagsFree;
+};
+
+inline OpLanes::OpLanes(size_t n, LanePool *lane_pool)
+{
+    if (lane_pool) {
+        lane_pool->acquire(n, *this);
+    } else {
+        doneLane.assign(n, 0);
+        flagsLane.assign(n, 0);
+    }
+}
+
+inline void
+OpLanes::releaseToPool()
+{
+    if (pool) {
+        pool->recycle(std::move(doneLane), std::move(flagsLane));
+        pool = nullptr;
+    }
+}
+
+inline OpLanes::~OpLanes()
+{
+    releaseToPool();
+}
+
+} // namespace mdp
+
+#endif // MDP_BASE_SOA_LANES_HH

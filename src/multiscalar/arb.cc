@@ -2,8 +2,15 @@
 
 #include <algorithm>
 
+#include "base/simd_kernels.hh"
+
 namespace mdp
 {
+
+// The kernels speak raw uint32_t with their own sentinel; the two
+// "none" encodings must coincide for the probes below to be drop-in.
+static_assert(simd::kNone32 == kNoSeq,
+              "ARB probes assume the kernel sentinel equals kNoSeq");
 
 SeqNum
 Arb::loadExecuted(Addr addr, SeqNum load, uint32_t load_task)
@@ -13,13 +20,20 @@ Arb::loadExecuted(Addr addr, SeqNum load, uint32_t load_task)
         version = *cv;
 
     if (const auto *stores = inflightStores.find(addr)) {
-        for (SeqNum ss : *stores) {
-            if (ss < load && (version == kNoSeq || ss > version))
-                version = ss;
-        }
+        // Newest in-flight store older than the load; it supersedes
+        // the committed version when younger.
+        SeqNum newest = simd::maxStoreBelow(stores->data(),
+                                            stores->size(), load);
+        if (newest != kNoSeq && (version == kNoSeq || newest > version))
+            version = newest;
     }
 
-    loads[addr].push_back({load, version, load_task});
+    LoadLanes &lanes = loads[addr];
+    if (lanes.seq.capacity() == 0 && !laneFreelist.empty()) {
+        lanes = std::move(laneFreelist.back());
+        laneFreelist.pop_back();
+    }
+    lanes.push(load, version, load_task);
     ++numTrackedLoads;
     return version;
 }
@@ -27,17 +41,12 @@ Arb::loadExecuted(Addr addr, SeqNum load, uint32_t load_task)
 SeqNum
 Arb::findViolator(Addr addr, SeqNum store, uint32_t store_task) const
 {
-    SeqNum violator = kNoSeq;
-    if (const auto *les = loads.find(addr)) {
-        for (const LoadEntry &le : *les) {
-            if (le.seq > store && le.task > store_task &&
-                (le.version == kNoSeq || le.version < store)) {
-                if (violator == kNoSeq || le.seq < violator)
-                    violator = le.seq;
-            }
-        }
-    }
-    return violator;
+    const auto *les = loads.find(addr);
+    if (!les)
+        return kNoSeq;
+    return simd::earliestViolator(les->seq.data(), les->version.data(),
+                                  les->task.data(), les->size(), store,
+                                  store_task);
 }
 
 SeqNum
@@ -54,10 +63,10 @@ Arb::refreshLoadVersion(Addr addr, SeqNum load, SeqNum version)
     auto *les = loads.find(addr);
     if (!les)
         return;
-    for (LoadEntry &le : *les) {
-        if (le.seq == load &&
-            (le.version == kNoSeq || le.version < version)) {
-            le.version = version;
+    for (size_t i = 0; i < les->size(); ++i) {
+        if (les->seq[i] == load &&
+            (les->version[i] == kNoSeq || les->version[i] < version)) {
+            les->version[i] = version;
         }
     }
 }
@@ -80,11 +89,13 @@ Arb::commitLoad(Addr addr, SeqNum load)
     auto *les = loads.find(addr);
     if (!les)
         return;
-    size_t before = les->size();
-    eraseIf(*les, [load](const LoadEntry &le) { return le.seq == load; });
-    numTrackedLoads -= before - les->size();
-    if (les->empty())
+    size_t removed = 0;
+    les->eraseSeq(load, removed);
+    numTrackedLoads -= removed;
+    if (les->empty()) {
+        laneFreelist.push_back(std::move(*les));
         loads.erase(addr);
+    }
 }
 
 void

@@ -76,21 +76,66 @@ class Arb
     size_t trackedLoads() const { return numTrackedLoads; }
 
   private:
-    struct LoadEntry
+    /**
+     * Per-address executed-load records in SoA form: three parallel
+     * lanes (sequence number, observed version, owning task) so the
+     * violation probe runs as one compare-mask kernel over packed
+     * 32-bit lanes instead of striding over 12-byte records.
+     */
+    struct LoadLanes
     {
-        SeqNum seq;
-        SeqNum version;
-        uint32_t task;
+        std::vector<SeqNum> seq;
+        std::vector<SeqNum> version;
+        std::vector<uint32_t> task;
+
+        size_t size() const { return seq.size(); }
+        bool empty() const { return seq.empty(); }
+
+        void
+        push(SeqNum s, SeqNum v, uint32_t t)
+        {
+            seq.push_back(s);
+            version.push_back(v);
+            task.push_back(t);
+        }
+
+        /** Drop every record whose seq matches, keeping lane order. */
+        void
+        eraseSeq(SeqNum s, size_t &removed)
+        {
+            size_t w = 0;
+            for (size_t r = 0; r < seq.size(); ++r) {
+                if (seq[r] == s)
+                    continue;
+                seq[w] = seq[r];
+                version[w] = version[r];
+                task[w] = task[r];
+                ++w;
+            }
+            removed = seq.size() - w;
+            seq.resize(w);
+            version.resize(w);
+            task.resize(w);
+        }
     };
 
     // The committedVersion lookup alone is ~10% of a fig5 sweep's
     // profile; none of these maps is ever iterated, so the flat
     // open-addressed table is safe (and FlatHashMap could not leak
     // an order anyway -- it has no iteration API).
-    FlatHashMap<Addr, std::vector<LoadEntry>> loads;
+    FlatHashMap<Addr, LoadLanes> loads;
     FlatHashMap<Addr, std::vector<SeqNum>> inflightStores;
     FlatHashMap<Addr, SeqNum> committedVersion;
     size_t numTrackedLoads = 0;
+
+    /** Emptied per-address lane triples, retained for their vector
+     *  capacity.  Per-address load sets empty and refill constantly
+     *  (loads commit fast), and without recycling every refill costs
+     *  three fresh allocations; the freelist keeps the `loads` table
+     *  small (entries still erase on empty) without the malloc
+     *  round-trip.  Never affects results -- recycled lanes are
+     *  empty, only their capacity differs. */
+    std::vector<LoadLanes> laneFreelist;
 };
 
 } // namespace mdp

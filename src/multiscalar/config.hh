@@ -103,6 +103,16 @@ struct MultiscalarConfig
      */
     bool fastForward = true;
 
+    /**
+     * Intra-run parallelism: worker count for the per-cycle readiness
+     * precompute over the stage windows (MDP_INTRA_JOBS; the harness
+     * plumbs the env knob in).  1 is today's serial path; N > 1 runs
+     * the read-only phase on a persistent worker set with a
+     * deterministic serial issue phase behind it, so results are
+     * byte-identical at every setting.
+     */
+    unsigned intraJobs = 1;
+
     /** Derived: number of data banks. */
     unsigned numBanks() const { return banksPerStage * numStages; }
 };

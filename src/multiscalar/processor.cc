@@ -6,6 +6,7 @@
 #include "base/logging.hh"
 #include "base/ordered.hh"
 #include "base/random.hh"
+#include "base/simd_kernels.hh"
 
 namespace mdp
 {
@@ -13,9 +14,10 @@ namespace mdp
 MultiscalarProcessor::MultiscalarProcessor(const TraceView &trace,
                                            const DepOracle &dep_oracle,
                                            const TaskSet &task_set,
-                                           const MultiscalarConfig &config)
+                                           const MultiscalarConfig &config,
+                                           LanePool *pool)
     : trc(trace), oracle(dep_oracle), tasks(task_set), cfg(config),
-      state(trace.size()), taskRun(task_set.numTasks()),
+      state(trace.size(), pool), taskRun(task_set.numTasks()),
       stages(config.numStages), memsys(config),
       capCycle(config.maxCycles
                    ? config.maxCycles
@@ -30,6 +32,15 @@ MultiscalarProcessor::MultiscalarProcessor(const TraceView &trace,
     wakeupBuf.reserve(window_cap);
     frontierBlocked.reserve(window_cap);
     syncBlocked.reserve(window_cap);
+
+    if (cfg.intraJobs > 1) {
+        intraPool = std::make_unique<ThreadPool>(cfg.intraJobs);
+        readyBufs.resize(cfg.numStages);
+        for (ReadyBuf &buf : readyBufs) {
+            buf.seq.reserve(cfg.stageWindow);
+            buf.ready.reserve(cfg.stageWindow);
+        }
+    }
 
     policy = makeDependencePolicy(
         resolvePolicyName(cfg.policyName, cfg.policy));
@@ -69,7 +80,7 @@ struct MultiscalarProcessor::IssueCtx final : LoadIssueContext
     bool
     syncSatisfied() const override
     {
-        return p.state[seq].flags & kSyncDone;
+        return p.state.test(seq, kSyncDone);
     }
 
     bool allStoresDone() override { return p.allStoresDoneBefore(seq); }
@@ -90,7 +101,7 @@ struct MultiscalarProcessor::IssueCtx final : LoadIssueContext
     bool
     storeIssued(SeqNum store) const override
     {
-        return p.state[store].flags & kIssued;
+        return p.state.test(store, kIssued);
     }
 
     const TaskPcSource *taskPcs() const override { return &p; }
@@ -139,8 +150,10 @@ MultiscalarProcessor::stepCycle()
     cycleActivity = false;
 
     sequencerStep();
+    readyPrecompute();
     for (unsigned k = 0; k < cfg.numStages; ++k)
-        stageStep(stages[(committedTasks + k) % cfg.numStages]);
+        stageStep(
+            static_cast<unsigned>((committedTasks + k) % cfg.numStages));
     frontierScan();
     if (sync)
         drainSyncReleases();
@@ -201,22 +214,25 @@ MultiscalarProcessor::nextInterestingCycle(uint64_t cap) const
         // last result arrives over the ring (srcReady's predicate).
         // An op with an unissued producer has no timed readiness; the
         // producer's own issue is activity and re-arms the scan.
-        for (SeqNum seq : st.window) {
-            const OpState &os = state[seq];
-            if (os.flags & (kIssued | kBlockedSync | kBlockedFrontier |
-                            kBlockedPsync))
-                continue;
+        // The window is the non-issued range [windowBase, fetchPtr);
+        // the flags-lane kernel hops directly between candidates.
+        for (SeqNum seq = static_cast<SeqNum>(simd::nextReadyCandidate(
+                 state.flagsData(), st.windowBase, st.fetchPtr,
+                 kNotIssuable));
+             seq < st.fetchPtr;
+             seq = static_cast<SeqNum>(simd::nextReadyCandidate(
+                 state.flagsData(), seq + 1, st.fetchPtr,
+                 kNotIssuable))) {
             uint64_t ready = 0;
             bool timed = true;
             for (SeqNum src : {trc.src1(seq), trc.src2(seq)}) {
                 if (src == kNoSeq)
                     continue;
-                const OpState &ps = state[src];
-                if (!(ps.flags & kIssued)) {
+                if (!state.test(src, kIssued)) {
                     timed = false;
                     break;
                 }
-                uint64_t r = ps.doneCycle;
+                uint64_t r = state.done(src);
                 uint32_t ptask = trc.taskId(src);
                 if (ptask != t)
                     r += static_cast<uint64_t>(t - ptask) *
@@ -287,7 +303,8 @@ MultiscalarProcessor::sequencerStep()
 
     st.task = static_cast<int64_t>(nextTask);
     st.fetchPtr = tasks.taskStart(static_cast<uint32_t>(nextTask));
-    st.window.clear();
+    st.windowBase = st.fetchPtr;
+    st.windowCount = 0;
     st.resumeCycle = cycle + 1;
     taskRun[nextTask] = TaskRun{};
     ++nextTask;
@@ -303,11 +320,10 @@ MultiscalarProcessor::srcReady(SeqNum src, uint32_t consumer_task) const
 {
     if (src == kNoSeq)
         return true;
-    const OpState &ps = state[src];
-    if (!(ps.flags & kIssued))
+    if (!state.test(src, kIssued))
         return false;
     uint32_t ptask = trc.taskId(src);
-    uint64_t ready = ps.doneCycle;
+    uint64_t ready = state.done(src);
     if (ptask != consumer_task)
         ready += static_cast<uint64_t>(consumer_task - ptask) *
                  cfg.ringHopLatency;
@@ -320,6 +336,7 @@ MultiscalarProcessor::srcsReady(SeqNum seq) const
     uint32_t t = trc.taskId(seq);
     return srcReady(trc.src1(seq), t) && srcReady(trc.src2(seq), t);
 }
+
 
 void
 MultiscalarProcessor::classify(SeqNum load, bool predicted, bool actual)
@@ -334,7 +351,6 @@ MultiscalarProcessor::classify(SeqNum load, bool predicted, bool actual)
 bool
 MultiscalarProcessor::tryIssueMem(SeqNum seq, unsigned &mem_ports)
 {
-    OpState &os = state[seq];
     uint32_t t = trc.taskId(seq);
 
     if (trc.isStore(seq)) {
@@ -356,20 +372,20 @@ MultiscalarProcessor::tryIssueMem(SeqNum seq, unsigned &mem_ports)
     LoadDecision d = policy->loadIssueCheck(ctx, sync.get());
     switch (d.action) {
       case LoadAction::BlockFrontier:
-        os.flags |= kBlockedFrontier;
+        state.set(seq, kBlockedFrontier);
         frontierBlocked.push_back(seq);
         ++res.loadsBlockedFrontier;
         return true;
 
       case LoadAction::BlockProducer:
-        os.flags |= kBlockedPsync;
+        state.set(seq, kBlockedPsync);
         psyncWaiters[d.producer].push_back(seq);
         ++res.loadsBlockedSync;
         return true;
 
       case LoadAction::BlockSync:
-        os.flags |= kBlockedSync | kPredPendingY;
-        os.doneCycle = cycle;   // stash the block time
+        state.set(seq, kBlockedSync | kPredPendingY);
+        state.setDone(seq, cycle);   // stash the block time
         syncBlocked.push_back(seq);
         syncPushed = true;
         ++res.loadsBlockedSync;
@@ -378,7 +394,7 @@ MultiscalarProcessor::tryIssueMem(SeqNum seq, unsigned &mem_ports)
       case LoadAction::IssueValuePredicted:
         // Hybrid: consume the predicted value instead of
         // synchronizing; validated when the producer executes.
-        os.flags |= kValuePred;
+        state.set(seq, kValuePred);
         ++res.valuePredUses;
         break;
 
@@ -390,10 +406,10 @@ MultiscalarProcessor::tryIssueMem(SeqNum seq, unsigned &mem_ports)
                 // actual-N outcome (section 5.5) -- unless the bypass
                 // merely consumes the signal this load already waited
                 // for.
-                if (!(os.flags & kSignaled))
+                if (!state.test(seq, kSignaled))
                     classify(seq, true, false);
             } else if (!d.check.predicted) {
-                os.flags |= kPredPendingN;
+                state.set(seq, kPredPendingN);
             }
         }
         break;
@@ -409,14 +425,13 @@ MultiscalarProcessor::executeLoad(SeqNum seq)
 {
     const Addr addr = trc.addr(seq);
     const uint32_t t = trc.taskId(seq);
-    OpState &os = state[seq];
-    os.doneCycle = memsys.access(addr, cycle, false);
-    os.flags |= kIssued;
+    state.setDone(seq, memsys.access(addr, cycle, false));
+    state.set(seq, kIssued);
     arb.loadExecuted(addr, seq, t);
 
     TaskRun &tr = taskRun[t];
     ++tr.issuedOps;
-    tr.lastDone = std::max(tr.lastDone, os.doneCycle);
+    tr.lastDone = std::max(tr.lastDone, state.done(seq));
 }
 
 void
@@ -424,13 +439,12 @@ MultiscalarProcessor::executeStore(SeqNum seq)
 {
     const Addr addr = trc.addr(seq);
     const uint32_t t = trc.taskId(seq);
-    OpState &os = state[seq];
-    os.doneCycle = memsys.access(addr, cycle, true);
-    os.flags |= kIssued;
+    state.setDone(seq, memsys.access(addr, cycle, true));
+    state.set(seq, kIssued);
 
     TaskRun &tr = taskRun[t];
     ++tr.issuedOps;
-    tr.lastDone = std::max(tr.lastDone, os.doneCycle);
+    tr.lastDone = std::max(tr.lastDone, state.done(seq));
 
     // Violation check: did a younger load from a later task already
     // read this location?  Benignly absorbed (value-predicted)
@@ -443,8 +457,8 @@ MultiscalarProcessor::executeStore(SeqNum seq)
     auto wit = psyncWaiters.find(seq);
     if (wit != psyncWaiters.end()) {
         for (SeqNum l : wit->second) {
-            if (state[l].flags & kBlockedPsync)
-                state[l].flags &= ~kBlockedPsync;
+            if (state.test(l, kBlockedPsync))
+                state.clear(l, kBlockedPsync);
         }
         psyncWaiters.erase(wit);
     }
@@ -455,16 +469,15 @@ MultiscalarProcessor::executeStore(SeqNum seq)
         sync->storeReady(trc.pc(seq), addr, t, seq, wakeupBuf);
         const bool repeats = trc.valueRepeats(seq);
         for (LoadId l : wakeupBuf) {
-            OpState &ls = state[l];
-            if (ls.flags & kBlockedSync) {
-                ls.flags &= ~kBlockedSync;
-                ls.flags |= kSignaled;
+            if (state.test(l, kBlockedSync)) {
+                state.clear(l, kBlockedSync);
+                state.set(l, kSignaled);
                 policy->syncSignalObserved(trc.pc(l), repeats);
-                res.syncWaitCycles += cycle - ls.doneCycle;
-                res.signalWaitCycles += cycle - ls.doneCycle;
-                ls.doneCycle = 0;
-                if (ls.flags & kPredPendingY) {
-                    ls.flags &= ~kPredPendingY;
+                res.syncWaitCycles += cycle - state.done(l);
+                res.signalWaitCycles += cycle - state.done(l);
+                state.setDone(l, 0);
+                if (state.test(l, kPredPendingY)) {
+                    state.clear(l, kPredPendingY);
                     classify(l, true, true);
                 }
             }
@@ -482,7 +495,7 @@ MultiscalarProcessor::taskStoresDoneBefore(uint32_t t, SeqNum seq)
     const std::vector<SeqNum> &stores = tasks.stores(t);
     TaskRun &tr = taskRun[t];
     while (tr.storePtr < stores.size() &&
-           (state[stores[tr.storePtr]].flags & kIssued)) {
+           state.test(stores[tr.storePtr], kIssued)) {
         ++tr.storePtr;
     }
     return tr.storePtr >= stores.size() || stores[tr.storePtr] >= seq;
@@ -508,7 +521,7 @@ MultiscalarProcessor::storeFrontierBound()
         const std::vector<SeqNum> &stores = tasks.stores(tt);
         TaskRun &tr = taskRun[tt];
         while (tr.storePtr < stores.size() &&
-               (state[stores[tr.storePtr]].flags & kIssued)) {
+               state.test(stores[tr.storePtr], kIssued)) {
             ++tr.storePtr;
         }
         if (tr.storePtr < stores.size())
@@ -523,21 +536,85 @@ MultiscalarProcessor::storeFrontierBound()
 // ---------------------------------------------------------------------
 
 void
-MultiscalarProcessor::stageStep(Stage &stage)
+MultiscalarProcessor::readyPrecompute()
 {
+    readyValid = false;
+    if (!intraPool)
+        return;
+
+    // Below this occupancy the fan-out overhead dominates; skipping is
+    // invisible (stageStep just evaluates live, same verdicts).
+    uint64_t occupancy = 0;
+    for (unsigned k = 0; k < cfg.numStages; ++k) {
+        const Stage &st = stages[k];
+        if (st.task >= 0 && cycle >= st.resumeCycle)
+            occupancy += st.fetchPtr - st.windowBase;
+    }
+    if (occupancy < kIntraMinOccupancy)
+        return;
+
+    for (unsigned k = 0; k < cfg.numStages; ++k) {
+        ReadyBuf &buf = readyBufs[k];
+        buf.seq.clear();
+        buf.ready.clear();
+        buf.cursor = 0;
+        const Stage &st = stages[k];
+        if (st.task < 0 || cycle < st.resumeCycle)
+            continue;
+        // Workers only read the op-state lanes and write their own
+        // stage's buffer; the main thread blocks in wait(), so the
+        // fan-out is race-free and the buffer contents do not depend
+        // on worker scheduling.
+        intraPool->submit(
+            [this, &buf, base = st.windowBase, end = st.fetchPtr]() {
+                for (SeqNum seq =
+                         static_cast<SeqNum>(simd::nextReadyCandidate(
+                             state.flagsData(), base, end,
+                             kNotIssuable));
+                     seq < end;
+                     seq = static_cast<SeqNum>(simd::nextReadyCandidate(
+                         state.flagsData(), seq + 1, end,
+                         kNotIssuable))) {
+                    buf.seq.push_back(seq);
+                    buf.ready.push_back(srcsReady(seq) ? 1 : 0);
+                }
+            });
+    }
+    intraPool->wait();
+    readyValid = true;
+}
+
+void
+MultiscalarProcessor::stageStep(unsigned stage_idx)
+{
+    Stage &stage = stages[stage_idx];
     if (stage.task < 0 || cycle < stage.resumeCycle)
         return;
 
+    // The phase-A verdict cache costs a revalidation load on every
+    // candidate, so the scan is instantiated separately for the
+    // serial path, which pays nothing for the intra-run machinery.
+    if (readyValid && !readyBufs.empty())
+        issueScan<true>(stage, stage_idx);
+    else
+        issueScan<false>(stage, stage_idx);
+}
+
+template <bool UsePhaseA>
+void
+MultiscalarProcessor::issueScan(Stage &stage, unsigned stage_idx)
+{
     uint32_t t = static_cast<uint32_t>(stage.task);
     SeqNum end = tasks.taskEnd(t);
 
-    // Fetch in program order into the scheduling window.
+    // Fetch in program order into the scheduling window (the range
+    // [windowBase, fetchPtr) of the status lane).
     unsigned fetched = 0;
     while (fetched < cfg.issueWidth &&
-           stage.window.size() < cfg.stageWindow &&
+           stage.windowCount < cfg.stageWindow &&
            stage.fetchPtr < end) {
-        stage.window.push_back(stage.fetchPtr);
         ++stage.fetchPtr;
+        ++stage.windowCount;
         ++fetched;
     }
     if (fetched)
@@ -550,68 +627,131 @@ MultiscalarProcessor::stageStep(Stage &stage)
     unsigned branch_fu = cfg.branchFUs;
     unsigned mem_ports = cfg.memPorts;
     unsigned issued = 0;
-    bool any_issued = false;
 
-    for (size_t i = 0;
-         i < stage.window.size() && issued < cfg.issueWidth; ++i) {
-        SeqNum seq = stage.window[i];
-        OpState &os = state[seq];
-        if (os.flags &
-            (kIssued | kBlockedSync | kBlockedFrontier | kBlockedPsync))
-            continue;
-        if (!srcsReady(seq))
-            continue;
+    // Retire the issued prefix from the range view.
+    const OpLanes::FlagsView fv = state.flagsView();
+    while (stage.windowBase < stage.fetchPtr &&
+           fv.test(stage.windowBase, kIssued))
+        ++stage.windowBase;
 
-        const OpKind kind = trc.kind(seq);
-        if (isMem(kind)) {
-            if (!tryIssueMem(seq, mem_ports))
+    ReadyBuf *cache = UsePhaseA ? &readyBufs[stage_idx] : nullptr;
+
+    // Adaptive scan.  The usual span is ~2x occupancy (issued holes),
+    // where a fused scalar loop -- one masked lane test per element
+    // through a pinned-base view -- is cheapest.  A load blocked at
+    // windowBase pins the range while issue keeps punching holes
+    // behind it, though, and such spans grow far past occupancy; once
+    // a span exceeds the kernels' inline threshold the scan hops
+    // between candidates with the compare-mask kernel instead, which
+    // chews the hole runs 16 flags per vector op.  Both drivers visit
+    // the identical candidate sequence in program order.  fetchPtr is
+    // re-read every iteration because a squash inside tryIssueMem can
+    // rewind it; flag updates land in place, so the view stays valid.
+    if (stage.fetchPtr - stage.windowBase <= simd::kInlineSpan16) {
+        for (SeqNum seq = stage.windowBase;
+             seq < stage.fetchPtr && issued < cfg.issueWidth; ++seq) {
+            if (fv.test(seq, kNotIssuable))
                 continue;
-            // Either issued or transitioned to blocked; blocked ops do
-            // not consume an issue slot.
-            cycleActivity = true;
-            if (!(os.flags & kIssued))
-                continue;
-        } else {
-            unsigned *fu = nullptr;
-            switch (kind) {
-              case OpKind::IntAlu:
-                fu = &simple_fu;
-                break;
-              case OpKind::IntMul:
-              case OpKind::IntDiv:
-                fu = &complex_fu;
-                break;
-              case OpKind::FpAdd:
-              case OpKind::FpMul:
-              case OpKind::FpDiv:
-                fu = &fp_fu;
-                break;
-              case OpKind::Branch:
-                fu = &branch_fu;
-                break;
-              default:
-                fu = &simple_fu;
-                break;
-            }
-            if (*fu == 0)
-                continue;
-            --*fu;
-            os.doneCycle = cycle + opLatency(kind);
-            os.flags |= kIssued;
-            TaskRun &tr = taskRun[t];
-            ++tr.issuedOps;
-            tr.lastDone = std::max(tr.lastDone, os.doneCycle);
+            issueOne<UsePhaseA>(seq, t, stage, cache, simple_fu,
+                                complex_fu, fp_fu, branch_fu, mem_ports,
+                                issued);
         }
-        ++issued;
-        any_issued = true;
-        cycleActivity = true;
+    } else {
+        for (SeqNum seq = static_cast<SeqNum>(simd::nextReadyCandidate(
+                 state.flagsData(), stage.windowBase, stage.fetchPtr,
+                 kNotIssuable));
+             seq < stage.fetchPtr && issued < cfg.issueWidth;
+             seq = static_cast<SeqNum>(simd::nextReadyCandidate(
+                 state.flagsData(), seq + 1, stage.fetchPtr,
+                 kNotIssuable))) {
+            issueOne<UsePhaseA>(seq, t, stage, cache, simple_fu,
+                                complex_fu, fp_fu, branch_fu, mem_ports,
+                                issued);
+        }
+    }
+}
+
+/** One issue attempt for a scan candidate; shared by both drivers. */
+template <bool UsePhaseA>
+__attribute__((always_inline)) inline void
+MultiscalarProcessor::issueOne(SeqNum seq, uint32_t t, Stage &stage,
+                               ReadyBuf *cache, unsigned &simple_fu,
+                               unsigned &complex_fu, unsigned &fp_fu,
+                               unsigned &branch_fu, unsigned &mem_ports,
+                               unsigned &issued)
+{
+    {
+        bool ready;
+        if (UsePhaseA) {
+            // Phase-A cached verdict, revalidated per candidate: a
+            // squash during this cycle drops the cache (producers may
+            // have been un-issued), and anything fetched after phase
+            // A is simply absent from the buffer.
+            if (readyValid) {
+                while (cache->cursor < cache->seq.size() &&
+                       cache->seq[cache->cursor] < seq)
+                    ++cache->cursor;
+                if (cache->cursor < cache->seq.size() &&
+                    cache->seq[cache->cursor] == seq) {
+                    ready = cache->ready[cache->cursor] != 0;
+                    ++cache->cursor;
+                } else {
+                    ready = srcsReady(seq);
+                }
+            } else {
+                ready = srcsReady(seq);
+            }
+        } else {
+            ready = srcsReady(seq);
+        }
+        if (!ready)
+            return;
     }
 
-    if (any_issued) {
-        std::erase_if(stage.window, [this](SeqNum s) {
-            return state[s].flags & kIssued;
-        });
+    const OpKind kind = trc.kind(seq);
+    if (isMem(kind)) {
+        if (!tryIssueMem(seq, mem_ports))
+            return;
+        // Either issued or transitioned to blocked; blocked ops do
+        // not consume an issue slot (and stay in the window).
+        cycleActivity = true;
+        if (!state.test(seq, kIssued))
+            return;
+    } else {
+        unsigned *fu = nullptr;
+        switch (kind) {
+          case OpKind::IntAlu:
+            fu = &simple_fu;
+            break;
+          case OpKind::IntMul:
+          case OpKind::IntDiv:
+            fu = &complex_fu;
+            break;
+          case OpKind::FpAdd:
+          case OpKind::FpMul:
+          case OpKind::FpDiv:
+            fu = &fp_fu;
+            break;
+          case OpKind::Branch:
+            fu = &branch_fu;
+            break;
+          default:
+            fu = &simple_fu;
+            break;
+        }
+        if (*fu == 0)
+            return;
+        --*fu;
+        state.setDone(seq, cycle + opLatency(kind));
+        state.set(seq, kIssued);
+        TaskRun &tr = taskRun[t];
+        ++tr.issuedOps;
+        tr.lastDone = std::max(tr.lastDone, state.done(seq));
     }
+    // The op left the window (kIssued set by every issue path).
+    --stage.windowCount;
+    ++issued;
+    cycleActivity = true;
 }
 
 // ---------------------------------------------------------------------
@@ -633,11 +773,10 @@ MultiscalarProcessor::frontierScan()
 
     if (moved) {
         auto keep_frontier = [&](SeqNum seq) {
-            OpState &os = state[seq];
-            if (!(os.flags & kBlockedFrontier))
+            if (!state.test(seq, kBlockedFrontier))
                 return false;   // squashed or already released
             if (bound >= seq) {
-                os.flags &= ~kBlockedFrontier;
+                state.clear(seq, kBlockedFrontier);
                 cycleActivity = true;
                 return false;
             }
@@ -649,21 +788,20 @@ MultiscalarProcessor::frontierScan()
 
     if (sync) {
         auto keep_sync = [&](SeqNum seq) {
-            OpState &os = state[seq];
-            if (!(os.flags & kBlockedSync))
+            if (!state.test(seq, kBlockedSync))
                 return false;
             if (bound >= seq) {
                 // Incomplete synchronization: the predicted store never
                 // signalled, but the load is provably safe now.
                 sync->frontierRelease(seq);
-                os.flags &= ~kBlockedSync;
-                os.flags |= kSyncDone;
+                state.clear(seq, kBlockedSync);
+                state.set(seq, kSyncDone);
                 cycleActivity = true;
-                res.syncWaitCycles += cycle - os.doneCycle;
-                res.frontierWaitCycles += cycle - os.doneCycle;
-                os.doneCycle = 0;
-                if (os.flags & kPredPendingY) {
-                    os.flags &= ~kPredPendingY;
+                res.syncWaitCycles += cycle - state.done(seq);
+                res.frontierWaitCycles += cycle - state.done(seq);
+                state.setDone(seq, 0);
+                if (state.test(seq, kPredPendingY)) {
+                    state.clear(seq, kPredPendingY);
                     classify(seq, true, false);
                 }
                 ++res.frontierReleases;
@@ -686,15 +824,14 @@ MultiscalarProcessor::drainSyncReleases()
     wakeupBuf.clear();
     sync->drainReleasedLoads(wakeupBuf);
     for (LoadId l : wakeupBuf) {
-        OpState &os = state[l];
-        if (os.flags & kBlockedSync) {
-            os.flags &= ~kBlockedSync;
-            os.flags |= kSyncDone;
+        if (state.test(l, kBlockedSync)) {
+            state.clear(l, kBlockedSync);
+            state.set(l, kSyncDone);
             cycleActivity = true;
-            res.syncWaitCycles += cycle - os.doneCycle;
-            os.doneCycle = 0;
-            if (os.flags & kPredPendingY) {
-                os.flags &= ~kPredPendingY;
+            res.syncWaitCycles += cycle - state.done(l);
+            state.setDone(l, 0);
+            if (state.test(l, kPredPendingY)) {
+                state.clear(l, kPredPendingY);
                 classify(l, true, false);
             }
         }
@@ -714,7 +851,7 @@ MultiscalarProcessor::handleViolation(SeqNum load, SeqNum store)
 
     // Value hybrids train on every examined violation and absorb the
     // benign ones (correct prediction: no squash).
-    const bool was_vp = state[load].flags & kValuePred;
+    const bool was_vp = state.test(load, kValuePred);
     if (policy->absorbViolation({lpc, was_vp, repeats})) {
         ++res.valuePredHits;
         arb.refreshLoadVersion(trc.addr(load), load, store);
@@ -728,8 +865,8 @@ MultiscalarProcessor::handleViolation(SeqNum load, SeqNum store)
         res.misspecLog.emplace_back(lpc, spc);
 
     // Table 8: a mis-speculated load was a predicted-N / actual-Y.
-    if (state[load].flags & kPredPendingN) {
-        state[load].flags &= ~kPredPendingN;
+    if (state.test(load, kPredPendingN)) {
+        state.clear(load, kPredPendingN);
         classify(load, false, true);
     }
 
@@ -758,15 +895,14 @@ MultiscalarProcessor::squashFrom(SeqNum squash_start)
         SeqNum end = tasks.taskEnd(tt);
 
         for (SeqNum s = begin; s < end; ++s) {
-            OpState &os = state[s];
-            if (os.flags & kIssued) {
+            if (state.test(s, kIssued)) {
                 ++res.squashedOps;
                 if (trc.isLoad(s))
                     arb.removeLoad(trc.addr(s), s);
                 else if (trc.isStore(s))
                     arb.removeStore(trc.addr(s), s);
             }
-            os = OpState{};
+            state.resetOp(s);
         }
 
         Stage &st = stages[tt % cfg.numStages];
@@ -775,30 +911,36 @@ MultiscalarProcessor::squashFrom(SeqNum squash_start)
             TaskRun &tr = taskRun[tt];
             tr = TaskRun{};
             for (SeqNum s = tasks.taskStart(tt); s < squash_start; ++s) {
-                if (state[s].flags & kIssued) {
+                if (state.test(s, kIssued)) {
                     ++tr.issuedOps;
-                    tr.lastDone =
-                        std::max(tr.lastDone, state[s].doneCycle);
+                    tr.lastDone = std::max(tr.lastDone, state.done(s));
                 }
             }
             if (st.task == static_cast<int64_t>(t)) {
-                std::erase_if(st.window, [&](SeqNum s) {
-                    return s >= squash_start;
-                });
-                st.fetchPtr = std::max(st.fetchPtr, squash_start);
-                if (st.fetchPtr > squash_start)
-                    st.fetchPtr = squash_start;
+                // The violating load was fetched, so fetchPtr was past
+                // the squash point; rewind it.  The surviving window is
+                // the non-issued prefix ops: the prefix length minus
+                // the issued ops the TaskRun pass just recounted.
+                st.fetchPtr = squash_start;
+                st.windowBase = std::min(st.windowBase, squash_start);
+                st.windowCount = static_cast<uint32_t>(
+                    (squash_start - tasks.taskStart(tt)) - tr.issuedOps);
                 st.resumeCycle = cycle + cfg.squashPenalty;
             }
         } else {
             taskRun[tt] = TaskRun{};
             if (st.task == static_cast<int64_t>(t)) {
                 st.fetchPtr = tasks.taskStart(tt);
-                st.window.clear();
+                st.windowBase = st.fetchPtr;
+                st.windowCount = 0;
                 st.resumeCycle = cycle + cfg.squashPenalty;
             }
         }
     }
+
+    // Squashing un-issues producers, so any phase-A readiness verdicts
+    // computed before this point are stale.
+    readyValid = false;
 
     // Purge bookkeeping that refers to squashed operations.
     std::erase_if(frontierBlocked,
@@ -842,8 +984,8 @@ MultiscalarProcessor::commitStep()
     // Retire memory state and finish prediction accounting.
     for (SeqNum l : tasks.loads(t)) {
         arb.commitLoad(trc.addr(l), l);
-        if (state[l].flags & kPredPendingN) {
-            state[l].flags &= ~kPredPendingN;
+        if (state.test(l, kPredPendingN)) {
+            state.clear(l, kPredPendingN);
             classify(l, false, false);
         }
     }
@@ -855,7 +997,7 @@ MultiscalarProcessor::commitStep()
     res.committedStores += tasks.stores(t).size();
 
     st.task = -1;
-    st.window.clear();
+    st.windowCount = 0;
     ++committedTasks;
     cycleActivity = true;
 }

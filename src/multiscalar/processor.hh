@@ -20,6 +20,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/soa_lanes.hh"
+#include "base/thread_pool.hh"
 #include "mdp/dep_policy.hh"
 #include "mdp/sync_unit.hh"
 #include "multiscalar/arb.hh"
@@ -39,9 +41,12 @@ namespace mdp
 class MultiscalarProcessor : public TaskPcSource
 {
   public:
+    /** @param pool optional recycling arena for the state lanes (the
+     *  lockstep evaluator shares one across its lanes). */
     MultiscalarProcessor(const TraceView &trace, const DepOracle &oracle,
                          const TaskSet &tasks,
-                         const MultiscalarConfig &config);
+                         const MultiscalarConfig &config,
+                         LanePool *pool = nullptr);
     ~MultiscalarProcessor() override;
 
     /** Execute the whole trace; returns aggregate results. */
@@ -83,17 +88,25 @@ class MultiscalarProcessor : public TaskPcSource
      *  (VSync); a violation by a value-repeating store is benign. */
     static constexpr uint16_t kValuePred = 1 << 8;
 
-    struct OpState
-    {
-        uint64_t doneCycle = 0;
-        uint16_t flags = 0;
-    };
+    /** Flags that take an op out of the issue scan. */
+    static constexpr uint16_t kNotIssuable =
+        kIssued | kBlockedSync | kBlockedFrontier | kBlockedPsync;
 
+    /**
+     * A ring slot.  The scheduling window is a *range view* over the
+     * packed status lane: exactly the non-issued ops in
+     * [windowBase, fetchPtr), in ascending order.  windowBase is
+     * lazily advanced past the issued prefix, windowCount mirrors the
+     * window occupancy (fetch gating), and the issue scan hops
+     * non-candidates via the flags-lane kernel -- no per-stage seq
+     * vector to erase/compact every cycle.
+     */
     struct Stage
     {
         int64_t task = -1;
         SeqNum fetchPtr = 0;
-        std::vector<SeqNum> window;
+        SeqNum windowBase = 0;
+        uint32_t windowCount = 0;
         uint64_t resumeCycle = 0;
     };
 
@@ -109,7 +122,46 @@ class MultiscalarProcessor : public TaskPcSource
 
     // --- per-cycle phases -------------------------------------------
     void sequencerStep();
-    void stageStep(Stage &stage);
+
+    /**
+     * Intra-run parallel phase A: precompute the srcsReady verdict of
+     * every issue candidate in every active stage window, fanned out
+     * over the persistent worker set (cfg.intraJobs > 1).  Strictly
+     * read-only on the op-state lanes; each worker writes only its own
+     * stage's ReadyBuf, so the fan-out is race-free and the buffers
+     * are deterministic regardless of worker scheduling.  stageStep
+     * (phase B, serial, deterministic stage order) consumes the cached
+     * verdicts and falls back to live evaluation for ops the cache
+     * missed; a squash invalidates the whole cache (readyValid) since
+     * it un-issues producers.  Cached and live verdicts agree because
+     * an op issued in phase B completes strictly after the current
+     * cycle, so it cannot flip a same-cycle srcsReady outcome.
+     */
+    void readyPrecompute();
+
+    void stageStep(unsigned stage_idx);
+
+    /**
+     * The fetch + issue scan body of stageStep, instantiated twice:
+     * UsePhaseA=true consults (and revalidates) the phase-A verdict
+     * buffer; UsePhaseA=false is the serial path with no trace of the
+     * intra-run machinery in its inner loop.
+     */
+    template <bool UsePhaseA>
+    void issueScan(Stage &stage, unsigned stage_idx);
+
+    struct ReadyBuf;
+
+    /** One issue attempt for a scan candidate (see issueScan).
+     *  Force-inlined: the out-of-line form passes ten live references
+     *  per candidate and spills the FU budget out of registers, which
+     *  costs a few percent of the whole run on the dense benches. */
+    template <bool UsePhaseA>
+    __attribute__((always_inline)) inline
+    void issueOne(SeqNum seq, uint32_t t, Stage &stage, ReadyBuf *cache,
+                  unsigned &simple_fu, unsigned &complex_fu,
+                  unsigned &fp_fu, unsigned &branch_fu,
+                  unsigned &mem_ports, unsigned &issued);
     void frontierScan();
     void drainSyncReleases();
     void commitStep();
@@ -174,9 +226,32 @@ class MultiscalarProcessor : public TaskPcSource
     const TaskSet &tasks;
     MultiscalarConfig cfg;
 
-    std::vector<OpState> state;
+    /** Per-op completion-time and status lanes (SoA; the dense scans
+     *  run as compare-mask kernels over the packed lanes). */
+    OpLanes state;
     std::vector<TaskRun> taskRun;
     std::vector<Stage> stages;
+
+    // --- intra-run parallelism (phase A cache) ----------------------
+    /** Cached issue candidates of one stage, ascending seq order. */
+    struct ReadyBuf
+    {
+        std::vector<SeqNum> seq;
+        std::vector<uint8_t> ready;
+        size_t cursor = 0;
+    };
+
+    /** Workers for readyPrecompute(); null when cfg.intraJobs <= 1. */
+    std::unique_ptr<ThreadPool> intraPool;
+    std::vector<ReadyBuf> readyBufs;
+    /** The phase-A cache matches this cycle's pre-issue state; cleared
+     *  by squashes (and by skipping the precompute). */
+    bool readyValid = false;
+
+    /** Total window occupancy below which the parallel precompute is
+     *  skipped (fan-out overhead would dominate; verdicts are
+     *  identical either way, so the threshold cannot change results). */
+    static constexpr uint64_t kIntraMinOccupancy = 32;
 
     MemorySystem memsys;
     Arb arb;

@@ -7,15 +7,16 @@
 #include "base/logging.hh"
 #include "base/ordered.hh"
 #include "base/random.hh"
+#include "base/simd_kernels.hh"
 
 namespace mdp
 {
 
 OooProcessor::OooProcessor(const TraceView &trace,
                            const DepOracle &dep_oracle,
-                           const OooConfig &config)
-    : trc(trace), oracle(dep_oracle), cfg(config), state(trace.size()),
-      instanceOf(trace.size(), 0),
+                           const OooConfig &config, LanePool *pool)
+    : trc(trace), oracle(dep_oracle), cfg(config),
+      state(trace.size(), pool), instanceOf(trace.size(), 0),
       capCycle(config.maxCycles
                    ? config.maxCycles
                    : 1000 + static_cast<uint64_t>(trace.size()) * 60),
@@ -67,7 +68,7 @@ struct OooProcessor::IssueCtx final : LoadIssueContext
     bool
     syncSatisfied() const override
     {
-        return p.state[seq].flags & kSyncDone;
+        return p.state.test(seq, kSyncDone);
     }
 
     bool allStoresDone() override { return p.allStoresDoneBefore(seq); }
@@ -86,7 +87,7 @@ struct OooProcessor::IssueCtx final : LoadIssueContext
     bool
     storeIssued(SeqNum store) const override
     {
-        return p.state[store].flags & kIssued;
+        return p.state.test(store, kIssued);
     }
 
     const TaskPcSource *taskPcs() const override { return nullptr; }
@@ -109,8 +110,7 @@ OooProcessor::srcReady(SeqNum src) const
 {
     if (src == kNoSeq)
         return true;
-    const OpState &ps = state[src];
-    return (ps.flags & kIssued) && ps.doneCycle <= cycle;
+    return state.test(src, kIssued) && state.done(src) <= cycle;
 }
 
 bool
@@ -124,7 +124,7 @@ OooProcessor::storeFrontierBound()
 {
     const std::vector<SeqNum> &stores = oracle.stores();
     while (storeFrontier < stores.size() &&
-           (state[stores[storeFrontier]].flags & kIssued)) {
+           state.test(stores[storeFrontier], kIssued)) {
         ++storeFrontier;
     }
     return storeFrontier >= stores.size() ? UINT64_MAX
@@ -140,8 +140,6 @@ OooProcessor::allStoresDoneBefore(SeqNum seq)
 bool
 OooProcessor::tryIssueMem(SeqNum seq, unsigned &mem_ports)
 {
-    OpState &os = state[seq];
-
     if (trc.isStore(seq)) {
         if (mem_ports == 0)
             return false;
@@ -157,19 +155,19 @@ OooProcessor::tryIssueMem(SeqNum seq, unsigned &mem_ports)
     LoadDecision d = policy->loadIssueCheck(ctx, sync.get());
     switch (d.action) {
       case LoadAction::BlockFrontier:
-        os.flags |= kBlockedFrontier;
+        state.set(seq, kBlockedFrontier);
         frontierBlocked.push_back(seq);
         ++res.loadsBlocked;
         return true;
 
       case LoadAction::BlockProducer:
-        os.flags |= kBlockedPsync;
+        state.set(seq, kBlockedPsync);
         psyncWaiters[d.producer].push_back(seq);
         ++res.loadsBlocked;
         return true;
 
       case LoadAction::BlockSync:
-        os.flags |= kBlockedSync;
+        state.set(seq, kBlockedSync);
         syncBlocked.push_back(seq);
         syncPushed = true;
         ++res.loadsBlocked;
@@ -188,9 +186,8 @@ OooProcessor::tryIssueMem(SeqNum seq, unsigned &mem_ports)
 void
 OooProcessor::executeLoad(SeqNum seq)
 {
-    OpState &os = state[seq];
-    os.doneCycle = cycle + memLatency(seq);
-    os.flags |= kIssued;
+    state.setDone(seq, cycle + memLatency(seq));
+    state.set(seq, kIssued);
     arb.loadExecuted(trc.addr(seq), seq, /*load_task=*/seq);
 }
 
@@ -198,9 +195,8 @@ void
 OooProcessor::executeStore(SeqNum seq)
 {
     const Addr addr = trc.addr(seq);
-    OpState &os = state[seq];
-    os.doneCycle = cycle + 1;
-    os.flags |= kIssued;
+    state.setDone(seq, cycle + 1);
+    state.set(seq, kIssued);
 
     // Per-op "tasks" make every inter-op violation visible.
     SeqNum violator = arb.storeExecuted(addr, seq, /*store_task=*/seq);
@@ -210,7 +206,7 @@ OooProcessor::executeStore(SeqNum seq)
     auto wit = psyncWaiters.find(seq);
     if (wit != psyncWaiters.end()) {
         for (SeqNum l : wit->second)
-            state[l].flags &= ~kBlockedPsync;
+            state.clear(l, kBlockedPsync);
         psyncWaiters.erase(wit);
     }
 
@@ -221,7 +217,7 @@ OooProcessor::executeStore(SeqNum seq)
         for (LoadId l : wakeupBuf) {
             // Signal wake: the kept full flag is consumed when the
             // load re-checks at issue, so no bypass flag is needed.
-            state[l].flags &= ~kBlockedSync;
+            state.clear(l, kBlockedSync);
         }
     }
 }
@@ -246,15 +242,14 @@ OooProcessor::handleViolation(SeqNum load)
 
     // Squash from the offending load onward.
     for (SeqNum s = load; s < fetchPtr; ++s) {
-        OpState &os = state[s];
-        if (os.flags & kIssued) {
+        if (state.test(s, kIssued)) {
             ++res.squashedOps;
             if (trc.isLoad(s))
                 arb.removeLoad(trc.addr(s), s);
             else if (trc.isStore(s))
                 arb.removeStore(trc.addr(s), s);
         }
-        os = OpState{};
+        state.resetOp(s);
     }
     fetchPtr = load;
     resumeCycle = cycle + cfg.squashPenalty;
@@ -296,11 +291,10 @@ OooProcessor::frontierScan()
 
     if (moved) {
         auto release_frontier = [&](SeqNum seq) {
-            OpState &os = state[seq];
-            if (!(os.flags & kBlockedFrontier))
+            if (!state.test(seq, kBlockedFrontier))
                 return true;
             if (bound >= seq) {
-                os.flags &= ~kBlockedFrontier;
+                state.clear(seq, kBlockedFrontier);
                 cycleActivity = true;
                 return true;
             }
@@ -311,13 +305,12 @@ OooProcessor::frontierScan()
 
     if (sync) {
         auto release_sync = [&](SeqNum seq) {
-            OpState &os = state[seq];
-            if (!(os.flags & kBlockedSync))
+            if (!state.test(seq, kBlockedSync))
                 return true;
             if (bound >= seq) {
                 sync->frontierRelease(seq);
-                os.flags &= ~kBlockedSync;
-                os.flags |= kSyncDone;
+                state.clear(seq, kBlockedSync);
+                state.set(seq, kSyncDone);
                 cycleActivity = true;
                 ++res.frontierReleases;
                 return true;
@@ -348,11 +341,13 @@ OooProcessor::nextInterestingCycle(uint64_t cap) const
     // srcReady, its consumers.  Waking at the *earliest* completion is
     // conservative for a consumer whose other source finishes later --
     // the extra simulated cycle is idle and re-skips immediately.
-    for (SeqNum s = head; s < fetchPtr; ++s) {
-        const OpState &os = state[s];
-        if (os.flags & kIssued)
-            consider(os.doneCycle);
-    }
+    // The packed completion scan (min issued doneCycle > cycle) is
+    // exactly consider() folded over the window.
+    uint64_t pending = simd::minPendingDone(
+        state.doneData(), state.flagsData(), head, fetchPtr, kIssued,
+        cycle);
+    if (pending < next)
+        next = pending;
 
     if (sync)
         consider(sync->nextWakeupCycle());
@@ -404,12 +399,13 @@ OooProcessor::stepCycle()
     unsigned mem_ports = cfg.memPorts;
     unsigned issued = 0;
 
-    for (SeqNum s = head; s < fetchPtr && issued < cfg.issueWidth;
-         ++s) {
-        OpState &os = state[s];
-        if (os.flags & (kIssued | kBlockedSync | kBlockedFrontier |
-                        kBlockedPsync))
-            continue;
+    // The wakeup-match kernel hops over issued/blocked runs in the
+    // packed status lane; every visited index is a live candidate.
+    for (SeqNum s = static_cast<SeqNum>(simd::nextReadyCandidate(
+             state.flagsData(), head, fetchPtr, kNotIssuable));
+         s < fetchPtr && issued < cfg.issueWidth;
+         s = static_cast<SeqNum>(simd::nextReadyCandidate(
+             state.flagsData(), s + 1, fetchPtr, kNotIssuable))) {
         if (!srcsReady(s))
             continue;
 
@@ -419,7 +415,7 @@ OooProcessor::stepCycle()
                 continue;
             // Issued or newly blocked -- both are state changes.
             cycleActivity = true;
-            if (state[s].flags & kIssued)
+            if (state.test(s, kIssued))
                 ++issued;
             continue;
         }
@@ -448,8 +444,8 @@ OooProcessor::stepCycle()
         if (*fu == 0)
             continue;
         --*fu;
-        os.doneCycle = cycle + opLatency(kind);
-        os.flags |= kIssued;
+        state.setDone(s, cycle + opLatency(kind));
+        state.set(s, kIssued);
         ++issued;
         cycleActivity = true;
     }
@@ -459,9 +455,9 @@ OooProcessor::stepCycle()
         wakeupBuf.clear();
         sync->drainReleasedLoads(wakeupBuf);
         for (LoadId l : wakeupBuf) {
-            if (state[l].flags & kBlockedSync) {
-                state[l].flags &= ~kBlockedSync;
-                state[l].flags |= kSyncDone;
+            if (state.test(l, kBlockedSync)) {
+                state.clear(l, kBlockedSync);
+                state.set(l, kSyncDone);
                 cycleActivity = true;
             }
         }
@@ -470,8 +466,7 @@ OooProcessor::stepCycle()
     // In-order commit.
     unsigned committed = 0;
     while (committed < cfg.commitWidth && head < fetchPtr) {
-        OpState &os = state[head];
-        if (!(os.flags & kIssued) || os.doneCycle > cycle)
+        if (!state.test(head, kIssued) || state.done(head) > cycle)
             break;
         if (trc.isLoad(head)) {
             arb.commitLoad(trc.addr(head), head);

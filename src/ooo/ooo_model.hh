@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/soa_lanes.hh"
 #include "mdp/dep_policy.hh"
 #include "mdp/policy.hh"
 #include "mdp/sync_unit.hh"
@@ -103,8 +104,10 @@ struct OooResult
 class OooProcessor
 {
   public:
+    /** @param pool optional recycling arena for the state lanes (the
+     *  lockstep evaluator shares one across its lanes). */
     OooProcessor(const TraceView &trace, const DepOracle &oracle,
-                 const OooConfig &config);
+                 const OooConfig &config, LanePool *pool = nullptr);
     ~OooProcessor();
 
     OooResult run();
@@ -124,18 +127,17 @@ class OooProcessor
     OooResult finish();
 
   private:
-    static constexpr uint8_t kIssued = 1 << 0;
-    static constexpr uint8_t kBlockedSync = 1 << 1;
-    static constexpr uint8_t kBlockedFrontier = 1 << 2;
-    static constexpr uint8_t kBlockedPsync = 1 << 3;
+    // Op-state flags, stored in the OpLanes status lane.
+    static constexpr uint16_t kIssued = 1 << 0;
+    static constexpr uint16_t kBlockedSync = 1 << 1;
+    static constexpr uint16_t kBlockedFrontier = 1 << 2;
+    static constexpr uint16_t kBlockedPsync = 1 << 3;
     /** Synchronization already satisfied; do not re-consult. */
-    static constexpr uint8_t kSyncDone = 1 << 4;
+    static constexpr uint16_t kSyncDone = 1 << 4;
 
-    struct OpState
-    {
-        uint64_t doneCycle = 0;
-        uint8_t flags = 0;
-    };
+    /** Flags that take an op out of the issue scan. */
+    static constexpr uint16_t kNotIssuable =
+        kIssued | kBlockedSync | kBlockedFrontier | kBlockedPsync;
 
     /** LoadIssueContext over one ready load (defined in the .cc). */
     struct IssueCtx;
@@ -172,7 +174,9 @@ class OooProcessor
     const DepOracle &oracle;
     OooConfig cfg;
 
-    std::vector<OpState> state;
+    /** Per-op completion-time and status lanes (SoA; the dense scans
+     *  run as compare-mask kernels over the packed lanes). */
+    OpLanes state;
     /** Per-PC instance number of each memory op (precomputed). */
     std::vector<uint32_t> instanceOf;
 

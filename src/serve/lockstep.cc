@@ -15,12 +15,18 @@ LockstepEvaluator::LockstepEvaluator(const WorkloadContext &ctx,
     lanes.reserve(jobSpecs.size());
     for (const LockstepJob &j : jobSpecs) {
         Lane lane;
-        if (j.model == LockstepJob::Model::Multiscalar)
+        if (j.model == LockstepJob::Model::Multiscalar) {
+            // Lanes already parallelize across the server's job pool;
+            // nesting per-lane intra-run workers would oversubscribe.
+            MultiscalarConfig ms = j.ms;
+            ms.intraJobs = 1;
             lane.ms = std::make_unique<MultiscalarProcessor>(
-                ctx.trace(), ctx.oracle(), ctx.tasks(), j.ms);
-        else
+                ctx.trace(), ctx.oracle(), ctx.tasks(), ms,
+                &lanePool);
+        } else {
             lane.ooo = std::make_unique<OooProcessor>(
-                ctx.trace(), ctx.oracle(), j.ooo);
+                ctx.trace(), ctx.oracle(), j.ooo, &lanePool);
+        }
         lanes.push_back(std::move(lane));
     }
 }

@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/soa_lanes.hh"
 #include "harness/runner.hh"
 #include "multiscalar/config.hh"
 #include "multiscalar/processor.hh"
@@ -94,6 +95,15 @@ class LockstepEvaluator
 
     unsigned chunk;
     std::vector<LockstepJob> jobSpecs;
+
+    /**
+     * Shared recycling arena for the lanes' op-state buffers; declared
+     * before the lanes so they can release into it at destruction.
+     * The evaluator runs on one thread (shard parallelism lives above
+     * it in the server), which is all LanePool supports.
+     */
+    LanePool lanePool;
+
     std::vector<Lane> lanes;
     std::vector<LockstepResult> results;
     uint64_t nrounds = 0;

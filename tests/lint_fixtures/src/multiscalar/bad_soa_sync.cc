@@ -1,0 +1,52 @@
+// Fixture: both halves of the soa-sync rule.  Raw index arithmetic
+// on the lane escape hatches bypasses the OpLanes invariants (only
+// src/base/ may do it), and an unordered-container walk inside the
+// parallel readiness phase would leak hash order into the cached
+// issue verdicts.  The readyPrecompute walks also trip the generic
+// unordered-iter rule (model directory), so both rules must fire
+// there.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace mdp
+{
+
+struct FakeLanes {
+    std::vector<uint64_t> doneLane;
+    std::vector<uint16_t> flagsLane;
+
+    const uint64_t *doneData() const { return doneLane.data(); }
+    const uint16_t *flagsData() const { return flagsLane.data(); }
+};
+
+struct FakeStageModel {
+    FakeLanes state;
+    std::unordered_map<uint32_t, uint32_t> pendingByTask;
+    std::vector<uint32_t> worklist;
+
+    uint64_t
+    peekDone(size_t i) const
+    {
+        return state.doneData()[i]; // expect: soa-sync
+    }
+
+    const uint16_t *
+    flagsTail(size_t base) const
+    {
+        return state.flagsData() + base; // expect: soa-sync
+    }
+
+    void
+    readyPrecompute()
+    {
+        uint32_t max_seen = 0;
+        for (auto &kv : pendingByTask) { // expect: soa-sync unordered-iter
+            if (kv.second > max_seen)
+                max_seen = kv.second;
+        }
+        (void)max_seen;
+    }
+};
+
+} // namespace mdp

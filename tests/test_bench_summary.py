@@ -351,6 +351,55 @@ class BenchSummaryTest(unittest.TestCase):
         self.assertIn("warm", header)
         self.assertIn("skip_rate", header)
 
+    def test_trend_header_order_is_first_appearance(self):
+        # A label introduced by a LATER summary (here: e2e_intra4,
+        # the intra-run parallelism wall-clock) must append on the
+        # right of the existing columns, not alphabetically reshuffle
+        # them -- longitudinal readers diff these tables across CI
+        # runs.  Old summaries predating the column render '-'.
+        self.write("old/cold/a.json", good_report("bench_a"))
+        old = self.write_summary("BENCH_old.json",
+                                 [f"cold={self.root}/old/cold"])
+        self.write("new/cold/a.json", good_report("bench_a"))
+        self.write("new/aaa_intra4/a.json", good_report("bench_a"))
+        new = self.write_summary(
+            "BENCH_new.json",
+            [f"cold={self.root}/new/cold",
+             f"aaa_intra4={self.root}/new/aaa_intra4"])
+        proc = self.run_trend(str(old), str(new))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        lines = proc.stdout.splitlines()
+        header = next(l for l in lines if "summary" in l)
+        # 'aaa_intra4' sorts before 'cold' but appeared later, so it
+        # must come after it.
+        self.assertLess(header.index("cold"), header.index("aaa_intra4"))
+        old_row = next(l for l in lines if "BENCH_old.json" in l)
+        self.assertIn("-", old_row)
+
+    def test_trend_header_stable_under_argument_reversal(self):
+        # The same mixed summaries fed in either order keep each row's
+        # cells aligned with the header (the row-length assert in
+        # print_trend); reversing only reorders rows and columns
+        # consistently, it never misaligns cells.
+        self.write("a/cold/a.json", good_report("bench_a"))
+        a = self.write_summary("BENCH_a.json",
+                               [f"cold={self.root}/a/cold"])
+        self.write("b/warm/a.json", good_report("bench_a"))
+        b = self.write_summary("BENCH_b.json",
+                               [f"warm={self.root}/b/warm"])
+        fwd = self.run_trend(str(a), str(b))
+        rev = self.run_trend(str(b), str(a))
+        self.assertEqual(fwd.returncode, 0, fwd.stderr)
+        self.assertEqual(rev.returncode, 0, rev.stderr)
+        fwd_header = next(l for l in fwd.stdout.splitlines()
+                          if "summary" in l)
+        rev_header = next(l for l in rev.stdout.splitlines()
+                          if "summary" in l)
+        self.assertLess(fwd_header.index("cold"),
+                        fwd_header.index("warm"))
+        self.assertLess(rev_header.index("warm"),
+                        rev_header.index("cold"))
+
     def test_trend_emits_json_with_out(self):
         self.write("cold/a.json", good_report("bench_a"))
         summary = self.write_summary("BENCH_a.json",

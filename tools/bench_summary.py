@@ -471,9 +471,23 @@ def zoo_headline(rows):
 
 def print_trend(entries):
     """Render the longitudinal table: one row per summary, one column
-    per label, plus the aggregate fast-forward skip rate."""
-    labels = sorted({label for e in entries
-                     for label in e["wall_seconds"]})
+    per label, plus the aggregate fast-forward skip rate.
+
+    Label columns appear in first-appearance order across the entries
+    (argument order, oldest summary first), NOT sorted: a label newly
+    introduced by a later summary (e.g. an e2e_intra4 run added to the
+    perf job) must append on the right instead of alphabetically
+    reshuffling every column that longitudinal readers -- and CI log
+    diffs -- already rely on.  Old summaries predating a column simply
+    render '-' in it.
+    """
+    labels = []
+    seen = set()
+    for e in entries:
+        for label in e["wall_seconds"]:
+            if label not in seen:
+                seen.add(label)
+                labels.append(label)
     has_skip = any("cycle_totals" in e for e in entries)
     has_serve = any("serve_batch" in e for e in entries)
     has_zoo = any("zoo" in e for e in entries)
@@ -515,6 +529,12 @@ def print_trend(entries):
         if has_debt:
             debt = e.get("lint_suppressions")
             row.append("-" if debt is None else str(debt))
+        # Every row must line up with the header exactly; a mismatch
+        # means a column group above forgot its '-' placeholders for
+        # summaries predating that column.
+        assert len(row) == len(header), (
+            f"trend row for {e['summary']} has {len(row)} cells, "
+            f"header has {len(header)}")
         rows.append(row)
     widths = [max(len(row[i]) for row in rows)
               for i in range(len(header))]

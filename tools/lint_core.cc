@@ -424,6 +424,73 @@ checkFastForwardOrder(const std::string &path,
         });
 }
 
+// ---- rule: soa-sync ------------------------------------------------
+
+/**
+ * The packed op-state lanes (base/soa_lanes.hh) expose raw-pointer
+ * escape hatches -- doneData()/flagsData() -- solely so model code
+ * can hand the lanes to the compare-mask kernels.  Indexing or
+ * pointer arithmetic on those pointers outside the accessor layer
+ * bypasses the OpLanes invariants (paired lane length, reset
+ * semantics), so only src/base/ may do it.
+ */
+void
+checkSoaRawIndex(const std::string &path,
+                 const std::vector<Token> &code, std::vector<Diag> &out)
+{
+    for (size_t i = 0; i + 2 < code.size(); ++i) {
+        if ((!isIdent(code[i], "doneData") &&
+             !isIdent(code[i], "flagsData")) ||
+            !isPunct(code[i + 1], "("))
+            continue;
+        size_t close = matchGroup(code, i + 1);
+        if (close == SIZE_MAX || close + 1 >= code.size())
+            continue;
+        const Token &next = code[close + 1];
+        if (!isPunct(next, "[") && !isPunct(next, "+") &&
+            !isPunct(next, "-"))
+            continue;
+        out.push_back(
+            {path, code[i].line, "soa-sync",
+             "raw index arithmetic on '" + code[i].spelling +
+                 "()': the lane escape hatches exist only to feed "
+                 "the simd kernels; use the OpLanes accessors "
+                 "(done/flags/test/set) outside src/base/"});
+    }
+}
+
+/**
+ * The intra-run parallel phase (any readyPrecompute definition in a
+ * model directory) fans per-stage jobs over a worker pool; its
+ * per-stage worklists must come from vectors or index ranges.  An
+ * unordered-container walk there would make the cached readiness
+ * verdicts -- and with them the issue order -- depend on hash
+ * layout.
+ */
+void
+checkSoaSyncPhase(const std::string &path,
+                  const std::vector<Token> &code,
+                  const std::set<std::string> &names,
+                  std::vector<Diag> &out)
+{
+    std::vector<std::pair<size_t, size_t>> bodies =
+        functionBodies(code, "readyPrecompute");
+    if (bodies.empty())
+        return;
+    forEachContainerIteration(
+        code, names, [&](size_t idx, const std::string &name, bool) {
+            if (!inAnyBody(bodies, idx))
+                return;
+            out.push_back(
+                {path, code[idx].line, "soa-sync",
+                 "readyPrecompute iterates unordered container '" +
+                     name +
+                     "': the parallel readiness phase must consume "
+                     "a deterministic worklist; iterate a vector or "
+                     "an index range instead"});
+        });
+}
+
 // ---- rule: lockstep-blocking ---------------------------------------
 
 /**
@@ -619,6 +686,8 @@ localPass(const std::string &path, const std::string &text,
     if (inDeterministicScope(scoped)) {
         checkNondet(path, code, f.local);
         checkPtrOrder(path, code, f.local);
+        if (!startsWith(scoped, "src/base/"))
+            checkSoaRawIndex(path, code, f.local);
     }
     if (isHeaderPath(scoped))
         checkHeader(path, scoped, code, f.local);
@@ -663,6 +732,7 @@ contextPass(const std::string &path, const std::vector<Token> &code,
     if (inModelDir(scoped)) {
         checkUnorderedIter(path, code, names, out);
         checkFastForwardOrder(path, code, names, out);
+        checkSoaSyncPhase(path, code, names, out);
     }
     if (startsWith(scoped, "src/serve/"))
         checkLockstepBlocking(path, code, names, out);
@@ -1033,6 +1103,10 @@ ruleDocs()
         {"ptr-order",
          "ordered containers and comparators must not key on "
          "pointer values (std::map<T *, ...>, std::less<T *>)"},
+        {"soa-sync",
+         "no raw index arithmetic on the SoA lane escape hatches "
+         "(doneData()/flagsData()) outside src/base/, and no "
+         "unordered iteration inside readyPrecompute"},
         {"unordered-iter",
          "no iteration over unordered containers in the model "
          "directories; order leaks into state and reports"},
