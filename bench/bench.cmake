@@ -29,6 +29,8 @@ mdp_add_bench(bench_ablation_distributed)
 mdp_add_bench(bench_ablation_vsync)
 mdp_add_bench(bench_ablation_warmstart)
 mdp_add_bench(bench_ablation_zoo)
+mdp_add_bench(bench_manycore_scaling)
+target_link_libraries(bench_manycore_scaling PRIVATE mdp_workloads)
 
 # Microbenchmarks: deterministic kernels over the hot structures and
 # cycle loops, reporting per-kernel wall time as micro_* phases in the
@@ -48,4 +50,5 @@ mdp_add_micro(micro_oracle)
 mdp_add_micro(micro_model_cycle)
 mdp_add_micro(micro_cycle_skip)
 mdp_add_micro(micro_lockstep)
+mdp_add_micro(micro_frontier)
 target_link_libraries(micro_lockstep PRIVATE mdp_serve)

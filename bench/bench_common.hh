@@ -107,7 +107,8 @@ finishBench(const std::string &bench_name, const std::string &paper_ref,
         report.addTiming(phase, seconds);
     CycleStats cs = cycleStats();
     if (cs.total())
-        report.setCycleCounts(cs.cyclesSimulated, cs.cyclesSkipped);
+        report.setCycleCounts(cs.cyclesSimulated, cs.cyclesSkipped,
+                              cs.stageVisits, cs.stageSlots);
     if (!report.writeEnv())
         return 1;
     return ok ? 0 : 1;

@@ -48,4 +48,11 @@ tickReference()
     return ref;
 }
 
+bool
+frontierReference()
+{
+    static const bool ref = envLong("MDP_FRONTIER_REFERENCE", 0) != 0;
+    return ref;
+}
+
 } // namespace mdp

@@ -25,11 +25,14 @@ statsTotals()
 } // namespace
 
 void
-addCycleStats(uint64_t simulated, uint64_t skipped)
+addCycleStats(uint64_t simulated, uint64_t skipped,
+              uint64_t stage_visits, uint64_t stage_slots)
 {
     std::lock_guard<std::mutex> lock(statsMutex());
     statsTotals().cyclesSimulated += simulated;
     statsTotals().cyclesSkipped += skipped;
+    statsTotals().stageVisits += stage_visits;
+    statsTotals().stageSlots += stage_slots;
 }
 
 CycleStats

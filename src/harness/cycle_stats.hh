@@ -26,6 +26,19 @@ struct CycleStats
     uint64_t cyclesSimulated = 0;
     uint64_t cyclesSkipped = 0;
 
+    /**
+     * Frontier occupancy: stage-step calls actually made vs. the
+     * stages * simulated-cycles slot budget.  With the per-PE event
+     * frontier, visits/slots is the fraction of PEs that were active;
+     * the reference scheduler visits every slot (ratio 1.0).  Only
+     * the Multiscalar model reports these; they stay 0 for OoO runs.
+     * Deliberately mode-dependent -- this is the metric that shows
+     * the O(active-PE) win, so it must NOT be part of any
+     * byte-identity gate across scheduler modes.
+     */
+    uint64_t stageVisits = 0;
+    uint64_t stageSlots = 0;
+
     uint64_t total() const { return cyclesSimulated + cyclesSkipped; }
 
     /** Fraction of total cycles that were skipped (0 when idle). */
@@ -35,10 +48,20 @@ struct CycleStats
         uint64_t t = total();
         return t ? static_cast<double>(cyclesSkipped) / t : 0.0;
     }
+
+    /** Fraction of stage slots actually visited (0 when idle). */
+    double
+    stageOccupancy() const
+    {
+        return stageSlots
+                   ? static_cast<double>(stageVisits) / stageSlots
+                   : 0.0;
+    }
 };
 
 /** Add one run's counters to the process totals.  Thread-safe. */
-void addCycleStats(uint64_t simulated, uint64_t skipped);
+void addCycleStats(uint64_t simulated, uint64_t skipped,
+                   uint64_t stage_visits = 0, uint64_t stage_slots = 0);
 
 /** Snapshot of the process totals.  Thread-safe. */
 CycleStats cycleStats();

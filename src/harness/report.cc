@@ -545,10 +545,13 @@ BenchReport::addTiming(const std::string &phase, double seconds)
 }
 
 void
-BenchReport::setCycleCounts(uint64_t simulated, uint64_t skipped)
+BenchReport::setCycleCounts(uint64_t simulated, uint64_t skipped,
+                            uint64_t stage_visits, uint64_t stage_slots)
 {
     cyclesSimulated = simulated;
     cyclesSkipped = skipped;
+    stageVisits = stage_visits;
+    stageSlots = stage_slots;
     haveCycleCounts = true;
 }
 
@@ -603,6 +606,15 @@ BenchReport::toJson() const
                JsonValue::number(
                    total ? static_cast<double>(cyclesSkipped) / total
                          : 0.0));
+        if (stageSlots) {
+            cs.set("stage_visits",
+                   JsonValue::number(static_cast<double>(stageVisits)));
+            cs.set("stage_slots",
+                   JsonValue::number(static_cast<double>(stageSlots)));
+            cs.set("stage_occupancy",
+                   JsonValue::number(static_cast<double>(stageVisits) /
+                                     static_cast<double>(stageSlots)));
+        }
         doc.set("cycle_stats", std::move(cs));
     }
     return doc;

@@ -116,10 +116,17 @@ class BenchReport
     /**
      * Record the process's aggregate fast-forward counters; emitted
      * under "cycle_stats" (cycles_simulated, cycles_skipped,
-     * skip_rate).  Unlike phase_seconds these are deterministic --
-     * cold and warm runs of the same bench report identical values.
+     * skip_rate, and -- when stage slots were counted --
+     * stage_visits, stage_slots, stage_occupancy).  Unlike
+     * phase_seconds these are deterministic -- cold and warm runs of
+     * the same bench report identical values.  stage_occupancy is
+     * scheduler-mode-dependent by design (the frontier's whole point
+     * is visiting fewer slots), so byte-identity gates that span
+     * scheduler modes must compare stdout, not this artifact.
      */
-    void setCycleCounts(uint64_t simulated, uint64_t skipped);
+    void setCycleCounts(uint64_t simulated, uint64_t skipped,
+                        uint64_t stage_visits = 0,
+                        uint64_t stage_slots = 0);
 
     bool allChecksOk() const;
     size_t numChecks() const { return checks.size(); }
@@ -146,6 +153,8 @@ class BenchReport
     std::vector<std::pair<std::string, double>> timings;
     uint64_t cyclesSimulated = 0;
     uint64_t cyclesSkipped = 0;
+    uint64_t stageVisits = 0;
+    uint64_t stageSlots = 0;
     bool haveCycleCounts = false;
 };
 

@@ -78,7 +78,8 @@ runMultiscalar(const WorkloadContext &ctx, const MultiscalarConfig &cfg)
     MultiscalarProcessor proc(ctx.trace(), ctx.oracle(), ctx.tasks(),
                               cfg);
     SimResult r = proc.run();
-    addCycleStats(r.cyclesSimulated, r.cyclesSkipped);
+    addCycleStats(r.cyclesSimulated, r.cyclesSkipped, r.stageVisits,
+                  r.stageSlots);
     return r;
 }
 

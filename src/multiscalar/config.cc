@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Config validation and topology/shard resolution.
+ *
+ * The model used to accept any parameter values silently -- a zero
+ * stage count crashed deep inside the ring arithmetic, a 3x5 mesh
+ * over 16 stages just produced nonsense latencies.  Every check here
+ * fatals (exit 1) with the offending value spelled out, and runs from
+ * the MultiscalarProcessor constructor so no entry point can bypass
+ * it.
+ */
+
+#include "multiscalar/config.hh"
+
+#include "base/logging.hh"
+
+namespace mdp
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(unsigned v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+std::pair<unsigned, unsigned>
+resolveMeshDims(const MultiscalarConfig &cfg)
+{
+    unsigned n = cfg.numStages;
+    unsigned mx = cfg.meshX;
+    unsigned my = cfg.meshY;
+    if (mx == 0 && my == 0) {
+        // Most nearly square factorization: the largest divisor of n
+        // not exceeding sqrt(n) (deterministic integer search).
+        unsigned best = 1;
+        for (unsigned d = 1; d * d <= n; ++d) {
+            if (n % d == 0)
+                best = d;
+        }
+        mx = n / best;
+        my = best;
+    } else if (mx == 0) {
+        if (my == 0 || n % my != 0) {
+            mdp_fatal("meshY=%u does not divide numStages=%u", my, n);
+        }
+        mx = n / my;
+    } else if (my == 0) {
+        if (n % mx != 0)
+            mdp_fatal("meshX=%u does not divide numStages=%u", mx, n);
+        my = n / mx;
+    }
+    if (mx * my != n) {
+        mdp_fatal("mesh %ux%u does not factor numStages=%u (need "
+                  "meshX * meshY == numStages)",
+                  mx, my, n);
+    }
+    return {mx, my};
+}
+
+unsigned
+resolveArbShards(const MultiscalarConfig &cfg)
+{
+    if (cfg.arbShards != 0)
+        return cfg.arbShards;
+    // Auto: one shard per 8 stages, rounded up to a power of two, so
+    // the paper's 4--8 stage configurations keep a single bank.
+    unsigned shards = 1;
+    while (shards * 8 < cfg.numStages)
+        shards <<= 1;
+    return shards;
+}
+
+void
+validateMultiscalarConfig(const MultiscalarConfig &cfg)
+{
+    if (cfg.numStages < 1 || cfg.numStages > kMaxStages) {
+        mdp_fatal("numStages=%u out of range [1, %u]", cfg.numStages,
+                  kMaxStages);
+    }
+    if (cfg.issueWidth < 1)
+        mdp_fatal("issueWidth must be >= 1 (got %u)", cfg.issueWidth);
+    if (cfg.stageWindow < 1)
+        mdp_fatal("stageWindow must be >= 1 (got %u)", cfg.stageWindow);
+    if (cfg.memPorts < 1)
+        mdp_fatal("memPorts must be >= 1 (got %u)", cfg.memPorts);
+    if (cfg.banksPerStage < 1) {
+        mdp_fatal("banksPerStage must be >= 1 (got %u)",
+                  cfg.banksPerStage);
+    }
+    if (!isPowerOfTwo(cfg.blockBytes)) {
+        mdp_fatal("blockBytes must be a power of two (got %u)",
+                  cfg.blockBytes);
+    }
+    if (cfg.arbShards != 0 && !isPowerOfTwo(cfg.arbShards)) {
+        mdp_fatal("arbShards must be 0 (auto) or a power of two "
+                  "(got %u)",
+                  cfg.arbShards);
+    }
+    if (cfg.topology == Topology::Mesh)
+        resolveMeshDims(cfg);   // fatals on a non-factoring grid
+}
+
+} // namespace mdp

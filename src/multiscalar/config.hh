@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mdp/config.hh"
@@ -38,6 +39,14 @@ struct StaticEdge
     Addr storeTaskPc = 0;
 };
 
+/**
+ * Register-forwarding topology between processing units.  Ring is the
+ * paper's unidirectional point-to-point ring and the default; Mesh is
+ * the manycore scale-out configuration (2D grid, dimension-ordered XY
+ * routing, see interconnect.hh).
+ */
+enum class Topology { Ring, Mesh };
+
 /** Parameters of one simulated Multiscalar processor. */
 struct MultiscalarConfig
 {
@@ -46,6 +55,24 @@ struct MultiscalarConfig
     unsigned stageWindow = 16;     ///< per-stage scheduling window (ops)
 
     unsigned ringHopLatency = 1;   ///< cycles per hop, adjacent stages
+
+    // Manycore scale-out (PR 10).
+    Topology topology = Topology::Ring;
+    /**
+     * Mesh grid dimensions; meshX * meshY must equal numStages.  0
+     * auto-factors the most nearly square grid (validated fatal when
+     * numStages cannot be factored as requested).
+     */
+    unsigned meshX = 0;
+    unsigned meshY = 0;
+
+    /**
+     * Address-interleaved ARB shards (power of two).  0 auto-sizes
+     * from numStages.  Sharding is semantically invisible -- every ARB
+     * operation is a per-address point probe, so results are
+     * byte-identical at every shard count.
+     */
+    unsigned arbShards = 0;
     unsigned squashPenalty = 5;    ///< restart delay after a squash
     unsigned mispredictPenalty = 6; ///< sequencer recovery delay
 
@@ -113,9 +140,43 @@ struct MultiscalarConfig
      */
     unsigned intraJobs = 1;
 
+    /**
+     * Per-PE event frontier: park each quiescent stage at the exact
+     * cycle its next time-gated predicate can flip and step only due
+     * stages, so the per-cycle cost is O(active PEs) instead of
+     * O(numStages).  Byte-identical to the global-scan path;
+     * MDP_FRONTIER_REFERENCE=1 forces the global scan process-wide
+     * regardless of this flag (and MDP_TICK_REFERENCE additionally
+     * disables the idle-cycle jumps in either mode).
+     */
+    bool perPeFrontier = true;
+
     /** Derived: number of data banks. */
     unsigned numBanks() const { return banksPerStage * numStages; }
 };
+
+/** Largest supported machine (the manycore sweeps stop here). */
+constexpr unsigned kMaxStages = 1024;
+
+/**
+ * Validate stage/bank/mesh/shard parameters, mdp_fatal (exit 1) with
+ * a precise message on the first violation.  Every model entry point
+ * runs this (the MultiscalarProcessor constructor), so a bad config
+ * can never silently simulate.
+ */
+void validateMultiscalarConfig(const MultiscalarConfig &cfg);
+
+/**
+ * Resolved mesh dimensions: the configured meshX/meshY with zeros
+ * auto-factored into the most nearly square grid whose product is
+ * numStages.  Fatal when the request cannot factor.
+ */
+std::pair<unsigned, unsigned> resolveMeshDims(
+    const MultiscalarConfig &cfg);
+
+/** Resolved ARB shard count: arbShards, or the numStages-derived
+ *  power-of-two default when 0. */
+unsigned resolveArbShards(const MultiscalarConfig &cfg);
 
 /** Dependence-prediction breakdown in the format of Table 8. */
 struct PredBreakdown
@@ -156,6 +217,26 @@ struct SimResult
     uint64_t signalWaitCycles = 0;     ///< subset ended by a signal
     uint64_t frontierWaitCycles = 0;   ///< subset ended by the frontier
 
+    /**
+     * Register-forwarding traffic: cross-task source operands counted
+     * once per issue event, and the interconnect hops each one
+     * traveled (ring: task distance; mesh: XY distance plus wrap
+     * revolutions).  Deterministic -- identical in every scheduling
+     * mode, since the same ops issue at the same cycles.
+     */
+    uint64_t regForwards = 0;
+    uint64_t regForwardHops = 0;
+
+    /**
+     * Scheduling-loop occupancy: stage visits actually performed vs.
+     * stage slots (numStages per simulated cycle).  Unlike every other
+     * field these are *mode-dependent* by design -- the per-PE
+     * frontier exists to make visits << slots -- so equivalence tests
+     * must not compare them across scheduling modes.
+     */
+    uint64_t stageVisits = 0;
+    uint64_t stageSlots = 0;
+
     uint64_t valuePredUses = 0;    ///< loads that consumed a prediction
     uint64_t valuePredHits = 0;    ///< benign violations absorbed
     uint64_t valuePredMisses = 0;  ///< wrong values -> squash
@@ -170,6 +251,15 @@ struct SimResult
     ipc() const
     {
         return cycles ? static_cast<double>(committedOps) / cycles : 0.0;
+    }
+
+    /** Mean interconnect hops per forwarded register value. */
+    double
+    avgForwardHops() const
+    {
+        return regForwards
+            ? static_cast<double>(regForwardHops) / regForwards
+            : 0.0;
     }
 
     /** Mis-speculations per committed load (Table 9 metric). */

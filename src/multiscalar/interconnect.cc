@@ -1,0 +1,63 @@
+#include "multiscalar/interconnect.hh"
+
+namespace mdp
+{
+
+namespace
+{
+
+class RingInterconnect final : public Interconnect
+{
+  public:
+    explicit RingInterconnect(unsigned hop_latency)
+        : Interconnect(hop_latency)
+    {
+    }
+
+    const char *name() const override { return "ring"; }
+
+    uint64_t
+    taskHops(uint32_t p, uint32_t c) const override
+    {
+        return ringTaskHops(p, c);
+    }
+};
+
+class MeshInterconnect final : public Interconnect
+{
+  public:
+    MeshInterconnect(unsigned hop_latency, unsigned stages, unsigned mx,
+                     unsigned my)
+        : Interconnect(hop_latency), numStages(stages), meshX(mx),
+          meshY(my)
+    {
+    }
+
+    const char *name() const override { return "mesh"; }
+
+    uint64_t
+    taskHops(uint32_t p, uint32_t c) const override
+    {
+        return meshTaskHops(p, c, numStages, meshX, meshY);
+    }
+
+  private:
+    unsigned numStages;
+    unsigned meshX;
+    unsigned meshY;
+};
+
+} // namespace
+
+std::unique_ptr<Interconnect>
+makeInterconnect(const MultiscalarConfig &cfg)
+{
+    if (cfg.topology == Topology::Mesh) {
+        auto [mx, my] = resolveMeshDims(cfg);
+        return std::make_unique<MeshInterconnect>(cfg.ringHopLatency,
+                                                  cfg.numStages, mx, my);
+    }
+    return std::make_unique<RingInterconnect>(cfg.ringHopLatency);
+}
+
+} // namespace mdp

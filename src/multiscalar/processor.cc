@@ -1,6 +1,7 @@
 #include "multiscalar/processor.hh"
 
 #include <algorithm>
+#include <functional>
 
 #include "base/env.hh"
 #include "base/logging.hh"
@@ -11,19 +12,70 @@
 namespace mdp
 {
 
+namespace
+{
+
+/** Ctor-init-list hook: fatal on a bad config before any derived
+ *  member (memory system, lanes) can divide or index with it. */
+const MultiscalarConfig &
+validatedConfig(const MultiscalarConfig &config)
+{
+    validateMultiscalarConfig(config);
+    return config;
+}
+
+} // namespace
+
 MultiscalarProcessor::MultiscalarProcessor(const TraceView &trace,
                                            const DepOracle &dep_oracle,
                                            const TaskSet &task_set,
                                            const MultiscalarConfig &config,
                                            LanePool *pool)
-    : trc(trace), oracle(dep_oracle), tasks(task_set), cfg(config),
-      state(trace.size(), pool), taskRun(task_set.numTasks()),
-      stages(config.numStages), memsys(config),
+    : trc(trace), oracle(dep_oracle), tasks(task_set),
+      cfg(validatedConfig(config)), state(trace.size(), pool),
+      taskRun(task_set.numTasks()), stages(config.numStages),
+      memsys(config),
+      arb(resolveArbShards(config), config.blockBytes),
       capCycle(config.maxCycles
                    ? config.maxCycles
                    : 1000 + static_cast<uint64_t>(trace.size()) * 60),
       ffEnabled(config.fastForward && !tickReference())
 {
+    if (cfg.topology == Topology::Mesh) {
+        auto [mx, my] = resolveMeshDims(cfg);
+        meshXr = mx;
+        meshYr = my;
+    }
+
+    frontierOn = cfg.perPeFrontier && !frontierReference();
+    if (frontierOn) {
+        peFrontier = std::make_unique<EventFrontier>(cfg.numStages);
+        dueFlag.assign(cfg.numStages, 0);
+        dueBuf.reserve(cfg.numStages);
+        duePos.reserve(cfg.numStages);
+        storeHeap.reserve(cfg.numStages);
+
+        // Consumer CSR: reverse src1/src2 edges, so a producer's issue
+        // can wake exactly the stages whose readiness it advances.
+        consStart.assign(trc.size() + 1, 0);
+        for (SeqNum s = 0; s < trc.size(); ++s) {
+            for (SeqNum src : {trc.src1(s), trc.src2(s)}) {
+                if (src != kNoSeq)
+                    ++consStart[src + 1];
+            }
+        }
+        for (size_t i = 1; i < consStart.size(); ++i)
+            consStart[i] += consStart[i - 1];
+        consList.resize(consStart.back());
+        std::vector<uint32_t> cursor(consStart.begin(),
+                                     consStart.end() - 1);
+        for (SeqNum s = 0; s < trc.size(); ++s) {
+            for (SeqNum src : {trc.src1(s), trc.src2(s)}) {
+                if (src != kNoSeq)
+                    consList[cursor[src]++] = s;
+            }
+        }
+    }
     // A wakeup or blocked list can never exceed the in-flight window
     // (numStages stage windows); pre-sizing keeps the per-cycle loops
     // allocation-free after warmup.
@@ -40,6 +92,9 @@ MultiscalarProcessor::MultiscalarProcessor(const TraceView &trace,
             buf.seq.reserve(cfg.stageWindow);
             buf.ready.reserve(cfg.stageWindow);
         }
+        // Stamp 0 never equals a live cycle (cycle pre-increments to
+        // 1), so all buffers start stale.
+        bufStamp.assign(cfg.numStages, 0);
     }
 
     policy = makeDependencePolicy(
@@ -148,12 +203,46 @@ MultiscalarProcessor::stepCycle()
         return false;
     }
     cycleActivity = false;
+    res.stageSlots += cfg.numStages;
 
     sequencerStep();
+    if (frontierOn)
+        collectDue();
     readyPrecompute();
-    for (unsigned k = 0; k < cfg.numStages; ++k)
-        stageStep(
-            static_cast<unsigned>((committedTasks + k) % cfg.numStages));
+    if (frontierOn) {
+        // O(active-PE) path: visit only the stages whose frontier
+        // entry is due.  Stages are visited in the same circular
+        // order as the reference loop (offset from the head slot), so
+        // intra-cycle effects (FU contention, same-cycle wakes) land
+        // identically.  duePos can grow mid-loop via wakeStage.
+        for (dueCursor = 0; dueCursor < duePos.size(); ++dueCursor) {
+            unsigned idx = static_cast<unsigned>(
+                (duePos[dueCursor] + baseSlot) % cfg.numStages);
+            dueFlag[idx] = 0;
+            uint64_t before = actStamp;
+            ++res.stageVisits;
+            stageStep(idx);
+            if (stages[idx].task < 0)
+                continue;   // committed this cycle; unscheduled there
+            if (actStamp != before) {
+                // Something changed; the very next cycle may differ.
+                peFrontier->scheduleEarlier(idx, cycle + 1);
+            } else {
+                // Quiet visit: park at the stage's next timed event.
+                // schedule() (not scheduleEarlier) deliberately
+                // overrides stale earlier hints -- any future wake
+                // source re-arms via wakeStage.
+                peFrontier->schedule(
+                    idx, stageNextInteresting(idx, capCycle));
+            }
+        }
+    } else {
+        for (unsigned k = 0; k < cfg.numStages; ++k) {
+            ++res.stageVisits;
+            stageStep(static_cast<unsigned>((committedTasks + k) %
+                                            cfg.numStages));
+        }
+    }
     frontierScan();
     if (sync)
         drainSyncReleases();
@@ -164,7 +253,8 @@ MultiscalarProcessor::stepCycle()
     // predicate flips; jump to just before the earliest such cycle
     // (the next step's increment lands on it).
     if (ffEnabled && !cycleActivity && committedTasks < num_tasks) {
-        uint64_t target = nextInterestingCycle(capCycle);
+        uint64_t target = frontierOn ? frontierJumpTarget(capCycle)
+                                     : nextInterestingCycle(capCycle);
         if (target > cycle + 1) {
             res.cyclesSkipped += target - 1 - cycle;
             cycle = target - 1;
@@ -189,6 +279,58 @@ MultiscalarProcessor::finish()
 }
 
 uint64_t
+MultiscalarProcessor::stageNextInteresting(unsigned k, uint64_t cap) const
+{
+    const Stage &st = stages[k];
+    if (st.task < 0)
+        return cap + 1;
+    uint32_t t = static_cast<uint32_t>(st.task);
+
+    uint64_t next = cap + 1;
+    auto consider = [&](uint64_t c) {
+        if (c > cycle && c < next)
+            next = c;
+    };
+
+    // Squash re-fetch point of this stage.
+    consider(st.resumeCycle);
+
+    // Ops whose producers have all issued become ready once the
+    // last result arrives over the interconnect (srcReady's
+    // predicate).  An op with an unissued producer has no timed
+    // readiness; the producer's own issue is activity and re-arms
+    // the scan (in frontier mode, via the consumer-CSR wake).
+    // The window is the non-issued range [windowBase, fetchPtr);
+    // the flags-lane kernel hops directly between candidates.
+    for (SeqNum seq = static_cast<SeqNum>(simd::nextReadyCandidate(
+             state.flagsData(), st.windowBase, st.fetchPtr,
+             kNotIssuable));
+         seq < st.fetchPtr;
+         seq = static_cast<SeqNum>(simd::nextReadyCandidate(
+             state.flagsData(), seq + 1, st.fetchPtr, kNotIssuable))) {
+        uint64_t ready = 0;
+        bool timed = true;
+        for (SeqNum src : {trc.src1(seq), trc.src2(seq)}) {
+            if (src == kNoSeq)
+                continue;
+            if (!state.test(src, kIssued)) {
+                timed = false;
+                break;
+            }
+            uint64_t r = state.done(src);
+            uint32_t ptask = trc.taskId(src);
+            if (ptask != t)
+                r += regHops(ptask, t) * cfg.ringHopLatency;
+            ready = std::max(ready, r);
+        }
+        if (timed)
+            consider(ready);
+    }
+
+    return next;
+}
+
+uint64_t
 MultiscalarProcessor::nextInterestingCycle(uint64_t cap) const
 {
     uint64_t next = cap + 1;
@@ -201,52 +343,18 @@ MultiscalarProcessor::nextInterestingCycle(uint64_t cap) const
     if (mispredictStall && mispredictResume != 0)
         consider(mispredictResume);
 
-    for (unsigned k = 0; k < cfg.numStages; ++k) {
-        const Stage &st = stages[k];
-        if (st.task < 0)
-            continue;
-        uint32_t t = static_cast<uint32_t>(st.task);
+    for (unsigned k = 0; k < cfg.numStages; ++k)
+        consider(stageNextInteresting(k, cap));
 
-        // Squash re-fetch point of this stage.
-        consider(st.resumeCycle);
-
-        // Ops whose producers have all issued become ready once the
-        // last result arrives over the ring (srcReady's predicate).
-        // An op with an unissued producer has no timed readiness; the
-        // producer's own issue is activity and re-arms the scan.
-        // The window is the non-issued range [windowBase, fetchPtr);
-        // the flags-lane kernel hops directly between candidates.
-        for (SeqNum seq = static_cast<SeqNum>(simd::nextReadyCandidate(
-                 state.flagsData(), st.windowBase, st.fetchPtr,
-                 kNotIssuable));
-             seq < st.fetchPtr;
-             seq = static_cast<SeqNum>(simd::nextReadyCandidate(
-                 state.flagsData(), seq + 1, st.fetchPtr,
-                 kNotIssuable))) {
-            uint64_t ready = 0;
-            bool timed = true;
-            for (SeqNum src : {trc.src1(seq), trc.src2(seq)}) {
-                if (src == kNoSeq)
-                    continue;
-                if (!state.test(src, kIssued)) {
-                    timed = false;
-                    break;
-                }
-                uint64_t r = state.done(src);
-                uint32_t ptask = trc.taskId(src);
-                if (ptask != t)
-                    r += static_cast<uint64_t>(t - ptask) *
-                         cfg.ringHopLatency;
-                ready = std::max(ready, r);
-            }
-            if (timed)
-                consider(ready);
-        }
-
-        // Head-task commit waits for its last completion to land.
-        if (st.task == static_cast<int64_t>(committedTasks)) {
-            const TaskRun &tr = taskRun[t];
-            if (tr.issuedOps == tasks.taskSize(t))
+    // Head-task commit waits for its last completion to land.  This
+    // is a global term (headness flips at commit time without any
+    // per-stage event), shared with frontierJumpTarget.
+    if (committedTasks < nextTask) {
+        uint32_t h = static_cast<uint32_t>(committedTasks);
+        const Stage &hs = stages[h % cfg.numStages];
+        if (hs.task == static_cast<int64_t>(committedTasks)) {
+            const TaskRun &tr = taskRun[h];
+            if (tr.issuedOps == tasks.taskSize(h))
                 consider(tr.lastDone);
         }
     }
@@ -254,6 +362,141 @@ MultiscalarProcessor::nextInterestingCycle(uint64_t cap) const
     if (sync)
         consider(sync->nextWakeupCycle());
     return next;
+}
+
+uint64_t
+MultiscalarProcessor::frontierJumpTarget(uint64_t cap)
+{
+    uint64_t next = cap + 1;
+    auto consider = [&](uint64_t c) {
+        if (c > cycle && c < next)
+            next = c;
+    };
+
+    // Global (non-per-stage) terms, identical to nextInterestingCycle.
+    if (mispredictStall && mispredictResume != 0)
+        consider(mispredictResume);
+    if (committedTasks < nextTask) {
+        uint32_t h = static_cast<uint32_t>(committedTasks);
+        const Stage &hs = stages[h % cfg.numStages];
+        if (hs.task == static_cast<int64_t>(committedTasks)) {
+            const TaskRun &tr = taskRun[h];
+            if (tr.issuedOps == tasks.taskSize(h))
+                consider(tr.lastDone);
+        }
+    }
+    if (sync)
+        consider(sync->nextWakeupCycle());
+
+    // Per-stage terms come from the frontier.  Park times are
+    // conservative-early (stored <= the exact per-stage event time),
+    // so the earliest entry is validated against the exact recompute
+    // and re-parked when it was only a stale hint; the loop strictly
+    // raises stored times toward exact values, so it terminates.
+    uint64_t t;
+    uint32_t id;
+    while (peFrontier->peekMin(t, id)) {
+        if (t >= next)
+            break;   // a global term is earlier than any stage event
+        uint64_t exact = stageNextInteresting(id, cap);
+        if (exact <= t) {
+            // Hint confirmed (exact == t under the conservative-early
+            // invariant); this is the jump target.
+            consider(exact);
+            break;
+        }
+        peFrontier->schedule(id, exact);
+    }
+    return next;
+}
+
+void
+MultiscalarProcessor::collectDue()
+{
+    baseSlot = static_cast<unsigned>(committedTasks % cfg.numStages);
+    dueBuf.clear();
+    duePos.clear();
+    peFrontier->popDue(cycle, dueBuf);
+    for (uint32_t id : dueBuf) {
+        if (stages[id].task < 0)
+            continue;   // empty slot; re-armed at the next assignment
+        duePos.push_back(static_cast<uint32_t>(
+            (id + cfg.numStages - baseSlot) % cfg.numStages));
+        dueFlag[id] = 1;
+    }
+    // Ring-position order == the reference loop's visit order.
+    std::sort(duePos.begin(), duePos.end());
+}
+
+void
+MultiscalarProcessor::wakeStage(unsigned s, uint64_t t)
+{
+    if (t > cycle) {
+        peFrontier->scheduleEarlier(s, t);
+        return;
+    }
+    // Same-cycle wake (t <= cycle), raised mid-stage-loop.  The
+    // reference visits every stage once per cycle in circular order;
+    // a flag cleared mid-loop is observed only by stages at LATER
+    // ring positions.  Mirror that: splice the stage into the due
+    // list if its position has not been passed yet, else defer to the
+    // next cycle.
+    if (dueFlag[s]) {
+        // Already queued (and not yet visited: the flag clears at
+        // visit time); nothing to do.
+        return;
+    }
+    uint32_t pos = static_cast<uint32_t>(
+        (s + cfg.numStages - baseSlot) % cfg.numStages);
+    uint32_t cur_pos =
+        dueCursor < duePos.size() ? duePos[dueCursor] : UINT32_MAX;
+    if (pos > cur_pos) {
+        auto it = std::lower_bound(duePos.begin() + dueCursor + 1,
+                                   duePos.end(), pos);
+        duePos.insert(it, pos);
+        dueFlag[s] = 1;
+    } else {
+        // Position already passed (or being visited right now): the
+        // reference would only see the cleared flag next cycle.
+        peFrontier->scheduleEarlier(s, cycle + 1);
+    }
+}
+
+void
+MultiscalarProcessor::onIssued(SeqNum seq, uint32_t t)
+{
+    // Forwarding traffic accounting: one interconnect transfer per
+    // cross-task register edge, weighted by route hops.  Counted in
+    // both scheduling modes (deterministic output).
+    for (SeqNum src : {trc.src1(seq), trc.src2(seq)}) {
+        if (src == kNoSeq)
+            continue;
+        uint32_t ptask = trc.taskId(src);
+        if (ptask != t) {
+            ++res.regForwards;
+            res.regForwardHops += regHops(ptask, t);
+        }
+    }
+
+    if (!frontierOn)
+        return;
+
+    // Wake every fetched-or-future consumer at its operand-arrival
+    // time.  Consumers in later tasks pay the interconnect latency;
+    // same-task consumers can issue next cycle at the earliest (the
+    // issue scan already passed seq's window slot this cycle).
+    uint64_t done = state.done(seq);
+    for (uint32_t i = consStart[seq]; i < consStart[seq + 1]; ++i) {
+        SeqNum q = consList[i];
+        uint32_t tq = trc.taskId(q);
+        if (tq < committedTasks || tq >= nextTask)
+            continue;
+        uint64_t arrival = done;
+        if (tq != t)
+            arrival += regHops(t, tq) * cfg.ringHopLatency;
+        wakeStage(tq % cfg.numStages,
+                  std::max(cycle + 1, arrival));
+    }
 }
 
 Addr
@@ -282,33 +525,46 @@ MultiscalarProcessor::sequencerStep()
         // mark, fast-forward would jump past it to the cycle cap.
         if (mispredictResume == 0 && committedTasks == nextTask) {
             mispredictResume = cycle + cfg.mispredictPenalty;
-            cycleActivity = true;
+            act();
         }
         if (mispredictResume == 0 || cycle < mispredictResume)
             return;
         mispredictStall = false;
         mispredictResume = 0;
-        cycleActivity = true;
+        act();
         // fall through to assignment
     } else if (taskMispredicted(static_cast<uint32_t>(nextTask))) {
         mispredictStall = true;
         ++res.controlStalls;
-        cycleActivity = true;
+        act();
         return;
     }
 
-    Stage &st = stages[nextTask % cfg.numStages];
+    unsigned idx = static_cast<unsigned>(nextTask % cfg.numStages);
+    Stage &st = stages[idx];
     if (st.task >= 0)
-        return;   // the ring slot is still busy with an older task
+        return;   // the PE slot is still busy with an older task
 
+    uint32_t t = static_cast<uint32_t>(nextTask);
     st.task = static_cast<int64_t>(nextTask);
-    st.fetchPtr = tasks.taskStart(static_cast<uint32_t>(nextTask));
+    st.fetchPtr = tasks.taskStart(t);
     st.windowBase = st.fetchPtr;
     st.windowCount = 0;
     st.resumeCycle = cycle + 1;
     taskRun[nextTask] = TaskRun{};
     ++nextTask;
-    cycleActivity = true;
+    act();
+
+    if (frontierOn) {
+        wakeStage(idx, st.resumeCycle);
+        const std::vector<SeqNum> &stores = tasks.stores(t);
+        if (!stores.empty()) {
+            storeHeap.emplace_back(
+                static_cast<uint64_t>(stores.front()), t);
+            std::push_heap(storeHeap.begin(), storeHeap.end(),
+                           std::greater<>{});
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -325,8 +581,7 @@ MultiscalarProcessor::srcReady(SeqNum src, uint32_t consumer_task) const
     uint32_t ptask = trc.taskId(src);
     uint64_t ready = state.done(src);
     if (ptask != consumer_task)
-        ready += static_cast<uint64_t>(consumer_task - ptask) *
-                 cfg.ringHopLatency;
+        ready += regHops(ptask, consumer_task) * cfg.ringHopLatency;
     return ready <= cycle;
 }
 
@@ -374,6 +629,7 @@ MultiscalarProcessor::tryIssueMem(SeqNum seq, unsigned &mem_ports)
       case LoadAction::BlockFrontier:
         state.set(seq, kBlockedFrontier);
         frontierBlocked.push_back(seq);
+        frontierBlockedMin = std::min(frontierBlockedMin, seq);
         ++res.loadsBlockedFrontier;
         return true;
 
@@ -387,6 +643,7 @@ MultiscalarProcessor::tryIssueMem(SeqNum seq, unsigned &mem_ports)
         state.set(seq, kBlockedSync | kPredPendingY);
         state.setDone(seq, cycle);   // stash the block time
         syncBlocked.push_back(seq);
+        syncBlockedMin = std::min(syncBlockedMin, seq);
         syncPushed = true;
         ++res.loadsBlockedSync;
         return true;
@@ -432,6 +689,7 @@ MultiscalarProcessor::executeLoad(SeqNum seq)
     TaskRun &tr = taskRun[t];
     ++tr.issuedOps;
     tr.lastDone = std::max(tr.lastDone, state.done(seq));
+    onIssued(seq, t);
 }
 
 void
@@ -445,6 +703,7 @@ MultiscalarProcessor::executeStore(SeqNum seq)
     TaskRun &tr = taskRun[t];
     ++tr.issuedOps;
     tr.lastDone = std::max(tr.lastDone, state.done(seq));
+    onIssued(seq, t);
 
     // Violation check: did a younger load from a later task already
     // read this location?  Benignly absorbed (value-predicted)
@@ -453,12 +712,17 @@ MultiscalarProcessor::executeStore(SeqNum seq)
     while (violator != kNoSeq && handleViolation(violator, seq))
         violator = arb.findViolator(addr, seq, t);
 
-    // Wake ideal-sync waiters.
+    // Wake ideal-sync waiters.  The released load can re-attempt
+    // issue this same cycle if its stage is visited later in ring
+    // order -- wakeStage handles the position split.
     auto wit = psyncWaiters.find(seq);
     if (wit != psyncWaiters.end()) {
         for (SeqNum l : wit->second) {
-            if (state.test(l, kBlockedPsync))
+            if (state.test(l, kBlockedPsync)) {
                 state.clear(l, kBlockedPsync);
+                if (frontierOn)
+                    wakeStage(trc.taskId(l) % cfg.numStages, cycle);
+            }
         }
         psyncWaiters.erase(wit);
     }
@@ -480,6 +744,8 @@ MultiscalarProcessor::executeStore(SeqNum seq)
                     state.clear(l, kPredPendingY);
                     classify(l, true, true);
                 }
+                if (frontierOn)
+                    wakeStage(trc.taskId(l) % cfg.numStages, cycle);
             }
         }
     }
@@ -531,6 +797,46 @@ MultiscalarProcessor::storeFrontierBound()
     return bound;
 }
 
+uint64_t
+MultiscalarProcessor::storeFrontierBoundFast()
+{
+    // Lazy min-heap over (first-unexecuted-store seq, task).  Keys
+    // only understate the true per-task value (stores execute and
+    // storePtr advances after a key was pushed), so the top is
+    // validated: advance the task's storePtr exactly as the reference
+    // scan would, drop exhausted/committed/stale entries, re-push the
+    // corrected key.  Each store seq is pushed O(squashes + 1) times
+    // total, so the amortized cost is O(log stages) per cycle versus
+    // the reference's O(in-flight tasks) scan.
+    auto cmp = std::greater<>{};
+    while (!storeHeap.empty()) {
+        auto [key, tt] = storeHeap.front();
+        if (static_cast<uint64_t>(tt) < committedTasks) {
+            std::pop_heap(storeHeap.begin(), storeHeap.end(), cmp);
+            storeHeap.pop_back();
+            continue;
+        }
+        const std::vector<SeqNum> &stores = tasks.stores(tt);
+        TaskRun &tr = taskRun[tt];
+        while (tr.storePtr < stores.size() &&
+               state.test(stores[tr.storePtr], kIssued)) {
+            ++tr.storePtr;
+        }
+        if (tr.storePtr >= stores.size()) {
+            std::pop_heap(storeHeap.begin(), storeHeap.end(), cmp);
+            storeHeap.pop_back();
+            continue;
+        }
+        uint64_t truth = stores[tr.storePtr];
+        if (truth == key)
+            return key;
+        std::pop_heap(storeHeap.begin(), storeHeap.end(), cmp);
+        storeHeap.back() = {truth, tt};
+        std::push_heap(storeHeap.begin(), storeHeap.end(), cmp);
+    }
+    return UINT64_MAX;
+}
+
 // ---------------------------------------------------------------------
 // Stage pipeline
 // ---------------------------------------------------------------------
@@ -542,25 +848,42 @@ MultiscalarProcessor::readyPrecompute()
     if (!intraPool)
         return;
 
+    // In frontier mode only the due stages get stepped this cycle, so
+    // only they need verdicts.  The occupancy sum then differs from
+    // the reference's all-stage sum, which is invisible: the verdicts
+    // themselves are identical and a cache miss in issueOne falls back
+    // to the same live evaluation.
+    auto forEachActive = [&](auto &&fn) {
+        if (frontierOn) {
+            for (size_t i = 0; i < duePos.size(); ++i)
+                fn(static_cast<unsigned>((duePos[i] + baseSlot) %
+                                         cfg.numStages));
+        } else {
+            for (unsigned k = 0; k < cfg.numStages; ++k)
+                fn(k);
+        }
+    };
+
     // Below this occupancy the fan-out overhead dominates; skipping is
     // invisible (stageStep just evaluates live, same verdicts).
     uint64_t occupancy = 0;
-    for (unsigned k = 0; k < cfg.numStages; ++k) {
+    forEachActive([&](unsigned k) {
         const Stage &st = stages[k];
         if (st.task >= 0 && cycle >= st.resumeCycle)
             occupancy += st.fetchPtr - st.windowBase;
-    }
+    });
     if (occupancy < kIntraMinOccupancy)
         return;
 
-    for (unsigned k = 0; k < cfg.numStages; ++k) {
+    forEachActive([&](unsigned k) {
         ReadyBuf &buf = readyBufs[k];
         buf.seq.clear();
         buf.ready.clear();
         buf.cursor = 0;
+        bufStamp[k] = cycle;
         const Stage &st = stages[k];
         if (st.task < 0 || cycle < st.resumeCycle)
-            continue;
+            return;
         // Workers only read the op-state lanes and write their own
         // stage's buffer; the main thread blocks in wait(), so the
         // fan-out is race-free and the buffer contents do not depend
@@ -579,7 +902,7 @@ MultiscalarProcessor::readyPrecompute()
                     buf.ready.push_back(srcsReady(seq) ? 1 : 0);
                 }
             });
-    }
+    });
     intraPool->wait();
     readyValid = true;
 }
@@ -594,7 +917,10 @@ MultiscalarProcessor::stageStep(unsigned stage_idx)
     // The phase-A verdict cache costs a revalidation load on every
     // candidate, so the scan is instantiated separately for the
     // serial path, which pays nothing for the intra-run machinery.
-    if (readyValid && !readyBufs.empty())
+    // A stage spliced into the due list mid-cycle (same-cycle wake)
+    // was absent when phase A ran, so its buffer holds a previous
+    // cycle's verdicts; the stamp check forces the live path there.
+    if (readyValid && !readyBufs.empty() && bufStamp[stage_idx] == cycle)
         issueScan<true>(stage, stage_idx);
     else
         issueScan<false>(stage, stage_idx);
@@ -618,7 +944,7 @@ MultiscalarProcessor::issueScan(Stage &stage, unsigned stage_idx)
         ++fetched;
     }
     if (fetched)
-        cycleActivity = true;
+        act();
 
     // Out-of-order issue from the window.
     unsigned simple_fu = cfg.simpleIntFUs;
@@ -714,7 +1040,7 @@ MultiscalarProcessor::issueOne(SeqNum seq, uint32_t t, Stage &stage,
             return;
         // Either issued or transitioned to blocked; blocked ops do
         // not consume an issue slot (and stay in the window).
-        cycleActivity = true;
+        act();
         if (!state.test(seq, kIssued))
             return;
     } else {
@@ -747,11 +1073,12 @@ MultiscalarProcessor::issueOne(SeqNum seq, uint32_t t, Stage &stage,
         TaskRun &tr = taskRun[t];
         ++tr.issuedOps;
         tr.lastDone = std::max(tr.lastDone, state.done(seq));
+        onIssued(seq, t);
     }
     // The op left the window (kIssued set by every issue path).
     --stage.windowCount;
     ++issued;
-    cycleActivity = true;
+    act();
 }
 
 // ---------------------------------------------------------------------
@@ -766,27 +1093,34 @@ MultiscalarProcessor::frontierScan()
     // scan, the class-invariant comment on lastFrontierBound shows no
     // blocked op can become releasable, so the linear rescans are
     // skipped entirely.
-    uint64_t bound = storeFrontierBound();
+    uint64_t bound =
+        frontierOn ? storeFrontierBoundFast() : storeFrontierBound();
     bool moved = bound != lastFrontierBound || frontierDirty;
     if (!moved && !syncPushed)
         return;
 
-    if (moved) {
+    if (moved && bound >= frontierBlockedMin) {
         auto keep_frontier = [&](SeqNum seq) {
             if (!state.test(seq, kBlockedFrontier))
                 return false;   // squashed or already released
             if (bound >= seq) {
                 state.clear(seq, kBlockedFrontier);
-                cycleActivity = true;
+                act();
+                if (frontierOn)
+                    wakeStage(trc.taskId(seq) % cfg.numStages,
+                              cycle + 1);
                 return false;
             }
             return true;
         };
         std::erase_if(frontierBlocked,
                       [&](SeqNum s) { return !keep_frontier(s); });
+        frontierBlockedMin = kNoSeq;
+        for (SeqNum s : frontierBlocked)
+            frontierBlockedMin = std::min(frontierBlockedMin, s);
     }
 
-    if (sync) {
+    if (sync && bound >= syncBlockedMin) {
         auto keep_sync = [&](SeqNum seq) {
             if (!state.test(seq, kBlockedSync))
                 return false;
@@ -796,7 +1130,7 @@ MultiscalarProcessor::frontierScan()
                 sync->frontierRelease(seq);
                 state.clear(seq, kBlockedSync);
                 state.set(seq, kSyncDone);
-                cycleActivity = true;
+                act();
                 res.syncWaitCycles += cycle - state.done(seq);
                 res.frontierWaitCycles += cycle - state.done(seq);
                 state.setDone(seq, 0);
@@ -805,12 +1139,18 @@ MultiscalarProcessor::frontierScan()
                     classify(seq, true, false);
                 }
                 ++res.frontierReleases;
+                if (frontierOn)
+                    wakeStage(trc.taskId(seq) % cfg.numStages,
+                              cycle + 1);
                 return false;
             }
             return true;
         };
         std::erase_if(syncBlocked,
                       [&](SeqNum s) { return !keep_sync(s); });
+        syncBlockedMin = kNoSeq;
+        for (SeqNum s : syncBlocked)
+            syncBlockedMin = std::min(syncBlockedMin, s);
     }
 
     lastFrontierBound = bound;
@@ -827,13 +1167,15 @@ MultiscalarProcessor::drainSyncReleases()
         if (state.test(l, kBlockedSync)) {
             state.clear(l, kBlockedSync);
             state.set(l, kSyncDone);
-            cycleActivity = true;
+            act();
             res.syncWaitCycles += cycle - state.done(l);
             state.setDone(l, 0);
             if (state.test(l, kPredPendingY)) {
                 state.clear(l, kPredPendingY);
                 classify(l, true, false);
             }
+            if (frontierOn)
+                wakeStage(trc.taskId(l) % cfg.numStages, cycle + 1);
         }
     }
 }
@@ -883,7 +1225,7 @@ MultiscalarProcessor::handleViolation(SeqNum load, SeqNum store)
 void
 MultiscalarProcessor::squashFrom(SeqNum squash_start)
 {
-    cycleActivity = true;
+    act();
     uint32_t task0 = trc.taskId(squash_start);
 
     // Reset every op from the squash point to the youngest assigned
@@ -926,6 +1268,8 @@ MultiscalarProcessor::squashFrom(SeqNum squash_start)
                 st.windowCount = static_cast<uint32_t>(
                     (squash_start - tasks.taskStart(tt)) - tr.issuedOps);
                 st.resumeCycle = cycle + cfg.squashPenalty;
+                if (frontierOn)
+                    wakeStage(tt % cfg.numStages, st.resumeCycle);
             }
         } else {
             taskRun[tt] = TaskRun{};
@@ -934,6 +1278,21 @@ MultiscalarProcessor::squashFrom(SeqNum squash_start)
                 st.windowBase = st.fetchPtr;
                 st.windowCount = 0;
                 st.resumeCycle = cycle + cfg.squashPenalty;
+                if (frontierOn)
+                    wakeStage(tt % cfg.numStages, st.resumeCycle);
+            }
+        }
+
+        // The storePtr rewind above invalidates the lazy store-heap
+        // invariant (keys may now overstate a task's first-unexecuted
+        // store); a fresh conservative entry restores it.
+        if (frontierOn) {
+            const std::vector<SeqNum> &stores = tasks.stores(tt);
+            if (!stores.empty()) {
+                storeHeap.emplace_back(
+                    static_cast<uint64_t>(stores.front()), tt);
+                std::push_heap(storeHeap.begin(), storeHeap.end(),
+                               std::greater<>{});
             }
         }
     }
@@ -947,6 +1306,12 @@ MultiscalarProcessor::squashFrom(SeqNum squash_start)
                   [&](SeqNum s) { return s >= squash_start; });
     std::erase_if(syncBlocked,
                   [&](SeqNum s) { return s >= squash_start; });
+    frontierBlockedMin = kNoSeq;
+    for (SeqNum s : frontierBlocked)
+        frontierBlockedMin = std::min(frontierBlockedMin, s);
+    syncBlockedMin = kNoSeq;
+    for (SeqNum s : syncBlocked)
+        syncBlockedMin = std::min(syncBlockedMin, s);
     for (SeqNum p : sortedKeys(psyncWaiters)) {
         auto it = psyncWaiters.find(p);
         std::erase_if(it->second,
@@ -998,8 +1363,10 @@ MultiscalarProcessor::commitStep()
 
     st.task = -1;
     st.windowCount = 0;
+    if (frontierOn)
+        peFrontier->unschedule(t % cfg.numStages);
     ++committedTasks;
-    cycleActivity = true;
+    act();
 }
 
 } // namespace mdp

@@ -20,12 +20,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/event_frontier.hh"
 #include "base/soa_lanes.hh"
 #include "base/thread_pool.hh"
 #include "mdp/dep_policy.hh"
 #include "mdp/sync_unit.hh"
 #include "multiscalar/arb.hh"
 #include "multiscalar/config.hh"
+#include "multiscalar/interconnect.hh"
 #include "multiscalar/memsys.hh"
 #include "multiscalar/task_info.hh"
 #include "trace/dep_oracle.hh"
@@ -166,6 +168,80 @@ class MultiscalarProcessor : public TaskPcSource
     void drainSyncReleases();
     void commitStep();
 
+    // --- per-PE event frontier (manycore fast path) -----------------
+    /**
+     * Drain the PE frontier into this cycle's due set: the positions
+     * (ring order relative to the head task's stage) of every stage
+     * whose park time has arrived.  Skipping every other stage is
+     * provably invisible -- a stage is only parked past a cycle when
+     * stepping it that cycle could not mutate any semantic state, and
+     * every event that can change that verdict wakes it (wakeStage).
+     */
+    void collectDue();
+
+    /**
+     * Lower stage @p s's park time to @p t.  A wake at the current
+     * cycle (a flag cleared mid stage-loop by another stage's store)
+     * splices the stage into the remainder of this cycle's due walk
+     * when its ring position has not been passed yet -- exactly the
+     * stages the reference all-stage loop would still visit -- and
+     * otherwise re-arms it for the next cycle.
+     */
+    void wakeStage(unsigned s, uint64_t t);
+
+    /** Producer @p seq (task @p t) issued: forwarding statistics, and
+     *  wake each consumer's stage at its value-arrival cycle. */
+    void onIssued(SeqNum seq, uint32_t t);
+
+    /**
+     * The per-stage portion of nextInterestingCycle() -- squash
+     * resume and timed window readiness of stage @p k, with the same
+     * "strictly after the current cycle" filter; @p cap + 1 when
+     * none.  The reference scan takes the min over all stages; the
+     * frontier path uses it as the exact park time of one stage.
+     */
+    uint64_t stageNextInteresting(unsigned k, uint64_t cap) const;
+
+    /**
+     * Frontier-mode jump target: the global O(1) terms (sequencer
+     * recovery, head-task commit, synchronizer wakeup) plus the
+     * validated frontier minimum.  Park times are conservative-early
+     * (wakes only ever lower them), so the top entry is re-validated
+     * against stageNextInteresting() until it is exact -- at which
+     * point every other entry is provably no earlier, and the target
+     * equals the reference scan's to the cycle.
+     */
+    uint64_t frontierJumpTarget(uint64_t cap);
+
+    /**
+     * Heap-backed storeFrontierBound(): the same exact minimum,
+     * validated lazily from a heap of (first possibly-unexecuted
+     * store, task) entries instead of walking every in-flight task.
+     * Entry keys are conservative-low (task assignment and squash
+     * push the task's first store; keys only advance at validation),
+     * so the validated top is the true bound.
+     */
+    uint64_t storeFrontierBoundFast();
+
+    /** Record a semantic mutation: licenses no fast-forward jump this
+     *  cycle, and marks the currently stepped stage as active. */
+    void
+    act()
+    {
+        cycleActivity = true;
+        ++actStamp;
+    }
+
+    /** Forwarding hops from producer task @p p to consumer task
+     *  @p c -- the interconnect.hh formulas, dispatched inline. */
+    uint64_t
+    regHops(uint32_t p, uint32_t c) const
+    {
+        return cfg.topology == Topology::Ring
+            ? ringTaskHops(p, c)
+            : meshTaskHops(p, c, cfg.numStages, meshXr, meshYr);
+    }
+
     /**
      * Earliest cycle after the current one at which a time-gated
      * predicate can change behavior: sequencer recovery completes, a
@@ -248,19 +324,73 @@ class MultiscalarProcessor : public TaskPcSource
      *  by squashes (and by skipping the precompute). */
     bool readyValid = false;
 
+    /** Cycle each ReadyBuf was last refreshed.  The frontier path only
+     *  refreshes due stages, and a stage spliced into the due walk
+     *  mid-cycle has no verdicts at all -- a stale buffer must fall
+     *  back to live evaluation, never be consulted. */
+    std::vector<uint64_t> bufStamp;
+
     /** Total window occupancy below which the parallel precompute is
      *  skipped (fan-out overhead would dominate; verdicts are
      *  identical either way, so the threshold cannot change results). */
     static constexpr uint64_t kIntraMinOccupancy = 32;
 
     MemorySystem memsys;
-    Arb arb;
+    ShardedArb arb;
     std::unique_ptr<DependencePolicy> policy;
     std::unique_ptr<DepSynchronizer> sync;
+
+    // --- per-PE event frontier state --------------------------------
+    /** Frontier fast path engaged (config flag minus the
+     *  MDP_FRONTIER_REFERENCE kill switch). */
+    bool frontierOn = false;
+    /** Resolved mesh grid (0 when the topology is the ring). */
+    unsigned meshXr = 0;
+    unsigned meshYr = 0;
+    /** Park time per stage; due stages are popped each cycle. */
+    std::unique_ptr<EventFrontier> peFrontier;
+    /** Scratch: ids popped due this cycle. */
+    std::vector<uint32_t> dueBuf;
+    /** This cycle's due stages as ring positions, ascending; the stage
+     *  walk consumes it through dueCursor, and same-cycle wakes splice
+     *  positions in behind the cursor. */
+    std::vector<uint32_t> duePos;
+    size_t dueCursor = 0;
+    /** Stage is queued (unprocessed) in duePos this cycle. */
+    std::vector<uint8_t> dueFlag;
+    /** committedTasks % numStages, latched when the due set forms. */
+    unsigned baseSlot = 0;
+    /** Mutation counter behind act(); a stage whose step leaves it
+     *  unchanged provably did nothing and parks at its exact next
+     *  interesting cycle. */
+    uint64_t actStamp = 0;
+
+    /** Consumer CSR over the trace (built only for the frontier):
+     *  consumers of op s are consList[consStart[s] .. consStart[s+1]). */
+    std::vector<uint32_t> consStart;
+    std::vector<SeqNum> consList;
+
+    /** Lazy (first possibly-unexecuted store, task) min-heap behind
+     *  storeFrontierBoundFast(); std::greater order on the pair. */
+    std::vector<std::pair<uint64_t, uint32_t>> storeHeap;
 
     // Blocked-op bookkeeping.
     std::vector<SeqNum> frontierBlocked;  ///< WAIT/NEVER waits
     std::vector<SeqNum> syncBlocked;      ///< MDST waits
+
+    /**
+     * Smallest seq in each blocked list (kNoSeq when empty).  A scan
+     * can only release ops with seq <= bound, so while the min sits
+     * above the bound the linear rescan is skipped outright -- the
+     * dominant case on wide machines, where the bound moves every
+     * commit but the blocked window trails far behind it.  Squash
+     * erases only seqs >= squash_start, and the survivors' min is
+     * recomputed there; a skipped scan therefore never misses a
+     * releasable op, it only defers dropping already-cleared entries
+     * (which release nothing either way).
+     */
+    SeqNum frontierBlockedMin = kNoSeq;
+    SeqNum syncBlockedMin = kNoSeq;
 
     /**
      * Frontier-scan gating (same argument as the OoO model's): every

@@ -1,0 +1,29 @@
+// Fixture: hash containers and wall-clock reads inside the manycore
+// scheduler layer (basename matches the frontier-order scope).
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+
+namespace mdp
+{
+
+struct BadFrontier
+{
+    std::unordered_map<uint32_t, uint64_t> parked; // expect: frontier-order
+
+    void
+    schedule(uint32_t id, uint64_t t)
+    {
+        parked[id] = t;
+    }
+
+    uint64_t
+    jitterSeed() const
+    {
+        auto now = std::chrono::steady_clock::now(); // expect: frontier-order nondet-source
+        return static_cast<uint64_t>(
+            now.time_since_epoch().count());
+    }
+};
+
+} // namespace mdp

@@ -415,6 +415,80 @@ class BenchSummaryTest(unittest.TestCase):
         self.assertAlmostEqual(entry["wall_seconds"]["cold"], 3.5)
         self.assertNotIn("cycle_totals", entry)
 
+    # ---- manycore scale-out column ----------------------------------
+
+    def manycore_report(self, pes_rows, phases):
+        """A manycore_scaling report whose main table has one
+        (pes, sim_cycles) row per entry and the given phase map."""
+        doc = good_report("manycore_scaling")
+        doc["phase_seconds"] = phases
+        doc["tables"] = {"main": {
+            "header": ["pes", "topo", "policy", "workload", "ipc",
+                       "misspec", "fwd_hops", "cycles", "sim_cycles"],
+            "rows": [[str(pes), "ring", "always", "bfs", "0.5", "1",
+                      "7.7", "400", str(sim)]
+                     for pes, sim in pes_rows],
+        }}
+        return doc
+
+    def test_manycore_headline_lands_in_summary_and_trend(self):
+        # 6 sim-seconds over 2M simulated 1024-PE cycles -> 3 s/Mcyc;
+        # the 8-PE rows and phases must not contribute.
+        self.write("cold/mc.json", self.manycore_report(
+            [(8, 999), (1024, 1500000), (1024, 500000)],
+            {"sim_8pe_ring": 0.1, "sim_1024pe_ring": 4.0,
+             "sim_1024pe_mesh": 2.0}))
+        summary = self.write_summary("BENCH_mc.json",
+                                     [f"cold={self.root}/cold"])
+        doc = json.loads(summary.read_text())
+        headline = doc["benches"]["manycore_scaling"]["manycore_1024pe"]
+        self.assertEqual(headline["sim_cycles"], 2000000)
+        self.assertAlmostEqual(headline["seconds_per_mcycle"], 3.0)
+        proc = self.run_trend(str(summary))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        lines = proc.stdout.splitlines()
+        header = next(l for l in lines if "summary" in l)
+        self.assertIn("1024pe s/Mcyc", header)
+        self.assertIn("3.000", next(l for l in lines
+                                    if "BENCH_mc.json" in l))
+
+    def test_manycore_fastest_label_wins(self):
+        # Both labels ran the same binary; the less-disturbed (faster)
+        # measurement is the one worth trending.
+        rows = [(1024, 1000000)]
+        self.write("cold/mc.json", self.manycore_report(
+            rows, {"sim_1024pe_ring": 4.0}))
+        self.write("warm/mc.json", self.manycore_report(
+            rows, {"sim_1024pe_ring": 2.0}))
+        summary = self.write_summary("BENCH_mc.json",
+                                     [f"cold={self.root}/cold",
+                                      f"warm={self.root}/warm"])
+        doc = json.loads(summary.read_text())
+        headline = doc["benches"]["manycore_scaling"]["manycore_1024pe"]
+        self.assertAlmostEqual(headline["seconds_per_mcycle"], 2.0)
+
+    def test_manycore_column_renders_dash_for_older_summaries(self):
+        # A summary predating the bench (or the table) contributes no
+        # headline; its trend row renders '-' in the manycore column,
+        # and with no manycore summaries at all the column is absent.
+        self.write("old/cold/a.json", good_report("bench_a"))
+        old = self.write_summary("BENCH_old.json",
+                                 [f"cold={self.root}/old/cold"])
+        proc = self.run_trend(str(old))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertNotIn("1024pe s/Mcyc", proc.stdout)
+        self.write("new/cold/mc.json", self.manycore_report(
+            [(1024, 1000000)], {"sim_1024pe_ring": 1.0}))
+        new = self.write_summary("BENCH_new.json",
+                                 [f"cold={self.root}/new/cold"])
+        proc = self.run_trend(str(old), str(new))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        lines = proc.stdout.splitlines()
+        self.assertIn("1024pe s/Mcyc",
+                      next(l for l in lines if "summary" in l))
+        self.assertIn("-", next(l for l in lines
+                                if "BENCH_old.json" in l))
+
     # ---- suppression debt -------------------------------------------
 
     def test_summary_stamps_suppression_debt(self):

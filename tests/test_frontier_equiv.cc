@@ -1,0 +1,427 @@
+/**
+ * @file
+ * The per-PE event frontier must be a pure scheduling optimization.
+ *
+ * Part 1 pins the EventFrontier container's semantics: exact-time
+ * scheduling with lazy stale drops, earlier-only moves, deterministic
+ * (t, id) ordering, and the wheel/heap split across the 64-cycle
+ * horizon -- including million-cycle base snaps.
+ *
+ * Part 2 runs the Multiscalar model with the frontier on and off
+ * (cfg.perPeFrontier, the MDP_FRONTIER_REFERENCE kill-switch path)
+ * over randomized traces spanning registry policies, both topologies,
+ * stage counts up to 64, control mispredictions (the squash /
+ * frontier-invalidation path) and ARB shard counts, and requires every
+ * observable SimResult field -- including cyclesSimulated and
+ * cyclesSkipped, which the stdout tables print -- to be identical.
+ * stageVisits/stageSlots are deliberately excluded: they are
+ * scheduler-mode-dependent by design (the frontier exists to shrink
+ * visits), and a separate test asserts that shrink actually happens.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/event_frontier.hh"
+#include "base/random.hh"
+#include "multiscalar/processor.hh"
+#include "multiscalar/task_info.hh"
+#include "trace/builder.hh"
+#include "trace/dep_oracle.hh"
+
+namespace mdp
+{
+namespace
+{
+
+// --------------------------------------------------------------------
+// EventFrontier container semantics
+// --------------------------------------------------------------------
+
+std::vector<uint32_t>
+popSorted(EventFrontier &f, uint64_t now)
+{
+    std::vector<uint32_t> due;
+    f.popDue(now, due);
+    std::sort(due.begin(), due.end());
+    return due;
+}
+
+TEST(EventFrontier, ScheduleSetsExactTime)
+{
+    EventFrontier f(4);
+    EXPECT_EQ(f.scheduledCount(), 0u);
+    f.schedule(2, 10);
+    EXPECT_EQ(f.scheduledAt(2), 10u);
+    EXPECT_EQ(f.scheduledCount(), 1u);
+
+    // Re-scheduling replaces: later AND earlier both win.
+    f.schedule(2, 30);
+    EXPECT_EQ(f.scheduledAt(2), 30u);
+    f.schedule(2, 5);
+    EXPECT_EQ(f.scheduledAt(2), 5u);
+    EXPECT_EQ(f.scheduledCount(), 1u);
+
+    uint64_t t;
+    uint32_t id;
+    ASSERT_TRUE(f.peekMin(t, id));
+    EXPECT_EQ(t, 5u);
+    EXPECT_EQ(id, 2u);
+}
+
+TEST(EventFrontier, ScheduleEarlierOnlyMovesEarlier)
+{
+    EventFrontier f(2);
+    f.schedule(0, 20);
+    f.scheduleEarlier(0, 50);   // no-op
+    EXPECT_EQ(f.scheduledAt(0), 20u);
+    f.scheduleEarlier(0, 7);
+    EXPECT_EQ(f.scheduledAt(0), 7u);
+    // On an unscheduled id (stored == kUnscheduled) any time is
+    // "earlier": it schedules.
+    f.scheduleEarlier(1, 33);
+    EXPECT_EQ(f.scheduledAt(1), 33u);
+}
+
+TEST(EventFrontier, UnscheduleDropsPendingEvent)
+{
+    EventFrontier f(3);
+    f.schedule(0, 4);
+    f.schedule(1, 4);
+    f.unschedule(0);
+    EXPECT_EQ(f.scheduledAt(0), EventFrontier::kUnscheduled);
+    EXPECT_EQ(f.scheduledCount(), 1u);
+    // kUnscheduled as a schedule time also cancels.
+    f.schedule(1, EventFrontier::kUnscheduled);
+    EXPECT_EQ(f.scheduledCount(), 0u);
+    uint64_t t;
+    uint32_t id;
+    EXPECT_FALSE(f.peekMin(t, id));
+}
+
+TEST(EventFrontier, PopDueDrainsEverythingDue)
+{
+    EventFrontier f(8);
+    for (uint32_t id = 0; id < 8; ++id)
+        f.schedule(id, 1 + id % 3);   // times 1, 2, 3
+
+    EXPECT_EQ(popSorted(f, 0), (std::vector<uint32_t>{}));
+    EXPECT_EQ(popSorted(f, 1), (std::vector<uint32_t>{0, 3, 6}));
+    // now = 3 collects both remaining time buckets at once.
+    EXPECT_EQ(popSorted(f, 3), (std::vector<uint32_t>{1, 2, 4, 5, 7}));
+    EXPECT_EQ(f.scheduledCount(), 0u);
+}
+
+TEST(EventFrontier, StaleHintsAreDroppedNotDelivered)
+{
+    EventFrontier f(4);
+    f.schedule(1, 3);
+    f.schedule(1, 40);   // leaves a stale hint at t=3
+    EXPECT_EQ(popSorted(f, 10), (std::vector<uint32_t>{}));
+    EXPECT_EQ(f.scheduledAt(1), 40u);
+    EXPECT_EQ(popSorted(f, 40), (std::vector<uint32_t>{1}));
+}
+
+TEST(EventFrontier, HeapHandlesFarEventsAndBaseSnaps)
+{
+    EventFrontier f(4);
+    // Beyond the 64-cycle wheel horizon: heap path.
+    f.schedule(0, 1000000);
+    f.schedule(1, 5);
+    EXPECT_EQ(f.horizon(), 64u);
+
+    uint64_t t;
+    uint32_t id;
+    ASSERT_TRUE(f.peekMin(t, id));
+    EXPECT_EQ(t, 5u);
+    EXPECT_EQ(popSorted(f, 5), (std::vector<uint32_t>{1}));
+
+    // A million-cycle jump: the base snaps, the far event surfaces.
+    ASSERT_TRUE(f.peekMin(t, id));
+    EXPECT_EQ(t, 1000000u);
+    EXPECT_EQ(popSorted(f, 1000000), (std::vector<uint32_t>{0}));
+
+    // Post-snap wheel is re-centered on the new base.
+    f.schedule(2, 1000001);
+    EXPECT_EQ(popSorted(f, 1000001), (std::vector<uint32_t>{2}));
+}
+
+TEST(EventFrontier, PeekMinBreaksTiesById)
+{
+    EventFrontier f(8);
+    // Both in the heap (past the horizon), tied time.
+    f.schedule(5, 500);
+    f.schedule(3, 500);
+    uint64_t t;
+    uint32_t id;
+    ASSERT_TRUE(f.peekMin(t, id));
+    EXPECT_EQ(t, 500u);
+    EXPECT_EQ(id, 3u);
+}
+
+TEST(EventFrontier, RandomizedAgainstNaiveArray)
+{
+    // Differential check: the frontier against a plain stored-time
+    // array with linear scans, through a random op mix.
+    Pcg32 rng(99);
+    const uint32_t n = 32;
+    EventFrontier f(n);
+    std::vector<uint64_t> naive(n, EventFrontier::kUnscheduled);
+    uint64_t now = 0;
+
+    for (int step = 0; step < 4000; ++step) {
+        const uint32_t id = rng.below(n);
+        switch (rng.below(4)) {
+          case 0: {
+              const uint64_t t = now + 1 + rng.below(200);
+              f.schedule(id, t);
+              naive[id] = t;
+              break;
+          }
+          case 1: {
+              const uint64_t t = now + 1 + rng.below(200);
+              f.scheduleEarlier(id, t);
+              naive[id] = std::min(naive[id], t);
+              break;
+          }
+          case 2:
+              f.unschedule(id);
+              naive[id] = EventFrontier::kUnscheduled;
+              break;
+          default: {
+              now += 1 + rng.below(90);
+              std::vector<uint32_t> expect;
+              for (uint32_t i = 0; i < n; ++i) {
+                  if (naive[i] <= now) {
+                      expect.push_back(i);
+                      naive[i] = EventFrontier::kUnscheduled;
+                  }
+              }
+              EXPECT_EQ(popSorted(f, now), expect) << "step " << step;
+          }
+        }
+        uint64_t min_t = EventFrontier::kUnscheduled;
+        uint32_t min_id = 0;
+        for (uint32_t i = 0; i < n; ++i) {
+            if (naive[i] < min_t) {
+                min_t = naive[i];
+                min_id = i;
+            }
+        }
+        uint64_t t;
+        uint32_t id_out;
+        const bool have = f.peekMin(t, id_out);
+        ASSERT_EQ(have, min_t != EventFrontier::kUnscheduled);
+        if (have) {
+            EXPECT_EQ(t, min_t);
+            EXPECT_EQ(id_out, min_id);
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Model equivalence: frontier scheduler vs global-scan reference
+// --------------------------------------------------------------------
+
+/** Aliasing memory traffic + serial latency chains + cross-task
+ *  register deps, as in test_fastforward_equiv. */
+Trace
+randomTrace(uint64_t seed)
+{
+    Pcg32 rng(seed);
+    TraceBuilder b("frontier_equiv");
+    const unsigned num_tasks = 8 + rng.below(12);
+    std::vector<SeqNum> produced;
+
+    for (unsigned t = 0; t < num_tasks; ++t) {
+        b.beginTask(0x1000 + (t % 5) * 0x40);
+        const unsigned ops = 6 + rng.below(30);
+        for (unsigned i = 0; i < ops; ++i) {
+            SeqNum s1 = kNoSeq;
+            SeqNum s2 = kNoSeq;
+            if (!produced.empty() && rng.below(3) != 0)
+                s1 = produced[produced.size() - 1 -
+                              rng.below(std::min<uint32_t>(
+                                  60, static_cast<uint32_t>(
+                                          produced.size())))];
+            if (!produced.empty() && rng.below(4) == 0)
+                s2 = produced[produced.size() - 1 -
+                              rng.below(std::min<uint32_t>(
+                                  20, static_cast<uint32_t>(
+                                          produced.size())))];
+
+            const uint32_t kind = rng.below(10);
+            const Addr addr = 0x8000 + rng.below(24) * 0x40;
+            SeqNum s;
+            if (kind < 2) {
+                s = b.load(0x100 + rng.below(8) * 4, addr, s1);
+            } else if (kind < 4) {
+                s = b.store(0x200 + rng.below(8) * 4, addr, s1, s2);
+                b.lastOp().valueRepeats = rng.below(2) != 0;
+            } else if (kind < 5) {
+                s = b.op(OpKind::IntDiv, 0x300, s1, s2);
+            } else if (kind < 6) {
+                s = b.op(OpKind::FpDiv, 0x304, s1, s2);
+            } else if (kind < 7) {
+                s = b.branch(0x308, s1);
+            } else {
+                s = b.alu(0x30c + rng.below(4) * 4, s1, s2);
+            }
+            produced.push_back(s);
+        }
+    }
+    return b.take();
+}
+
+void
+expectSimEqual(const SimResult &ref, const SimResult &fr)
+{
+    EXPECT_EQ(ref.cycles, fr.cycles);
+    // Identity covers the skip accounting itself: the stdout tables
+    // print cyclesSimulated/cyclesSkipped, so they must match, not
+    // just sum to the same total.
+    EXPECT_EQ(ref.cyclesSimulated, fr.cyclesSimulated);
+    EXPECT_EQ(ref.cyclesSkipped, fr.cyclesSkipped);
+    EXPECT_EQ(ref.committedOps, fr.committedOps);
+    EXPECT_EQ(ref.committedLoads, fr.committedLoads);
+    EXPECT_EQ(ref.committedStores, fr.committedStores);
+    EXPECT_EQ(ref.committedTasks, fr.committedTasks);
+    EXPECT_EQ(ref.misSpeculations, fr.misSpeculations);
+    EXPECT_EQ(ref.squashedOps, fr.squashedOps);
+    EXPECT_EQ(ref.controlStalls, fr.controlStalls);
+    EXPECT_EQ(ref.loadsBlockedSync, fr.loadsBlockedSync);
+    EXPECT_EQ(ref.loadsBlockedFrontier, fr.loadsBlockedFrontier);
+    EXPECT_EQ(ref.frontierReleases, fr.frontierReleases);
+    EXPECT_EQ(ref.syncWaitCycles, fr.syncWaitCycles);
+    EXPECT_EQ(ref.signalWaitCycles, fr.signalWaitCycles);
+    EXPECT_EQ(ref.frontierWaitCycles, fr.frontierWaitCycles);
+    EXPECT_EQ(ref.regForwards, fr.regForwards);
+    EXPECT_EQ(ref.regForwardHops, fr.regForwardHops);
+    EXPECT_EQ(ref.valuePredUses, fr.valuePredUses);
+    EXPECT_EQ(ref.valuePredHits, fr.valuePredHits);
+    EXPECT_EQ(ref.valuePredMisses, fr.valuePredMisses);
+    EXPECT_EQ(ref.pred.nn, fr.pred.nn);
+    EXPECT_EQ(ref.pred.ny, fr.pred.ny);
+    EXPECT_EQ(ref.pred.yn, fr.pred.yn);
+    EXPECT_EQ(ref.pred.yy, fr.pred.yy);
+    EXPECT_EQ(ref.misspecLog, fr.misspecLog);
+    // stageVisits/stageSlots intentionally NOT compared: they are
+    // scheduler-mode-dependent by design.
+}
+
+SimResult
+runMode(const TraceView &trc, const DepOracle &oracle,
+        const TaskSet &tasks, const std::string &policy, Topology topo,
+        unsigned stages, bool frontier, double mispredict_rate = 0.0,
+        unsigned arb_shards = 0)
+{
+    MultiscalarConfig cfg;
+    cfg.numStages = stages;
+    cfg.topology = topo;
+    cfg.policyName = policy;
+    cfg.perPeFrontier = frontier;
+    cfg.taskMispredictRate = mispredict_rate;
+    cfg.arbShards = arb_shards;
+    cfg.sync.slotsPerEntry = std::min(stages, 64u);
+    cfg.logMisSpeculations = true;
+    MultiscalarProcessor proc(trc, oracle, tasks, cfg);
+    return proc.run();
+}
+
+TEST(FrontierEquiv, PoliciesTopologiesAndStageCounts)
+{
+    uint64_t visits_saved = 0;
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+        Trace trc = randomTrace(seed);
+        TraceView view(trc);
+        DepOracle oracle(view);
+        TaskSet tasks(view);
+        for (const char *policy : {"always", "sync", "storeset"}) {
+            for (Topology topo : {Topology::Ring, Topology::Mesh}) {
+                for (unsigned stages : {4u, 8u, 64u}) {
+                    SCOPED_TRACE(testing::Message()
+                                 << "seed=" << seed << " policy="
+                                 << policy << " topo="
+                                 << static_cast<int>(topo)
+                                 << " stages=" << stages);
+                    SimResult ref = runMode(view, oracle, tasks, policy,
+                                            topo, stages, false);
+                    SimResult fr = runMode(view, oracle, tasks, policy,
+                                           topo, stages, true);
+                    expectSimEqual(ref, fr);
+                    ASSERT_GE(ref.stageVisits, fr.stageVisits);
+                    visits_saved += ref.stageVisits - fr.stageVisits;
+                }
+            }
+        }
+    }
+    // The corpus must actually exercise the optimization: somewhere
+    // the frontier visited strictly fewer stages than the scan.
+    EXPECT_GT(visits_saved, 0u);
+}
+
+TEST(FrontierEquiv, SquashesAndControlMispredicts)
+{
+    // Control mispredictions + the "always" policy's violation squash
+    // storm drive the frontier-invalidation path (squashed stages must
+    // be re-armed, stale park times dropped).
+    Trace trc = randomTrace(23);
+    TraceView view(trc);
+    DepOracle oracle(view);
+    TaskSet tasks(view);
+    for (double rate : {0.2, 0.6}) {
+        for (unsigned stages : {8u, 64u}) {
+            SCOPED_TRACE(testing::Message()
+                         << "rate=" << rate << " stages=" << stages);
+            SimResult ref = runMode(view, oracle, tasks, "always",
+                                    Topology::Ring, stages, false,
+                                    rate);
+            SimResult fr = runMode(view, oracle, tasks, "always",
+                                   Topology::Ring, stages, true, rate);
+            expectSimEqual(ref, fr);
+        }
+    }
+}
+
+TEST(FrontierEquiv, ArbShardingIsSemanticallyInvisible)
+{
+    // The sharded ARB must be invisible at every shard count, in both
+    // scheduler modes: compare auto (0), single-bank, and 8-way
+    // explicitly, all against the single-bank reference-scheduler run.
+    Trace trc = randomTrace(7);
+    TraceView view(trc);
+    DepOracle oracle(view);
+    TaskSet tasks(view);
+    SimResult base = runMode(view, oracle, tasks, "always",
+                             Topology::Ring, 64, false, 0.0, 1);
+    for (bool frontier : {false, true}) {
+        for (unsigned shards : {0u, 1u, 8u}) {
+            SCOPED_TRACE(testing::Message() << "frontier=" << frontier
+                                            << " shards=" << shards);
+            SimResult r = runMode(view, oracle, tasks, "always",
+                                  Topology::Ring, 64, frontier, 0.0,
+                                  shards);
+            expectSimEqual(base, r);
+        }
+    }
+}
+
+TEST(FrontierEquiv, IdleHeavyMachineSkipsMostStageVisits)
+{
+    // The point of the frontier: on a machine much wider than its
+    // work, visits collapse while the reference scan still walks
+    // every stage every simulated cycle.
+    Trace trc = randomTrace(11);
+    TraceView view(trc);
+    DepOracle oracle(view);
+    TaskSet tasks(view);
+    SimResult ref = runMode(view, oracle, tasks, "sync",
+                            Topology::Ring, 64, false);
+    SimResult fr = runMode(view, oracle, tasks, "sync", Topology::Ring,
+                           64, true);
+    expectSimEqual(ref, fr);
+    EXPECT_EQ(ref.stageVisits, ref.stageSlots);
+    EXPECT_LT(fr.stageVisits * 2, ref.stageVisits);
+}
+
+} // namespace
+} // namespace mdp

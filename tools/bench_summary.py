@@ -229,6 +229,43 @@ def zoo_policy_rows(doc):
     return rows or None
 
 
+def manycore_1024pe_stats(doc):
+    """Sim-seconds per million simulated cycles across the 1024-PE
+    sweep groups of bench_manycore_scaling: the scale-out cost number
+    the per-PE event frontier exists to hold down.  Simulated cycles
+    come from the table's sim_cycles column (1024-PE rows only); wall
+    seconds from the sim_1024pe_* phases.  Returns None when the table
+    or the phases are absent (an older report)."""
+    table = doc.get("tables", {}).get("main")
+    if not isinstance(table, dict):
+        return None
+    header = table.get("header", [])
+    try:
+        pes_col = header.index("pes")
+        cyc_col = header.index("sim_cycles")
+    except ValueError:
+        return None
+    cycles = 0
+    for raw in table.get("rows", []):
+        if len(raw) <= max(pes_col, cyc_col):
+            return None
+        if raw[pes_col] != "1024":
+            continue
+        try:
+            cycles += int(raw[cyc_col])
+        except ValueError:
+            return None
+    secs = sum(s for p, s in doc.get("phase_seconds", {}).items()
+               if p.startswith("sim_1024pe"))
+    if cycles <= 0 or secs <= 0:
+        return None
+    return {
+        "sim_seconds": round(secs, 6),
+        "sim_cycles": cycles,
+        "seconds_per_mcycle": round(secs / (cycles / 1e6), 6),
+    }
+
+
 def merge_labeled(labeled, failed):
     """Fold {label: reports} into per-bench summary entries; append
     'label/bench' to failed for every failed shape check."""
@@ -257,6 +294,16 @@ def merge_labeled(labeled, failed):
                 rows = zoo_policy_rows(doc)
                 if rows is not None:
                     entry["zoo_policies"] = rows
+            # Manycore scale-out cost: the fastest label wins (labels
+            # run the same binary, so the minimum is the measurement
+            # least disturbed by the runner).
+            if bench == "manycore_scaling":
+                stats = manycore_1024pe_stats(doc)
+                prev = entry.get("manycore_1024pe")
+                if stats is not None and (
+                        prev is None or stats["seconds_per_mcycle"]
+                        < prev["seconds_per_mcycle"]):
+                    entry["manycore_1024pe"] = stats
             if not doc.get("all_checks_ok", False):
                 entry["all_checks_ok"] = False
                 bad = [c["what"] for c in doc.get("shape_checks", [])
@@ -449,6 +496,10 @@ def trend_entries(paths):
             .get("zoo_policies")
         if zoo:
             entry["zoo"] = zoo_headline(zoo)
+        manycore = doc.get("benches", {}) \
+            .get("manycore_scaling", {}).get("manycore_1024pe")
+        if manycore:
+            entry["manycore_1024pe"] = manycore
         if isinstance(doc.get("lint_suppressions"), int):
             entry["lint_suppressions"] = doc["lint_suppressions"]
         entries.append(entry)
@@ -491,11 +542,13 @@ def print_trend(entries):
     has_skip = any("cycle_totals" in e for e in entries)
     has_serve = any("serve_batch" in e for e in entries)
     has_zoo = any("zoo" in e for e in entries)
+    has_manycore = any("manycore_1024pe" in e for e in entries)
     has_debt = any("lint_suppressions" in e for e in entries)
     header = ["summary"] + labels + \
         (["req/s", "passes/configs", "amortization"]
          if has_serve else []) + \
         (["zoo best", "zoo best descendant"] if has_zoo else []) + \
+        (["1024pe s/Mcyc"] if has_manycore else []) + \
         (["skip_rate"] if has_skip else []) + \
         (["lint allows"] if has_debt else [])
     rows = [header]
@@ -522,6 +575,10 @@ def print_trend(entries):
             else:
                 row += [zoo["best"],
                         zoo.get("best_descendant", "-")]
+        if has_manycore:
+            mc = e.get("manycore_1024pe")
+            row.append("-" if mc is None
+                       else f"{mc['seconds_per_mcycle']:.3f}")
         if has_skip:
             totals = e.get("cycle_totals")
             row.append("-" if totals is None

@@ -491,6 +491,67 @@ checkSoaSyncPhase(const std::string &path,
         });
 }
 
+// ---- rule: frontier-order ------------------------------------------
+
+/**
+ * The event-frontier scheduler and the interconnect hop models are
+ * the determinism-critical core of the manycore scale-out: which PE
+ * steps on which cycle, and how far a forwarded value travels, must
+ * be pure platform-stable functions of simulated state.  Files
+ * implementing them (basename containing "event_frontier" or
+ * "interconnect", under src/) may not *contain* hash containers at
+ * all -- stricter than unordered-iter, which only flags iteration and
+ * does not cover src/base/ -- and wall-clock/random sources there are
+ * called out under this rule as well as nondet-source, so suppressing
+ * one cannot quietly waive the other.
+ */
+bool
+isFrontierOrderScope(const std::string &scoped)
+{
+    if (!startsWith(scoped, "src/"))
+        return false;
+    std::string base = scoped.substr(scoped.find_last_of('/') + 1);
+    return base.find("event_frontier") != std::string::npos ||
+           base.find("interconnect") != std::string::npos;
+}
+
+void
+checkFrontierOrder(const std::string &path,
+                   const std::vector<Token> &code,
+                   std::vector<Diag> &out)
+{
+    static const char *const kHashContainers[] = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset",
+    };
+    for (size_t i = 0; i < code.size(); ++i) {
+        if (code[i].pp)
+            continue;   // the include line itself is not a use
+        for (const char *name : kHashContainers) {
+            if (!isIdent(code[i], name))
+                continue;
+            out.push_back(
+                {path, code[i].line, "frontier-order",
+                 "hash container '" + code[i].spelling +
+                     "' in frontier/interconnect code: event and hop "
+                     "ordering must be platform-stable; use the "
+                     "bucket wheel / min-heap / vectors with explicit "
+                     "(t, id) ordering"});
+        }
+    }
+    for (const std::string &token : nondetSourceTokens()) {
+        size_t pos = 0;
+        while ((pos = findIdentSeq(code, token, pos)) != SIZE_MAX) {
+            out.push_back({path, code[pos].line, "frontier-order",
+                           "nondeterminism source '" + token +
+                               "' in frontier/interconnect code: park "
+                               "times and hop counts must derive only "
+                               "from simulated state"});
+            ++pos;
+        }
+    }
+}
+
 // ---- rule: lockstep-blocking ---------------------------------------
 
 /**
@@ -695,6 +756,8 @@ localPass(const std::string &path, const std::string &text,
     if (startsWith(scoped, "bench/") && startsWith(base, "bench_") &&
         endsWith(base, ".cc"))
         checkBench(path, code, f.includes, f.local);
+    if (isFrontierOrderScope(scoped))
+        checkFrontierOrder(path, code, f.local);
     return f;
 }
 
@@ -1071,6 +1134,11 @@ ruleDocs()
         {"fastforward-order",
          "no unordered-container iteration inside "
          "nextInterestingCycle: the skip-target scan must be "
+         "platform-stable"},
+        {"frontier-order",
+         "no hash containers or wall-clock/random sources in "
+         "event-frontier/interconnect files: the manycore "
+         "scheduler's event and hop ordering must be "
          "platform-stable"},
         {"header-guard",
          "headers carry the canonical MDP_<PATH>_HH include guard "
